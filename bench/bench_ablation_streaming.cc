@@ -1,0 +1,42 @@
+// Extension study (paper §8 future work (3)): one-pass streaming CVOPT vs
+// the two-pass offline algorithm and the Uniform baseline, at equal budget.
+// Also reports build wall-time: the streaming sampler reads each row once.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/sample/streaming_cvopt_sampler.h"
+#include "src/util/timer.h"
+
+using namespace cvopt;        // NOLINT(build/namespaces)
+using namespace cvopt::bench; // NOLINT(build/namespaces)
+
+int main() {
+  const Table& t = OpenAq();
+  const QuerySpec q = Aq3();
+  const double kRate = 0.01;
+  const int kReps = 5;
+
+  UniformSampler uniform;
+  CvoptSampler offline;
+  StreamingCvoptSampler streaming(/*replan_interval=*/100'000);
+
+  PrintHeader("Extension: streaming (1-pass) vs offline (2-pass) CVOPT, AQ3");
+  PrintRow("method", {"build(s)", "missing", "avg err", "max err"});
+  struct Entry {
+    const char* label;
+    const Sampler* sampler;
+  };
+  for (const Entry& e :
+       {Entry{"Uniform", &uniform}, Entry{"CVOPT (2-pass)", &offline},
+        Entry{"CVOPT-STREAM", &streaming}}) {
+    WallTimer timer;
+    const EvalStats s = Evaluate(t, *e.sampler, {q}, {q}, kRate, kReps, 15000);
+    const double build_s = timer.ElapsedSeconds() / kReps;
+    PrintRow(e.label, {StrFormat("%.3f", build_s), StrFormat("%.1f", s.missing),
+                       Pct(s.avg_err), Pct(s.max_err)});
+  }
+  std::printf(
+      "\nexpected: the one-pass sampler approaches two-pass accuracy and "
+      "beats Uniform decisively; build time is a single scan.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Micro-benchmarks for the allocation solvers: Lemma 1 water-filling and the
+// CVOPT-INF binary search, across stratum counts.
+#include <benchmark/benchmark.h>
+
+#include "src/core/cvopt_inf.h"
+#include "src/core/lemma1.h"
+#include "src/util/rng.h"
+
+namespace cvopt {
+namespace {
+
+void MakeProblem(size_t r, std::vector<double>* alphas,
+                 std::vector<double>* sigmas, std::vector<double>* mus,
+                 std::vector<uint64_t>* ns) {
+  Rng rng(7);
+  alphas->resize(r);
+  sigmas->resize(r);
+  mus->resize(r);
+  ns->resize(r);
+  for (size_t i = 0; i < r; ++i) {
+    (*mus)[i] = rng.UniformDouble(1, 1000);
+    (*sigmas)[i] = (*mus)[i] * rng.UniformDouble(0, 2);
+    (*alphas)[i] = (*sigmas)[i] * (*sigmas)[i] / ((*mus)[i] * (*mus)[i]);
+    (*ns)[i] = 10 + rng.Uniform(1'000'000);
+  }
+}
+
+void BM_SolveLemma1(benchmark::State& state) {
+  const size_t r = state.range(0);
+  std::vector<double> alphas, sigmas, mus;
+  std::vector<uint64_t> ns;
+  MakeProblem(r, &alphas, &sigmas, &mus, &ns);
+  const uint64_t budget = 100 * r;
+  for (auto _ : state) {
+    auto result = SolveLemma1(alphas, ns, budget);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * r);
+}
+BENCHMARK(BM_SolveLemma1)->Range(8, 1 << 16);
+
+void BM_SolveCvoptInf(benchmark::State& state) {
+  const size_t r = state.range(0);
+  std::vector<double> alphas, sigmas, mus;
+  std::vector<uint64_t> ns;
+  MakeProblem(r, &alphas, &sigmas, &mus, &ns);
+  const uint64_t budget = 100 * r;
+  for (auto _ : state) {
+    auto result = SolveCvoptInf(sigmas, mus, ns, budget);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * r);
+}
+BENCHMARK(BM_SolveCvoptInf)->Range(8, 1 << 16);
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,75 @@
+// Micro-benchmarks for the execution substrate: exact group-by throughput,
+// stratification, and single-pass statistics collection.
+#include <benchmark/benchmark.h>
+
+#include "src/core/stratification.h"
+#include "src/datagen/openaq_gen.h"
+#include "src/exec/group_by_executor.h"
+#include "src/stats/stats_collector.h"
+
+namespace cvopt {
+namespace {
+
+const Table& BenchTable() {
+  static const Table* t = [] {
+    OpenAqOptions opts;
+    opts.num_rows = 500'000;
+    return new Table(GenerateOpenAq(opts));
+  }();
+  return *t;
+}
+
+void BM_ExactGroupBy(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupBy);
+
+void BM_ExactGroupByWithPredicate(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"country"};
+  q.aggregates = {AggSpec::Avg("value")};
+  q.where = Predicate::Between("hour", 0, 11);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByWithPredicate);
+
+void BM_StratificationBuild(benchmark::State& state) {
+  const Table& t = BenchTable();
+  for (auto _ : state) {
+    auto strat = Stratification::Build(t, {"country", "parameter", "unit"});
+    benchmark::DoNotOptimize(strat);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_StratificationBuild);
+
+void BM_CollectGroupStats(benchmark::State& state) {
+  const Table& t = BenchTable();
+  auto strat = std::move(Stratification::Build(t, {"country", "parameter"}))
+                   .ValueOrDie();
+  auto value = std::move(t.ColumnByName("value")).ValueOrDie();
+  StatSource src;
+  src.column = value;
+  for (auto _ : state) {
+    auto stats = CollectGroupStats(strat, {src});
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_CollectGroupStats);
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,65 @@
+// Micro-benchmarks for the samplers: end-to-end sample-build throughput per
+// method at a 1% rate, and approximate query answering.
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/openaq_gen.h"
+#include "src/estimate/approx_executor.h"
+#include "src/sample/congress_sampler.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/sample/rl_sampler.h"
+#include "src/sample/uniform_sampler.h"
+
+namespace cvopt {
+namespace {
+
+const Table& BenchTable() {
+  static const Table* t = [] {
+    OpenAqOptions opts;
+    opts.num_rows = 500'000;
+    return new Table(GenerateOpenAq(opts));
+  }();
+  return *t;
+}
+
+QuerySpec TargetQuery() {
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  return q;
+}
+
+template <typename SamplerT>
+void BM_SamplerBuild(benchmark::State& state) {
+  const Table& t = BenchTable();
+  SamplerT sampler;
+  Rng rng(13);
+  const uint64_t budget = t.num_rows() / 100;
+  for (auto _ : state) {
+    auto sample = sampler.Build(t, {TargetQuery()}, budget, &rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_SamplerBuild<UniformSampler>)->Name("BM_Build_Uniform");
+BENCHMARK(BM_SamplerBuild<CongressSampler>)->Name("BM_Build_Congress");
+BENCHMARK(BM_SamplerBuild<RlSampler>)->Name("BM_Build_RL");
+BENCHMARK(BM_SamplerBuild<CvoptSampler>)->Name("BM_Build_CVOPT");
+
+void BM_ApproxQuery(benchmark::State& state) {
+  const Table& t = BenchTable();
+  CvoptSampler sampler;
+  Rng rng(17);
+  auto sample =
+      std::move(sampler.Build(t, {TargetQuery()}, t.num_rows() / 100, &rng))
+          .ValueOrDie();
+  const QuerySpec q = TargetQuery();
+  for (auto _ : state) {
+    auto result = ExecuteApprox(sample, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * sample.size());
+}
+BENCHMARK(BM_ApproxQuery);
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,53 @@
+// Bikes CUBE: one sample, jointly optimized for every grouping set of
+// GROUP BY from_station_id, year WITH CUBE (Section 4.1's cube-by case).
+#include <cstdio>
+
+#include "src/aqp/engine.h"
+#include "src/datagen/bikes_gen.h"
+#include "src/exec/cube.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/sample/uniform_sampler.h"
+
+using namespace cvopt;  // NOLINT(build/namespaces)
+
+int main() {
+  BikesOptions opts;
+  opts.num_rows = 500'000;
+  Table table = GenerateBikes(opts);
+  std::printf("Bikes-like table: %zu rows, cube over (station, year)\n",
+              table.num_rows());
+
+  QuerySpec base;
+  base.name = "B3";
+  base.group_by = {"from_station_id", "year"};
+  base.aggregates = {AggSpec::Sum("trip_duration")};
+  const std::vector<QuerySpec> cube = ExpandCube(base);
+  std::printf("cube expands to %zu grouping sets:\n", cube.size());
+  for (const auto& q : cube) std::printf("  %s\n", q.ToString().c_str());
+
+  AqpEngine engine(&table, 11);
+  CvoptSampler cvopt;
+  UniformSampler uniform;
+  if (Status st = engine.BuildSample("cvopt", cvopt, cube, 0.05); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine.BuildSample("uniform", uniform, cube, 0.05); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-28s %14s %14s\n", "grouping set", "CVOPT max", "Uniform max");
+  for (const auto& q : cube) {
+    auto c = engine.Evaluate("cvopt", q);
+    auto u = engine.Evaluate("uniform", q);
+    if (c.ok() && u.ok()) {
+      std::printf("%-28s %13.2f%% %13.2f%%\n", q.name.c_str(),
+                  c->MaxError() * 100, u->MaxError() * 100);
+    }
+  }
+  std::printf(
+      "\nOne CVOPT sample serves the whole cube; uniform misses rare "
+      "stations in the fine grouping sets.\n");
+  return 0;
+}

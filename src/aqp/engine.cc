@@ -1,0 +1,60 @@
+#include "src/aqp/engine.h"
+
+#include <cmath>
+
+namespace cvopt {
+
+AqpEngine::AqpEngine(const Table* table, uint64_t seed)
+    : table_(table), rng_(seed) {
+  CVOPT_CHECK(table != nullptr, "AqpEngine requires a table");
+}
+
+Status AqpEngine::BuildSample(const std::string& name, const Sampler& sampler,
+                              const std::vector<QuerySpec>& queries,
+                              double rate) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sample rate must be in (0, 1]");
+  }
+  const auto budget = static_cast<uint64_t>(
+      std::llround(rate * static_cast<double>(table_->num_rows())));
+  return BuildSampleWithBudget(name, sampler, queries, budget);
+}
+
+Status AqpEngine::BuildSampleWithBudget(const std::string& name,
+                                        const Sampler& sampler,
+                                        const std::vector<QuerySpec>& queries,
+                                        uint64_t budget) {
+  auto result = sampler.Build(*table_, queries, budget, &rng_);
+  if (!result.ok()) return result.status();
+  samples_.erase(name);
+  samples_.emplace(name, std::move(result).value());
+  return Status::OK();
+}
+
+Result<const StratifiedSample*> AqpEngine::GetSample(
+    const std::string& name) const {
+  auto it = samples_.find(name);
+  if (it == samples_.end()) {
+    return Status::NotFound("no sample named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<QueryResult> AqpEngine::AnswerExact(const QuerySpec& query) const {
+  return ExecuteExact(*table_, query);
+}
+
+Result<QueryResult> AqpEngine::AnswerApprox(const std::string& sample_name,
+                                            const QuerySpec& query) const {
+  CVOPT_ASSIGN_OR_RETURN(const StratifiedSample* sample, GetSample(sample_name));
+  return ExecuteApprox(*sample, query);
+}
+
+Result<ErrorReport> AqpEngine::Evaluate(const std::string& sample_name,
+                                        const QuerySpec& query) const {
+  CVOPT_ASSIGN_OR_RETURN(QueryResult exact, AnswerExact(query));
+  CVOPT_ASSIGN_OR_RETURN(QueryResult approx, AnswerApprox(sample_name, query));
+  return CompareResults(exact, approx);
+}
+
+}  // namespace cvopt

@@ -1,0 +1,65 @@
+// AqpEngine: the library's high-level facade. Owns named materialized
+// samples over one base table and answers queries exactly (ground truth) or
+// approximately (from a sample), mirroring the paper's two-phase design:
+// an offline sample-precomputation phase and an online query phase.
+#ifndef CVOPT_AQP_ENGINE_H_
+#define CVOPT_AQP_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/estimate/approx_executor.h"
+#include "src/estimate/error_report.h"
+#include "src/exec/group_by_executor.h"
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// Facade over one table: build samples, answer queries, evaluate errors.
+/// The table must outlive the engine.
+class AqpEngine {
+ public:
+  explicit AqpEngine(const Table* table, uint64_t seed = 42);
+
+  const Table& table() const { return *table_; }
+
+  /// Offline phase: draws a sample with `sampler`, tuned for `queries`,
+  /// using a row budget of `rate` * table size, and stores it under `name`.
+  /// Replaces any sample previously stored under the same name.
+  Status BuildSample(const std::string& name, const Sampler& sampler,
+                     const std::vector<QuerySpec>& queries, double rate);
+
+  /// Offline phase with an absolute row budget.
+  Status BuildSampleWithBudget(const std::string& name, const Sampler& sampler,
+                               const std::vector<QuerySpec>& queries,
+                               uint64_t budget);
+
+  /// The stored sample, or error if absent.
+  Result<const StratifiedSample*> GetSample(const std::string& name) const;
+
+  /// Exact answer over the full table.
+  Result<QueryResult> AnswerExact(const QuerySpec& query) const;
+
+  /// Approximate answer from the named sample.
+  Result<QueryResult> AnswerApprox(const std::string& sample_name,
+                                   const QuerySpec& query) const;
+
+  /// Convenience: exact vs approximate error report for one query.
+  Result<ErrorReport> Evaluate(const std::string& sample_name,
+                               const QuerySpec& query) const;
+
+  /// Removes a stored sample (no-op if absent).
+  void DropSample(const std::string& name) { samples_.erase(name); }
+
+  size_t num_samples() const { return samples_.size(); }
+
+ private:
+  const Table* table_;
+  Rng rng_;
+  std::map<std::string, StratifiedSample> samples_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_AQP_ENGINE_H_

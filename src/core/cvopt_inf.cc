@@ -1,0 +1,151 @@
+#include "src/core/cvopt_inf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "src/stats/running_stats.h"
+
+namespace cvopt {
+
+Result<Allocation> SolveCvoptInf(const std::vector<double>& sigmas,
+                                 const std::vector<double>& mus,
+                                 const std::vector<uint64_t>& ns,
+                                 uint64_t budget) {
+  const size_t r = sigmas.size();
+  if (mus.size() != r || ns.size() != r) {
+    return Status::InvalidArgument("sigma/mu/n size mismatch");
+  }
+  Allocation out;
+  out.fractional.assign(r, 0.0);
+  out.sizes.assign(r, 0);
+  if (r == 0) return out;
+
+  const uint64_t total_rows = std::accumulate(ns.begin(), ns.end(), uint64_t{0});
+  if (budget >= total_rows) {
+    for (size_t i = 0; i < r; ++i) {
+      out.fractional[i] = static_cast<double>(ns[i]);
+      out.sizes[i] = ns[i];
+    }
+    return out;
+  }
+
+  // d_i = (sigma_i / mu_i)^2 / n_i, with the mu floor of RunningStats::cv().
+  std::vector<double> d(r, 0.0);
+  double D = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    if (ns[i] == 0 || sigmas[i] == 0.0) continue;
+    const double abs_mu =
+        std::max(std::fabs(mus[i]), sigmas[i] * kCvMuFloorRatio);
+    const double cv = sigmas[i] / abs_mu;
+    d[i] = cv * cv / static_cast<double>(ns[i]);
+    D += d[i];
+  }
+
+  // Reserve one row for every zero-variance nonempty group (special case).
+  uint64_t reserved = 0;
+  for (size_t i = 0; i < r; ++i) {
+    if (ns[i] > 0 && d[i] == 0.0) ++reserved;
+  }
+  const uint64_t search_budget = budget > reserved ? budget - reserved : 0;
+
+  if (D == 0.0 || search_budget == 0) {
+    // All groups constant (or no budget left): one row each where possible.
+    uint64_t left = budget;
+    for (size_t i = 0; i < r && left > 0; ++i) {
+      if (ns[i] > 0) {
+        out.sizes[i] = 1;
+        out.fractional[i] = 1.0;
+        --left;
+      }
+    }
+    return out;
+  }
+
+  // x_i(q) is increasing in q; binary search the largest integer q in
+  // [0, total_rows] with sum_i x_i(q) <= search_budget.
+  auto x_of = [&](double q, size_t i) -> double {
+    const double t = q * d[i] / D;
+    return t / (1.0 + t) * static_cast<double>(ns[i]);
+  };
+  auto total_x = [&](double q) -> double {
+    double s = 0.0;
+    for (size_t i = 0; i < r; ++i) {
+      if (d[i] > 0.0) s += x_of(q, i);
+    }
+    return s;
+  };
+
+  uint64_t lo = 0, hi = total_rows;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (total_x(static_cast<double>(mid)) <= static_cast<double>(search_budget)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t q = lo;
+  if (q == 0) q = 1;  // the paper: "If the binary search returns q = 0, set q = 1"
+
+  double sum_x = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    if (d[i] > 0.0) {
+      out.fractional[i] = x_of(static_cast<double>(q), i);
+      sum_x += out.fractional[i];
+    }
+  }
+
+  // s_i = ceil(x_i / sum_x * M'), capped at n_i; zero-variance groups get 1.
+  for (size_t i = 0; i < r; ++i) {
+    if (d[i] > 0.0) {
+      const double share = out.fractional[i] / sum_x *
+                           static_cast<double>(search_budget);
+      uint64_t s = static_cast<uint64_t>(std::ceil(share));
+      s = std::max<uint64_t>(s, 1);
+      s = std::min<uint64_t>(s, ns[i]);
+      out.sizes[i] = s;
+    } else if (ns[i] > 0) {
+      out.sizes[i] = 1;
+      out.fractional[i] = 1.0;
+    }
+  }
+
+  // ceil() can overshoot the budget by up to r rows. Trim the stratum whose
+  // estimator CV after losing one row stays the LOWEST — removing a row
+  // anywhere else would push some group's CV (and hence the l-inf
+  // objective) higher than necessary. cv_est^2(s) = d_i * (n_i - s) / s.
+  // A min-heap keyed on the post-decrement CV keeps this O(k log r) for an
+  // overshoot of k rows instead of O(k r).
+  auto cv2_after = [&](size_t i) -> double {
+    const double s = static_cast<double>(out.sizes[i] - 1);
+    return d[i] * (static_cast<double>(ns[i]) - s) / s;
+  };
+  uint64_t total = std::accumulate(out.sizes.begin(), out.sizes.end(), uint64_t{0});
+  if (total > budget) {
+    using HeapEntry = std::pair<double, size_t>;  // (cv^2 after trim, stratum)
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+    for (size_t i = 0; i < r; ++i) {
+      if (out.sizes[i] > 1) heap.emplace(cv2_after(i), i);
+    }
+    while (total > budget && !heap.empty()) {
+      const auto [c, i] = heap.top();
+      heap.pop();
+      if (out.sizes[i] <= 1) continue;
+      // Stale entry: re-key if the stratum shrank since it was pushed.
+      const double fresh = cv2_after(i);
+      if (fresh > c * (1 + 1e-12)) {
+        heap.emplace(fresh, i);
+        continue;
+      }
+      out.sizes[i]--;
+      --total;
+      if (out.sizes[i] > 1) heap.emplace(cv2_after(i), i);
+    }
+  }
+  return out;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,32 @@
+// CVOPT-INF (Section 5): minimize the l-inf norm (maximum) of the per-group
+// CVs for a single-aggregate single-group-by query. At the optimum all
+// (positive-variance) groups have equal CV (Lemma 4); the allocation has the
+// closed form x_i = (q d_i / D) / (1 + q d_i / D) * n_i with
+// d_i = (sigma_i / mu_i)^2 / n_i, and the paper finds the largest integer q
+// with sum_i x_i <= M by binary search — O(r log n) total.
+#ifndef CVOPT_CORE_CVOPT_INF_H_
+#define CVOPT_CORE_CVOPT_INF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/lemma1.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Computes the CVOPT-INF allocation. sigmas/mus/ns are the per-group
+/// population standard deviation, mean, and size; budget is M.
+/// Groups with sigma == 0 are handled as the paper's special case: a single
+/// row suffices. Allocations are capped at n_i and adjusted so their total
+/// does not exceed min(budget, sum n_i) (the paper's ceil() can overshoot by
+/// up to r rows; we trim from the largest allocations, which increases the
+/// max CV the least).
+Result<Allocation> SolveCvoptInf(const std::vector<double>& sigmas,
+                                 const std::vector<double>& mus,
+                                 const std::vector<uint64_t>& ns,
+                                 uint64_t budget);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_CORE_CVOPT_INF_H_

@@ -1,0 +1,182 @@
+#include "src/core/lemma1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cvopt {
+
+double Allocation::Objective(const std::vector<double>& alphas) const {
+  double obj = 0.0;
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    if (alphas[i] > 0.0 && sizes[i] > 0) {
+      obj += alphas[i] / static_cast<double>(sizes[i]);
+    }
+  }
+  return obj;
+}
+
+namespace {
+
+// Distributes `budget` among `active` strata proportionally to sqrt(alpha),
+// clamping to [lo_i, cap_i] by iterative KKT water-filling. Returns the
+// fractional solution in `frac`.
+void WaterFill(const std::vector<double>& alphas, const std::vector<uint64_t>& caps,
+               const std::vector<double>& lows, double budget,
+               std::vector<double>* frac) {
+  const size_t k = alphas.size();
+  frac->assign(k, 0.0);
+  std::vector<char> fixed(k, 0);
+  std::vector<size_t> active;
+  double remaining = budget;
+
+  // Strata with zero weight sit at their lower bound permanently.
+  for (size_t i = 0; i < k; ++i) {
+    if (alphas[i] <= 0.0 || caps[i] == 0) {
+      (*frac)[i] = std::min(lows[i], static_cast<double>(caps[i]));
+      remaining -= (*frac)[i];
+      fixed[i] = 1;
+    } else {
+      active.push_back(i);
+    }
+  }
+
+  // Iterate: solve unconstrained proportional split on the active set, then
+  // clamp violators to whichever bound they cross. Each pass fixes at least
+  // one stratum, so this terminates in <= k passes.
+  while (!active.empty()) {
+    double sqrt_sum = 0.0;
+    for (size_t i : active) sqrt_sum += std::sqrt(alphas[i]);
+    if (sqrt_sum <= 0.0 || remaining <= 0.0) {
+      for (size_t i : active) {
+        (*frac)[i] = std::min(lows[i], static_cast<double>(caps[i]));
+      }
+      break;
+    }
+    bool any_clamped = false;
+    std::vector<size_t> next_active;
+    for (size_t i : active) {
+      const double share = remaining * std::sqrt(alphas[i]) / sqrt_sum;
+      const double cap = static_cast<double>(caps[i]);
+      if (share >= cap) {
+        (*frac)[i] = cap;
+        remaining -= cap;
+        fixed[i] = 1;
+        any_clamped = true;
+      } else if (share <= lows[i]) {
+        const double lo = std::min(lows[i], cap);
+        (*frac)[i] = lo;
+        remaining -= lo;
+        fixed[i] = 1;
+        any_clamped = true;
+      } else {
+        next_active.push_back(i);
+      }
+    }
+    if (!any_clamped) {
+      // No violators: the proportional split is feasible. Finalize.
+      for (size_t i : next_active) {
+        (*frac)[i] = remaining * std::sqrt(alphas[i]) / sqrt_sum;
+      }
+      break;
+    }
+    active = std::move(next_active);
+  }
+}
+
+}  // namespace
+
+Result<Allocation> SolveLemma1(const std::vector<double>& alphas,
+                               const std::vector<uint64_t>& caps,
+                               uint64_t budget) {
+  if (alphas.size() != caps.size()) {
+    return Status::InvalidArgument("alphas and caps must have the same size");
+  }
+  const size_t k = alphas.size();
+  Allocation out;
+  out.fractional.assign(k, 0.0);
+  out.sizes.assign(k, 0);
+  if (k == 0) return out;
+  for (double a : alphas) {
+    if (a < 0.0 || !std::isfinite(a)) {
+      return Status::InvalidArgument("alpha must be finite and non-negative");
+    }
+  }
+
+  const uint64_t total_rows =
+      std::accumulate(caps.begin(), caps.end(), uint64_t{0});
+  if (budget >= total_rows) {
+    // Budget covers the whole population: take everything.
+    for (size_t i = 0; i < k; ++i) {
+      out.fractional[i] = static_cast<double>(caps[i]);
+      out.sizes[i] = caps[i];
+    }
+    return out;
+  }
+
+  size_t nonempty = 0;
+  for (uint64_t c : caps) nonempty += (c > 0);
+
+  std::vector<double> lows(k, 0.0);
+  if (budget >= nonempty) {
+    // Feasible to guarantee one row per nonempty stratum.
+    for (size_t i = 0; i < k; ++i) lows[i] = caps[i] > 0 ? 1.0 : 0.0;
+    WaterFill(alphas, caps, lows, static_cast<double>(budget), &out.fractional);
+  } else {
+    // Degenerate: budget below one-per-stratum. Give single rows to strata in
+    // decreasing sqrt(alpha) order (ties broken by size).
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (alphas[a] != alphas[b]) return alphas[a] > alphas[b];
+      return caps[a] > caps[b];
+    });
+    uint64_t left = budget;
+    for (size_t i : order) {
+      if (left == 0) break;
+      if (caps[i] == 0) continue;
+      out.fractional[i] = 1.0;
+      --left;
+    }
+    for (size_t i = 0; i < k; ++i) {
+      out.sizes[i] = static_cast<uint64_t>(out.fractional[i]);
+    }
+    return out;
+  }
+
+  // Largest-remainder rounding, respecting caps and the exact budget.
+  uint64_t assigned = 0;
+  std::vector<std::pair<double, size_t>> remainders;
+  remainders.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t f = static_cast<uint64_t>(std::floor(out.fractional[i]));
+    f = std::min<uint64_t>(f, caps[i]);
+    // Preserve the one-per-stratum guarantee through rounding.
+    if (caps[i] > 0 && f == 0 && lows[i] >= 1.0) f = 1;
+    out.sizes[i] = f;
+    assigned += f;
+    remainders.emplace_back(out.fractional[i] - static_cast<double>(f), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  uint64_t left = budget > assigned ? budget - assigned : 0;
+  for (const auto& [rem, i] : remainders) {
+    if (left == 0) break;
+    if (out.sizes[i] < caps[i]) {
+      out.sizes[i]++;
+      --left;
+    }
+  }
+  // If caps blocked some leftover, sweep once more over any stratum with room.
+  if (left > 0) {
+    for (size_t i = 0; i < k && left > 0; ++i) {
+      const uint64_t room = caps[i] - out.sizes[i];
+      const uint64_t take = std::min(room, left);
+      out.sizes[i] += take;
+      left -= take;
+    }
+  }
+  return out;
+}
+
+}  // namespace cvopt

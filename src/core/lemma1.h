@@ -1,0 +1,50 @@
+// Lemma 1 of the paper: minimize sum_i alpha_i / s_i subject to
+// sum_i s_i <= M, which has the closed form s_i = M * sqrt(alpha_i) /
+// sum_j sqrt(alpha_j). This module adds what a real allocator needs on top
+// of the closed form:
+//   * upper bounds s_i <= n_i (a stratum cannot contribute more rows than it
+//     has; the paper faults RL precisely for ignoring this),
+//   * lower bounds s_i >= 1 so every stratum is represented,
+//   * integral allocations that sum exactly to min(M, sum_i n_i).
+// Bounds are handled by water-filling (iterative clamping), which is optimal
+// for this separable convex objective by the KKT conditions.
+#ifndef CVOPT_CORE_LEMMA1_H_
+#define CVOPT_CORE_LEMMA1_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Allocation output: fractional optimum and the rounded integral sizes.
+struct Allocation {
+  /// Real-valued optimum of the bounded problem.
+  std::vector<double> fractional;
+  /// Integral sizes after largest-remainder rounding; sums to
+  /// min(budget, sum of caps) when the budget covers the minimums.
+  std::vector<uint64_t> sizes;
+
+  /// Objective value sum_i alpha_i / s_i of the integral allocation
+  /// (terms with s_i == 0 or alpha_i == 0 contribute 0).
+  double Objective(const std::vector<double>& alphas) const;
+};
+
+/// Solves the bounded Lemma-1 problem.
+///
+/// alphas[i] >= 0 is the optimization coefficient of stratum i; caps[i] is
+/// its population size n_i. Strata with alpha == 0 (e.g. zero variance) get
+/// the minimum allocation of one row: a single row determines a constant
+/// stratum exactly, which is the special case the paper mentions in §5.
+///
+/// If budget < number of nonempty strata, the minimum-one-row guarantee is
+/// infeasible; strata are then prioritized by sqrt(alpha), matching the
+/// optimizer's marginal-benefit order.
+Result<Allocation> SolveLemma1(const std::vector<double>& alphas,
+                               const std::vector<uint64_t>& caps,
+                               uint64_t budget);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_CORE_LEMMA1_H_

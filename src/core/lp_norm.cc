@@ -1,0 +1,26 @@
+#include "src/core/lp_norm.h"
+
+#include <cmath>
+
+namespace cvopt {
+
+Result<Allocation> SolveLpAllocation(const std::vector<double>& alphas,
+                                     const std::vector<uint64_t>& caps,
+                                     uint64_t budget, double p) {
+  if (!(p >= 1.0) || !std::isfinite(p)) {
+    return Status::InvalidArgument("l_p allocation requires finite p >= 1");
+  }
+  // s ∝ alpha^(p/(p+2)) == sqrt(alpha^(2p/(p+2))): reuse the sqrt-based
+  // water-filling on transformed coefficients.
+  const double exponent = 2.0 * p / (p + 2.0);
+  std::vector<double> transformed(alphas.size());
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    if (alphas[i] < 0.0 || !std::isfinite(alphas[i])) {
+      return Status::InvalidArgument("alpha must be finite and non-negative");
+    }
+    transformed[i] = alphas[i] == 0.0 ? 0.0 : std::pow(alphas[i], exponent);
+  }
+  return SolveLemma1(transformed, caps, budget);
+}
+
+}  // namespace cvopt

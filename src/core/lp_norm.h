@@ -1,0 +1,27 @@
+// l_p-norm allocation — the paper's future-work direction (2) in Section 8:
+// "exploring l_p norms for values of p other than 2, inf".
+//
+// Minimizing sum_i (CV_i)^p = sum_i (alpha_i / s_i)^(p/2) subject to
+// sum s_i <= M yields, by the KKT conditions, s_i ∝ alpha_i^(p/(p+2)):
+//   p = 2   -> s ∝ sqrt(alpha)      (Lemma 1 / CVOPT)
+//   p -> inf -> s ∝ alpha           (equalized CVs / CVOPT-INF, without fpc)
+// so p interpolates between mean-error and max-error optimality. The
+// bounded problem reduces to the Lemma-1 water-filling solver on the
+// transformed coefficients alpha^(2p/(p+2)).
+#ifndef CVOPT_CORE_LP_NORM_H_
+#define CVOPT_CORE_LP_NORM_H_
+
+#include "src/core/lemma1.h"
+
+namespace cvopt {
+
+/// Solves min sum_i (alpha_i/s_i)^(p/2) s.t. sum s_i <= budget, s_i <= caps_i,
+/// with the same one-row minimum and rounding guarantees as SolveLemma1.
+/// Requires p >= 1.
+Result<Allocation> SolveLpAllocation(const std::vector<double>& alphas,
+                                     const std::vector<uint64_t>& caps,
+                                     uint64_t budget, double p);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_CORE_LP_NORM_H_

@@ -1,0 +1,101 @@
+#include "src/core/stratification.h"
+
+#include <algorithm>
+
+namespace cvopt {
+
+Result<Stratification> Stratification::Build(const Table& table,
+                                             std::vector<std::string> attrs) {
+  Stratification out;
+  out.table_ = &table;
+  out.attrs_ = std::move(attrs);
+  out.column_indices_.reserve(out.attrs_.size());
+  for (const auto& a : out.attrs_) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
+    if (table.column(idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column '" + a + "'");
+    }
+    out.column_indices_.push_back(idx);
+  }
+
+  const size_t n = table.num_rows();
+  out.row_strata_.resize(n);
+
+  if (out.attrs_.empty()) {
+    // Single stratum covering the whole table.
+    std::fill(out.row_strata_.begin(), out.row_strata_.end(), 0);
+    out.keys_.push_back(GroupKey{});
+    out.sizes_.push_back(n);
+    return out;
+  }
+
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index;
+  GroupKey key;
+  key.codes.resize(out.column_indices_.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < out.column_indices_.size(); ++j) {
+      key.codes[j] = table.column(out.column_indices_[j]).GroupCode(r);
+    }
+    auto [it, inserted] =
+        index.try_emplace(key, static_cast<uint32_t>(out.keys_.size()));
+    if (inserted) {
+      out.keys_.push_back(key);
+      out.sizes_.push_back(0);
+    }
+    out.row_strata_[r] = it->second;
+    out.sizes_[it->second]++;
+  }
+  return out;
+}
+
+Result<Stratification::Projection> Stratification::Project(
+    const std::vector<std::string>& sub_attrs) const {
+  Projection proj;
+  // Positions of the sub-attributes within this stratification's attrs.
+  std::vector<size_t> positions;
+  positions.reserve(sub_attrs.size());
+  for (const auto& a : sub_attrs) {
+    auto it = std::find(attrs_.begin(), attrs_.end(), a);
+    if (it == attrs_.end()) {
+      return Status::InvalidArgument(
+          "attribute '" + a + "' is not part of the stratification");
+    }
+    positions.push_back(static_cast<size_t>(it - attrs_.begin()));
+  }
+  proj.parent_column_indices.reserve(positions.size());
+  for (size_t p : positions) {
+    proj.parent_column_indices.push_back(column_indices_[p]);
+  }
+
+  proj.stratum_to_parent.resize(num_strata());
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index;
+  GroupKey sub;
+  sub.codes.resize(positions.size());
+  for (size_t c = 0; c < num_strata(); ++c) {
+    for (size_t j = 0; j < positions.size(); ++j) {
+      sub.codes[j] = keys_[c].codes[positions[j]];
+    }
+    auto [it, inserted] =
+        index.try_emplace(sub, static_cast<uint32_t>(proj.parent_keys.size()));
+    if (inserted) {
+      proj.parent_keys.push_back(sub);
+      proj.parent_sizes.push_back(0);
+    }
+    proj.stratum_to_parent[c] = it->second;
+    proj.parent_sizes[it->second] += sizes_[c];
+  }
+  return proj;
+}
+
+std::vector<std::string> UnionAttrs(
+    const std::vector<std::vector<std::string>>& attr_sets) {
+  std::vector<std::string> out;
+  for (const auto& set : attr_sets) {
+    for (const auto& a : set) {
+      if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace cvopt

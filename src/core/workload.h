@@ -1,0 +1,56 @@
+// Workload (Section 4.3): a multiset of expected queries with frequencies.
+// Preprocessing deduces every "aggregation group" — a pair of (aggregation
+// column, group-by value assignment) restricted by the query's predicate —
+// and its total frequency across the workload (the paper's Table 3). The
+// frequencies become the per-group weights of the CVOPT optimization.
+#ifndef CVOPT_CORE_WORKLOAD_H_
+#define CVOPT_CORE_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cvopt_allocator.h"
+#include "src/exec/query.h"
+
+namespace cvopt {
+
+/// A query workload: (QuerySpec, frequency) entries.
+class Workload {
+ public:
+  /// Adds a query occurring `frequency` times (e.g. 20 for the paper's
+  /// query A). Frequency must be positive.
+  Status Add(QuerySpec query, double frequency = 1.0);
+
+  const std::vector<std::pair<QuerySpec, double>>& entries() const {
+    return entries_;
+  }
+
+  /// One deduced aggregation group and its frequency (diagnostics / tests).
+  struct AggregationGroup {
+    std::string group_by;   // canonical attr list, e.g. "major"
+    std::string group;      // rendered group key, e.g. "CS"
+    std::string aggregate;  // e.g. "AVG(age)"
+    double frequency;
+  };
+
+  /// Everything PlanCvoptAllocation needs to build a workload-tuned sample:
+  /// the distinct (grouping, aggregates) queries plus a GroupWeightFn that
+  /// returns each aggregation group's deduced frequency.
+  struct AllocationInput {
+    std::vector<QuerySpec> queries;
+    AllocatorOptions options;
+    std::vector<AggregationGroup> aggregation_groups;
+  };
+
+  /// Deduces aggregation groups and frequencies against the table.
+  Result<AllocationInput> Deduce(const Table& table) const;
+
+ private:
+  std::vector<std::pair<QuerySpec, double>> entries_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_CORE_WORKLOAD_H_

@@ -1,0 +1,74 @@
+#include "src/datagen/bikes_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/datagen/distributions.h"
+#include "src/datagen/zipf.h"
+#include "src/table/table_builder.h"
+
+namespace cvopt {
+
+Table GenerateBikes(const BikesOptions& options) {
+  Rng rng(options.seed);
+  const int nstation = options.num_stations;
+  ZipfDistribution station_dist(static_cast<size_t>(nstation),
+                                options.station_skew);
+
+  // Per-station duration characteristics: commuter stations have short,
+  // regular trips; park stations long, highly variable ones.
+  // Quiet stations (higher index = fewer trips) serve more erratic leisure
+  // traffic: their duration CVs run higher than busy commuter stations'.
+  std::vector<double> st_mean(nstation), st_cv(nstation);
+  for (int s = 0; s < nstation; ++s) {
+    st_mean[s] = std::exp(rng.UniformDouble(std::log(300.0), std::log(3600.0)));
+    st_cv[s] = 0.2 + 1.2 * rng.NextDouble() +
+               0.8 * static_cast<double>(s) / nstation;
+  }
+
+  Schema schema({{"from_station_id", DataType::kInt64},
+                 {"year", DataType::kInt64},
+                 {"trip_duration", DataType::kDouble},
+                 {"age", DataType::kInt64},
+                 {"gender", DataType::kString},
+                 {"month", DataType::kInt64},
+                 {"hour", DataType::kInt64}});
+  TableBuilder builder(schema);
+  builder.Reserve(options.num_rows);
+
+  Column* col_station = builder.MutableColumn(0);
+  Column* col_year = builder.MutableColumn(1);
+  Column* col_dur = builder.MutableColumn(2);
+  Column* col_age = builder.MutableColumn(3);
+  Column* col_gender = builder.MutableColumn(4);
+  Column* col_month = builder.MutableColumn(5);
+  Column* col_hour = builder.MutableColumn(6);
+
+  const int32_t kMale = col_gender->InternString("M");
+  const int32_t kFemale = col_gender->InternString("F");
+  const int32_t kUnknown = col_gender->InternString("U");
+
+  for (uint64_t i = 0; i < options.num_rows; ++i) {
+    const int s = static_cast<int>(station_dist.Sample(&rng));
+    col_station->AppendInt(s + 1);  // station ids start at 1
+    // Ridership grows over the three years.
+    const double yu = rng.NextDouble();
+    col_year->AppendInt(yu < 0.25 ? 2016 : (yu < 0.55 ? 2017 : 2018));
+    col_dur->AppendDouble(
+        std::max(60.0, SampleLognormalMeanCv(&rng, st_mean[s], st_cv[s])));
+    if (rng.NextDouble() < options.bad_age_fraction) {
+      col_age->AppendInt(0);  // missing demographic data
+      col_gender->AppendCode(kUnknown);
+    } else {
+      const double a = SampleNormal(&rng, 34.0, 11.0);
+      col_age->AppendInt(static_cast<int64_t>(std::clamp(a, 16.0, 90.0)));
+      col_gender->AppendCode(rng.NextDouble() < 0.72 ? kMale : kFemale);
+    }
+    col_month->AppendInt(1 + static_cast<int64_t>(rng.Uniform(12)));
+    col_hour->AppendInt(static_cast<int64_t>(rng.Uniform(24)));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace cvopt

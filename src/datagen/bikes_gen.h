@@ -1,0 +1,35 @@
+// Synthetic Divvy-Bikes-like trip log (DESIGN.md §3). The real dataset has
+// ~11.5M subscriber rides, 619 stations, 2016–2018. We reproduce the
+// statistical shape: Zipf-skewed station popularity, per-station trip
+// duration distributions with spread means/CVs, rider ages with a small
+// fraction of non-positive placeholder values (exercised by B1's WHERE
+// age > 0), and gender labels.
+//
+// Schema: from_station_id:int64, year:int64, trip_duration:double,
+//         age:int64, gender:string, month:int64, hour:int64
+#ifndef CVOPT_DATAGEN_BIKES_GEN_H_
+#define CVOPT_DATAGEN_BIKES_GEN_H_
+
+#include <cstdint>
+
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Generator parameters; defaults scale the 11.5M-row original down to
+/// laptop size while keeping 619 stations and 3 years.
+struct BikesOptions {
+  uint64_t num_rows = 1'000'000;
+  int num_stations = 619;
+  double station_skew = 1.05;
+  /// Fraction of rows with age <= 0 (missing demographic data).
+  double bad_age_fraction = 0.03;
+  uint64_t seed = 23;
+};
+
+/// Generates the synthetic Bikes table.
+Table GenerateBikes(const BikesOptions& options = {});
+
+}  // namespace cvopt
+
+#endif  // CVOPT_DATAGEN_BIKES_GEN_H_

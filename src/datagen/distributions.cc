@@ -1,0 +1,34 @@
+#include "src/datagen/distributions.h"
+
+#include <cmath>
+
+namespace cvopt {
+
+double SampleLognormalMeanCv(Rng* rng, double mean, double cv) {
+  // For lognormal(mu, s): E = exp(mu + s^2/2), CV^2 = exp(s^2) - 1.
+  const double s2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - s2 / 2.0;
+  return std::exp(mu + std::sqrt(s2) * rng->NextGaussian());
+}
+
+double SampleNormal(Rng* rng, double mean, double stddev) {
+  return mean + stddev * rng->NextGaussian();
+}
+
+double SamplePareto(Rng* rng, double x_m, double shape) {
+  double u;
+  do {
+    u = rng->NextDouble();
+  } while (u <= 0.0);
+  return x_m / std::pow(u, 1.0 / shape);
+}
+
+double SampleExponential(Rng* rng, double lambda) {
+  double u;
+  do {
+    u = rng->NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,25 @@
+// Value distributions used by the synthetic dataset generators.
+#ifndef CVOPT_DATAGEN_DISTRIBUTIONS_H_
+#define CVOPT_DATAGEN_DISTRIBUTIONS_H_
+
+#include "src/util/rng.h"
+
+namespace cvopt {
+
+/// Lognormal variate with the given *arithmetic* mean and coefficient of
+/// variation — convenient for generating per-group value distributions with
+/// prescribed (mu, cv) pairs, which is exactly what CVOPT keys on.
+double SampleLognormalMeanCv(Rng* rng, double mean, double cv);
+
+/// Normal variate with the given mean and standard deviation.
+double SampleNormal(Rng* rng, double mean, double stddev);
+
+/// Pareto variate with scale x_m > 0 and shape a > 0.
+double SamplePareto(Rng* rng, double x_m, double shape);
+
+/// Exponential variate with the given rate lambda > 0.
+double SampleExponential(Rng* rng, double lambda);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_DATAGEN_DISTRIBUTIONS_H_

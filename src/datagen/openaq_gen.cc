@@ -1,0 +1,157 @@
+#include "src/datagen/openaq_gen.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/datagen/distributions.h"
+#include "src/datagen/zipf.h"
+#include "src/table/table_builder.h"
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+namespace {
+
+const char* kParameterNames[] = {"co", "no2", "o3", "pm10", "pm25", "so2", "bc"};
+const char* kParameterUnits[] = {"ppm",   "ppm",   "ppm",  "ug/m3",
+                                 "ug/m3", "ppm",   "ug/m3"};
+constexpr int kMaxParams = 7;
+
+std::string CountryName(int i) {
+  // Two-letter synthetic ISO-ish codes: C0, C1, ... keeps labels readable.
+  return StrFormat("C%02d", i);
+}
+
+}  // namespace
+
+Table GenerateOpenAq(const OpenAqOptions& options) {
+  Rng rng(options.seed);
+  const int ncountry = options.num_countries;
+  const int nparam = std::min(options.num_parameters, kMaxParams);
+
+  ZipfDistribution country_dist(static_cast<size_t>(ncountry),
+                                options.country_skew);
+
+  // Real OpenAQ coverage is sparse: many countries measure a substance at
+  // only a handful of stations. A third of the (country, parameter) pairs
+  // get their frequency slashed 50x, producing the long tail of tiny strata
+  // that breaks Uniform (missing groups) and RL (truncated allocations).
+  std::vector<std::vector<double>> param_cdf(ncountry,
+                                             std::vector<double>(nparam));
+  {
+    ZipfDistribution base_param(static_cast<size_t>(nparam),
+                                options.parameter_skew);
+    for (int c = 0; c < ncountry; ++c) {
+      double acc = 0.0;
+      for (int p = 0; p < nparam; ++p) {
+        const double rare = rng.NextBernoulli(0.33) ? 0.02 : 1.0;
+        acc += base_param.Pmf(static_cast<size_t>(p)) * rare;
+        param_cdf[c][p] = acc;
+      }
+      for (int p = 0; p < nparam; ++p) param_cdf[c][p] /= acc;
+      param_cdf[c][nparam - 1] = 1.0;
+    }
+  }
+  auto sample_param = [&param_cdf, nparam](Rng* r, int c) -> int {
+    const double u = r->NextDouble();
+    for (int p = 0; p < nparam; ++p) {
+      if (u <= param_cdf[c][p]) return p;
+    }
+    return nparam - 1;
+  };
+
+  // Per-(country, parameter) group characteristics: mean and CV drawn once,
+  // spread over orders of magnitude so groups differ in frequency, mean,
+  // and variance simultaneously — the regime the paper targets.
+  std::vector<double> group_mean(ncountry * nparam);
+  std::vector<double> group_cv(ncountry * nparam);
+  // Per-group yearly trend: air quality drifts up or down over 2015-2018,
+  // giving AQ1's year-over-year comparison a real signal.
+  std::vector<double> group_drift(ncountry * nparam);
+  for (int c = 0; c < ncountry; ++c) {
+    for (int p = 0; p < nparam; ++p) {
+      const int g = c * nparam + p;
+      // Clear improving or worsening trends (real air-quality series move
+      // measurably year over year); excluding near-zero drifts keeps AQ1's
+      // year-over-year differences well-defined relative quantities.
+      const double magnitude = rng.UniformDouble(0.15, 0.45);
+      group_drift[g] = rng.NextBernoulli(0.5) ? magnitude : -0.5 * magnitude;
+      const bool is_bc = (std::string(kParameterNames[p]) == "bc");
+      if (is_bc) {
+        // Black carbon values concentrate around the AQ1 threshold (0.04)
+        // so COUNT_IF(value > 0.04) is a non-trivial fraction per country.
+        group_mean[g] = 0.02 + 0.06 * rng.NextDouble();
+        group_cv[g] = 0.3 + 1.2 * rng.NextDouble();
+      } else {
+        // Means spread over ~3 orders of magnitude across groups; CVs spread
+        // over > 10x so allocation quality dominates sampling-tail luck.
+        // Rarer countries (higher index = lower Zipf rank) have sparser,
+        // more variable monitoring networks: CV rises as frequency falls —
+        // the regime the paper calls out, where frequency-only allocation
+        // (CS) and size-oblivious allocation (RL) both go wrong.
+        group_mean[g] = std::exp(rng.UniformDouble(std::log(0.05), std::log(80.0)));
+        group_cv[g] = 0.1 + 1.0 * rng.NextDouble() +
+                      1.0 * static_cast<double>(c) / ncountry;
+      }
+    }
+  }
+
+  // Country latitude: fixed per country, both hemispheres (AQ5 predicate).
+  std::vector<double> country_lat(ncountry);
+  for (int c = 0; c < ncountry; ++c) {
+    country_lat[c] = rng.UniformDouble(-55.0, 65.0);
+  }
+
+  Schema schema({{"country", DataType::kString},
+                 {"parameter", DataType::kString},
+                 {"unit", DataType::kString},
+                 {"value", DataType::kDouble},
+                 {"latitude", DataType::kDouble},
+                 {"year", DataType::kInt64},
+                 {"month", DataType::kInt64},
+                 {"hour", DataType::kInt64}});
+  TableBuilder builder(schema);
+  builder.Reserve(options.num_rows);
+
+  Column* col_country = builder.MutableColumn(0);
+  Column* col_param = builder.MutableColumn(1);
+  Column* col_unit = builder.MutableColumn(2);
+  Column* col_value = builder.MutableColumn(3);
+  Column* col_lat = builder.MutableColumn(4);
+  Column* col_year = builder.MutableColumn(5);
+  Column* col_month = builder.MutableColumn(6);
+  Column* col_hour = builder.MutableColumn(7);
+
+  // Pre-intern dictionary entries so codes are stable and appends are cheap.
+  std::vector<int32_t> country_codes(ncountry), param_codes(nparam),
+      unit_codes(nparam);
+  for (int c = 0; c < ncountry; ++c) {
+    country_codes[c] = col_country->InternString(CountryName(c));
+  }
+  for (int p = 0; p < nparam; ++p) {
+    param_codes[p] = col_param->InternString(kParameterNames[p]);
+    unit_codes[p] = col_unit->InternString(kParameterUnits[p]);
+  }
+
+  for (uint64_t i = 0; i < options.num_rows; ++i) {
+    const int c = static_cast<int>(country_dist.Sample(&rng));
+    const int p = sample_param(&rng, c);
+    const int g = c * nparam + p;
+
+    col_country->AppendCode(country_codes[c]);
+    col_param->AppendCode(param_codes[p]);
+    col_unit->AppendCode(unit_codes[p]);
+    const int year = 2015 + static_cast<int>(rng.Uniform(4));
+    const double trend = 1.0 + group_drift[g] * (year - 2015);
+    col_value->AppendDouble(
+        trend * SampleLognormalMeanCv(&rng, group_mean[g], group_cv[g]));
+    col_lat->AppendDouble(country_lat[c] + rng.UniformDouble(-2.0, 2.0));
+    col_year->AppendInt(year);
+    col_month->AppendInt(1 + static_cast<int64_t>(rng.Uniform(12)));
+    col_hour->AppendInt(static_cast<int64_t>(rng.Uniform(24)));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace cvopt

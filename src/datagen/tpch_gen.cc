@@ -1,0 +1,61 @@
+#include "src/datagen/tpch_gen.h"
+
+#include <cmath>
+
+#include "src/datagen/distributions.h"
+#include "src/table/table_builder.h"
+
+namespace cvopt {
+
+Table GenerateTpchLineitem(const TpchOptions& options) {
+  Rng rng(options.seed);
+
+  Schema schema({{"returnflag", DataType::kString},
+                 {"linestatus", DataType::kString},
+                 {"shipmode", DataType::kString},
+                 {"quantity", DataType::kDouble},
+                 {"extendedprice", DataType::kDouble},
+                 {"discount", DataType::kDouble},
+                 {"suppkey", DataType::kInt64}});
+  TableBuilder builder(schema);
+  builder.Reserve(options.num_rows);
+
+  Column* col_rf = builder.MutableColumn(0);
+  Column* col_ls = builder.MutableColumn(1);
+  Column* col_sm = builder.MutableColumn(2);
+  Column* col_qty = builder.MutableColumn(3);
+  Column* col_price = builder.MutableColumn(4);
+  Column* col_disc = builder.MutableColumn(5);
+  Column* col_supp = builder.MutableColumn(6);
+
+  const int32_t rf[] = {col_rf->InternString("A"), col_rf->InternString("N"),
+                        col_rf->InternString("R")};
+  const int32_t ls[] = {col_ls->InternString("F"), col_ls->InternString("O")};
+  const int32_t sm[] = {
+      col_sm->InternString("AIR"),     col_sm->InternString("FOB"),
+      col_sm->InternString("MAIL"),    col_sm->InternString("RAIL"),
+      col_sm->InternString("REG AIR"), col_sm->InternString("SHIP"),
+      col_sm->InternString("TRUCK")};
+
+  for (uint64_t i = 0; i < options.num_rows; ++i) {
+    // returnflag: roughly TPC-H Q1 proportions (N dominates).
+    const double u = rng.NextDouble();
+    const int rfi = u < 0.25 ? 0 : (u < 0.75 ? 1 : 2);
+    col_rf->AppendCode(rf[rfi]);
+    // linestatus correlates with returnflag in TPC-H (N mostly O).
+    const int lsi = (rfi == 1) ? (rng.NextDouble() < 0.95 ? 1 : 0)
+                               : (rng.NextDouble() < 0.1 ? 1 : 0);
+    col_ls->AppendCode(ls[lsi]);
+    col_sm->AppendCode(sm[rng.Uniform(7)]);
+    const double qty = 1.0 + static_cast<double>(rng.Uniform(50));
+    col_qty->AppendDouble(qty);
+    // Price per unit is right-skewed; extendedprice = qty * unit price.
+    col_price->AppendDouble(qty * SamplePareto(&rng, 900.0, 2.5));
+    col_disc->AppendDouble(static_cast<double>(rng.Uniform(11)) / 100.0);
+    col_supp->AppendInt(1 + static_cast<int64_t>(rng.Uniform(
+                                static_cast<uint64_t>(options.num_suppliers))));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace cvopt

@@ -1,0 +1,33 @@
+// Synthetic TPC-H-style lineitem table (the public benchmark family the
+// paper's domain standardizes on; used by the extra examples and the
+// micro-benchmarks). Follows the TPC-H column semantics at reduced width:
+// returnflag/linestatus/shipmode are the classic group-by columns of Q1,
+// quantity is uniform 1..50, extendedprice is price-like and right-skewed,
+// discount in [0, 0.10].
+//
+// Schema: returnflag:string, linestatus:string, shipmode:string,
+//         quantity:double, extendedprice:double, discount:double,
+//         suppkey:int64
+#ifndef CVOPT_DATAGEN_TPCH_GEN_H_
+#define CVOPT_DATAGEN_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Generator parameters; scale factor 1 ≈ 6M rows in real TPC-H, default
+/// here is laptop-scale.
+struct TpchOptions {
+  uint64_t num_rows = 500'000;
+  int num_suppliers = 100;
+  uint64_t seed = 31;
+};
+
+/// Generates the synthetic lineitem table.
+Table GenerateTpchLineitem(const TpchOptions& options = {});
+
+}  // namespace cvopt
+
+#endif  // CVOPT_DATAGEN_TPCH_GEN_H_

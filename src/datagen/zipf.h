@@ -1,0 +1,36 @@
+// Zipf-distributed integer sampling: P(k) ∝ 1 / (k+1)^s over {0..n-1}.
+// Group-size skew is the statistical property of the paper's real datasets
+// that breaks uniform sampling, so the synthetic generators lean on this.
+#ifndef CVOPT_DATAGEN_ZIPF_H_
+#define CVOPT_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvopt {
+
+/// Samples from a Zipf(s) distribution over {0, .., n-1} via a precomputed
+/// CDF and binary search (n is small in all our workloads).
+class ZipfDistribution {
+ public:
+  /// n must be >= 1; s >= 0 (s == 0 is uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability of value k.
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_DATAGEN_ZIPF_H_

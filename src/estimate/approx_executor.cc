@@ -1,0 +1,192 @@
+#include "src/estimate/approx_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/stats/group_key.h"
+
+namespace cvopt {
+
+Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
+                                  const QuerySpec& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  const Table& table = sample.base();
+  const std::vector<uint32_t>& rows = sample.rows();
+  const std::vector<double>& weights = sample.weights();
+
+  // Resolve grouping columns.
+  std::vector<size_t> gcols;
+  gcols.reserve(query.group_by.size());
+  for (const auto& a : query.group_by) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
+    if (table.column(idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column '" + a + "'");
+    }
+    gcols.push_back(idx);
+  }
+
+  // WHERE mask over the sampled rows only.
+  std::vector<uint8_t> where_mask;
+  if (query.where != nullptr) {
+    CVOPT_ASSIGN_OR_RETURN(where_mask, query.where->EvaluateRows(table, rows));
+  }
+
+  // Per-aggregate value streams: numeric column, COUNT_IF mask (over the
+  // sampled rows), or constant 1.
+  const size_t t = query.aggregates.size();
+  std::vector<const Column*> agg_cols(t, nullptr);
+  std::vector<std::vector<uint8_t>> agg_masks(t);
+  for (size_t j = 0; j < t; ++j) {
+    const AggSpec& agg = query.aggregates[j];
+    switch (agg.func) {
+      case AggFunc::kAvg:
+      case AggFunc::kSum:
+      case AggFunc::kVariance:
+      case AggFunc::kMedian: {
+        CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(agg.column));
+        if (col->type() == DataType::kString) {
+          return Status::InvalidArgument("cannot aggregate string column '" +
+                                         agg.column + "'");
+        }
+        agg_cols[j] = col;
+        break;
+      }
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kCountIf: {
+        if (agg.filter == nullptr) {
+          return Status::InvalidArgument("COUNT_IF requires a filter predicate");
+        }
+        CVOPT_ASSIGN_OR_RETURN(agg_masks[j], agg.filter->EvaluateRows(table, rows));
+        break;
+      }
+    }
+  }
+
+  bool any_median = false;
+  for (const auto& a : query.aggregates) {
+    any_median |= (a.func == AggFunc::kMedian);
+  }
+  struct Acc {
+    std::vector<double> wsum;    // sum of w * value
+    std::vector<double> wsum2;   // sum of w * value^2 (VARIANCE)
+    std::vector<double> wcount;  // sum of w (for AVG/VARIANCE denominators)
+    // (value, weight) pairs for MEDIAN aggregates only.
+    std::vector<std::vector<std::pair<double, double>>> weighted_values;
+  };
+  std::unordered_map<GroupKey, Acc, GroupKeyHash> accs;
+  std::vector<GroupKey> order;
+
+  GroupKey key;
+  key.codes.resize(gcols.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!where_mask.empty() && !where_mask[i]) continue;
+    const uint32_t r = rows[i];
+    const double w = weights[i];
+    for (size_t j = 0; j < gcols.size(); ++j) {
+      key.codes[j] = table.column(gcols[j]).GroupCode(r);
+    }
+    auto it = accs.find(key);
+    if (it == accs.end()) {
+      Acc fresh{std::vector<double>(t, 0.0), std::vector<double>(t, 0.0),
+                std::vector<double>(t, 0.0), {}};
+      if (any_median) fresh.weighted_values.resize(t);
+      it = accs.emplace(key, std::move(fresh)).first;
+      order.push_back(key);
+    }
+    Acc& acc = it->second;
+    for (size_t j = 0; j < t; ++j) {
+      double v = 1.0;
+      switch (query.aggregates[j].func) {
+        case AggFunc::kAvg:
+        case AggFunc::kSum:
+        case AggFunc::kVariance:
+        case AggFunc::kMedian:
+          v = agg_cols[j]->GetDouble(r);
+          break;
+        case AggFunc::kCount:
+          v = 1.0;
+          break;
+        case AggFunc::kCountIf:
+          v = agg_masks[j][i] ? 1.0 : 0.0;
+          break;
+      }
+      acc.wsum[j] += w * v;
+      acc.wsum2[j] += w * v * v;
+      acc.wcount[j] += w;
+      if (query.aggregates[j].func == AggFunc::kMedian) {
+        acc.weighted_values[j].emplace_back(v, w);
+      }
+    }
+  }
+
+  std::vector<std::string> agg_labels;
+  agg_labels.reserve(t);
+  for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
+
+  QueryResult result(std::move(agg_labels), query.group_by);
+  for (const auto& k : order) {
+    Acc& acc = accs.at(k);
+    std::vector<double> vals(t);
+    for (size_t j = 0; j < t; ++j) {
+      switch (query.aggregates[j].func) {
+        case AggFunc::kAvg:
+          vals[j] = acc.wcount[j] > 0.0 ? acc.wsum[j] / acc.wcount[j] : 0.0;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+        case AggFunc::kCountIf:
+          vals[j] = acc.wsum[j];
+          break;
+        case AggFunc::kVariance: {
+          // Weighted plug-in estimator of the population variance:
+          // E_w[v^2] - E_w[v]^2.
+          if (acc.wcount[j] <= 0.0) {
+            vals[j] = 0.0;
+            break;
+          }
+          const double mean = acc.wsum[j] / acc.wcount[j];
+          vals[j] = std::max(0.0, acc.wsum2[j] / acc.wcount[j] - mean * mean);
+          break;
+        }
+        case AggFunc::kMedian: {
+          // Weighted median: the value at which cumulative HT weight
+          // crosses half the total.
+          auto& pairs = acc.weighted_values[j];
+          if (pairs.empty()) {
+            vals[j] = 0.0;
+            break;
+          }
+          std::sort(pairs.begin(), pairs.end());
+          const double half = acc.wcount[j] / 2.0;
+          const double eps = 1e-9 * acc.wcount[j];
+          double cum = 0.0;
+          double med = pairs.back().first;
+          for (size_t p = 0; p < pairs.size(); ++p) {
+            cum += pairs[p].second;
+            if (cum >= half - eps) {
+              // Exactly at the half-weight boundary (the even-count case
+              // with uniform weights): use the midpoint convention, like
+              // the exact executor.
+              if (cum <= half + eps && p + 1 < pairs.size()) {
+                med = (pairs[p].first + pairs[p + 1].first) / 2.0;
+              } else {
+                med = pairs[p].first;
+              }
+              break;
+            }
+          }
+          vals[j] = med;
+          break;
+        }
+      }
+    }
+    CVOPT_RETURN_NOT_OK(
+        result.AddGroup(k, k.Render(table, gcols), std::move(vals)));
+  }
+  return result;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,23 @@
+// Approximate query execution over a weighted sample. Every sampled row
+// carries a Horvitz–Thompson expansion weight, so SUM/COUNT/COUNT_IF are
+// estimated by weighted sums and AVG by the ratio estimator — which is what
+// lets one materialized sample serve runtime predicates and regroupings
+// (Section 6.3 of the paper).
+#ifndef CVOPT_ESTIMATE_APPROX_EXECUTOR_H_
+#define CVOPT_ESTIMATE_APPROX_EXECUTOR_H_
+
+#include "src/exec/query.h"
+#include "src/exec/query_result.h"
+#include "src/sample/stratified_sample.h"
+
+namespace cvopt {
+
+/// Answers the query from the sample. Groups with no sampled rows passing
+/// the predicate are absent from the result (the estimator cannot see them);
+/// error reporting charges such misses as 100% error.
+Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
+                                  const QuerySpec& query);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_ESTIMATE_APPROX_EXECUTOR_H_

@@ -1,0 +1,89 @@
+#include "src/estimate/error_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+double ErrorReport::MaxError() const {
+  double m = 0.0;
+  for (double e : errors) m = std::max(m, e);
+  return m;
+}
+
+double ErrorReport::AvgError() const {
+  if (errors.empty()) return 0.0;
+  double s = 0.0;
+  for (double e : errors) s += e;
+  return s / static_cast<double>(errors.size());
+}
+
+double ErrorReport::Percentile(double p) const {
+  if (errors.empty()) return 0.0;
+  std::vector<double> sorted = errors;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string ErrorReport::ToString() const {
+  return StrFormat(
+      "errors over %zu answers: max=%.2f%% avg=%.2f%% median=%.2f%% "
+      "(missing groups: %zu, zero-truth skipped: %zu)",
+      errors.size(), MaxError() * 100, AvgError() * 100,
+      Percentile(0.5) * 100, missing_groups, skipped_zero_truth);
+}
+
+Result<ErrorReport> CompareResults(const QueryResult& exact,
+                                   const QueryResult& approx) {
+  if (exact.num_aggregates() != approx.num_aggregates()) {
+    return Status::InvalidArgument(
+        StrFormat("aggregate count mismatch: exact=%zu approx=%zu",
+                  exact.num_aggregates(), approx.num_aggregates()));
+  }
+  ErrorReport report;
+  const size_t t = exact.num_aggregates();
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    const auto j = approx.Find(exact.key(i));
+    if (!j.has_value()) {
+      report.missing_groups++;
+      for (size_t a = 0; a < t; ++a) {
+        const double truth = exact.value(i, a);
+        if (std::fabs(truth) < 1e-12) {
+          report.skipped_zero_truth++;
+        } else {
+          report.errors.push_back(1.0);  // missing group := 100% error
+        }
+      }
+      continue;
+    }
+    for (size_t a = 0; a < t; ++a) {
+      const double truth = exact.value(i, a);
+      if (std::fabs(truth) < 1e-12) {
+        report.skipped_zero_truth++;
+        continue;
+      }
+      const double est = approx.value(*j, a);
+      report.errors.push_back(std::fabs(est - truth) / std::fabs(truth));
+    }
+  }
+  return report;
+}
+
+ErrorReport MergeReports(const std::vector<ErrorReport>& reports) {
+  ErrorReport merged;
+  for (const auto& r : reports) {
+    merged.errors.insert(merged.errors.end(), r.errors.begin(), r.errors.end());
+    merged.missing_groups += r.missing_groups;
+    merged.skipped_zero_truth += r.skipped_zero_truth;
+  }
+  return merged;
+}
+
+}  // namespace cvopt

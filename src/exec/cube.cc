@@ -1,0 +1,25 @@
+#include "src/exec/cube.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+std::vector<QuerySpec> ExpandCube(const QuerySpec& base) {
+  const size_t k = base.group_by.size();
+  std::vector<QuerySpec> out;
+  out.reserve(size_t{1} << k);
+  // Enumerate subsets from full set down to empty so the finest grouping
+  // comes first (matches WITH CUBE output conventions).
+  for (size_t bits = (size_t{1} << k); bits-- > 0;) {
+    QuerySpec q = base;
+    q.group_by.clear();
+    for (size_t j = 0; j < k; ++j) {
+      if (bits & (size_t{1} << j)) q.group_by.push_back(base.group_by[j]);
+    }
+    q.name = base.name + "/" + (q.group_by.empty() ? "()" : Join(q.group_by, ","));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,20 @@
+// CUBE expansion: GROUP BY A, B WITH CUBE -> the 2^|attrs| grouping sets
+// (A,B), (A), (B), () — Section 4.1 "Cube-By Queries".
+#ifndef CVOPT_EXEC_CUBE_H_
+#define CVOPT_EXEC_CUBE_H_
+
+#include <vector>
+
+#include "src/exec/query.h"
+
+namespace cvopt {
+
+/// Expands `base` into one QuerySpec per subset of base.group_by (including
+/// the empty grouping set, i.e. the full-table aggregate). Subset queries
+/// inherit the aggregates, WHERE predicate, and weight of the base query;
+/// names get a "/A,B" suffix identifying the grouping set.
+std::vector<QuerySpec> ExpandCube(const QuerySpec& base);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXEC_CUBE_H_

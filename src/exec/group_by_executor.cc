@@ -1,0 +1,135 @@
+#include "src/exec/group_by_executor.h"
+
+#include <algorithm>
+
+#include "src/core/stratification.h"
+#include "src/stats/group_key.h"
+
+namespace cvopt {
+
+Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  CVOPT_ASSIGN_OR_RETURN(BoundAggregates bound,
+                         BoundAggregates::Bind(table, query.aggregates));
+
+  // Resolve grouping columns.
+  std::vector<size_t> gcols;
+  gcols.reserve(query.group_by.size());
+  for (const auto& a : query.group_by) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
+    if (table.column(idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column '" + a + "'");
+    }
+    gcols.push_back(idx);
+  }
+
+  std::vector<uint8_t> mask;
+  if (query.where != nullptr) {
+    CVOPT_ASSIGN_OR_RETURN(mask, query.where->Evaluate(table));
+  }
+
+  // Accumulate per (group, aggregate): sums, squared sums (VARIANCE), and
+  // value buffers (MEDIAN).
+  const size_t t = query.aggregates.size();
+  bool any_median = false;
+  for (const auto& a : query.aggregates) {
+    any_median |= (a.func == AggFunc::kMedian);
+  }
+  struct Acc {
+    std::vector<double> sum;
+    std::vector<double> sum2;
+    std::vector<uint64_t> cnt;
+    std::vector<std::vector<double>> values;  // filled for kMedian only
+  };
+  std::unordered_map<GroupKey, Acc, GroupKeyHash> accs;
+  std::vector<GroupKey> order;  // first-seen group order
+
+  GroupKey key;
+  key.codes.resize(gcols.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!mask.empty() && !mask[r]) continue;
+    for (size_t j = 0; j < gcols.size(); ++j) {
+      key.codes[j] = table.column(gcols[j]).GroupCode(r);
+    }
+    auto it = accs.find(key);
+    if (it == accs.end()) {
+      Acc fresh{std::vector<double>(t, 0.0), std::vector<double>(t, 0.0),
+                std::vector<uint64_t>(t, 0), {}};
+      if (any_median) fresh.values.resize(t);
+      it = accs.emplace(key, std::move(fresh)).first;
+      order.push_back(key);
+    }
+    Acc& acc = it->second;
+    for (size_t j = 0; j < t; ++j) {
+      const double v = bound.ValueAt(j, r);
+      acc.sum[j] += v;
+      acc.cnt[j] += 1;
+      switch (query.aggregates[j].func) {
+        case AggFunc::kVariance:
+          acc.sum2[j] += v * v;
+          break;
+        case AggFunc::kMedian:
+          acc.values[j].push_back(v);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  std::vector<std::string> agg_labels;
+  agg_labels.reserve(t);
+  for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
+
+  QueryResult result(std::move(agg_labels), query.group_by);
+  for (const auto& k : order) {
+    Acc& acc = accs.at(k);
+    std::vector<double> vals(t);
+    for (size_t j = 0; j < t; ++j) {
+      const double n = static_cast<double>(acc.cnt[j]);
+      switch (query.aggregates[j].func) {
+        case AggFunc::kAvg:
+          vals[j] = acc.cnt[j] ? acc.sum[j] / n : 0.0;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+        case AggFunc::kCountIf:
+          vals[j] = acc.sum[j];
+          break;
+        case AggFunc::kVariance: {
+          if (acc.cnt[j] == 0) {
+            vals[j] = 0.0;
+            break;
+          }
+          const double mean = acc.sum[j] / n;
+          vals[j] = std::max(0.0, acc.sum2[j] / n - mean * mean);
+          break;
+        }
+        case AggFunc::kMedian: {
+          auto& vs = acc.values[j];
+          if (vs.empty()) {
+            vals[j] = 0.0;
+            break;
+          }
+          const size_t mid = vs.size() / 2;
+          std::nth_element(vs.begin(), vs.begin() + mid, vs.end());
+          if (vs.size() % 2 == 1) {
+            vals[j] = vs[mid];
+          } else {
+            const double hi = vs[mid];
+            const double lo = *std::max_element(vs.begin(), vs.begin() + mid);
+            vals[j] = (lo + hi) / 2.0;
+          }
+          break;
+        }
+      }
+    }
+    CVOPT_RETURN_NOT_OK(
+        result.AddGroup(k, k.Render(table, gcols), std::move(vals)));
+  }
+  return result;
+}
+
+}  // namespace cvopt

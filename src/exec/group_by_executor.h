@@ -1,0 +1,19 @@
+// Exact group-by execution over the full table — the ground truth every
+// sampling method is measured against.
+#ifndef CVOPT_EXEC_GROUP_BY_EXECUTOR_H_
+#define CVOPT_EXEC_GROUP_BY_EXECUTOR_H_
+
+#include "src/exec/query.h"
+#include "src/exec/query_result.h"
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Runs the query exactly over every row of the table. Groups with no rows
+/// passing the WHERE predicate are omitted (SQL semantics). For AVG on an
+/// empty selection within a group the group is likewise omitted.
+Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXEC_GROUP_BY_EXECUTOR_H_

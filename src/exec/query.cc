@@ -1,0 +1,20 @@
+#include "src/exec/query.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+std::string QuerySpec::ToString() const {
+  std::vector<std::string> aggs;
+  aggs.reserve(aggregates.size());
+  for (const auto& a : aggregates) aggs.push_back(a.Label());
+  std::string s = "SELECT ";
+  if (!group_by.empty()) s += Join(group_by, ", ") + ", ";
+  s += Join(aggs, ", ");
+  if (where != nullptr) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) s += " GROUP BY " + Join(group_by, ", ");
+  if (!name.empty()) s = "[" + name + "] " + s;
+  return s;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,51 @@
+#include "src/exec/query_result.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+Status QueryResult::AddGroup(GroupKey key, std::string label,
+                             std::vector<double> values) {
+  if (values.size() != agg_labels_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("group has %zu values, expected %zu aggregates",
+                  values.size(), agg_labels_.size()));
+  }
+  auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate group key '" + label + "'");
+  }
+  keys_.push_back(std::move(key));
+  labels_.push_back(std::move(label));
+  values_.push_back(std::move(values));
+  return Status::OK();
+}
+
+std::optional<size_t> QueryResult::Find(const GroupKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> QueryResult::FindByLabel(const std::string& label) const {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return i;
+  }
+  return std::nullopt;
+}
+
+std::string QueryResult::ToString(size_t max_groups) const {
+  std::string out =
+      "group(" + Join(group_attrs_, ",") + ") -> [" + Join(agg_labels_, ", ") + "]\n";
+  const size_t n = std::min(max_groups, keys_.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> vals;
+    vals.reserve(values_[i].size());
+    for (double v : values_[i]) vals.push_back(FormatDouble(v, 4));
+    out += "  " + labels_[i] + ": [" + Join(vals, ", ") + "]\n";
+  }
+  if (n < keys_.size()) out += StrFormat("  ... (%zu more)\n", keys_.size() - n);
+  return out;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,59 @@
+// QueryResult: the (group -> aggregate values) answer of a group-by query,
+// from either the exact engine or a sample-based estimator.
+#ifndef CVOPT_EXEC_QUERY_RESULT_H_
+#define CVOPT_EXEC_QUERY_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stats/group_key.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Answer of one group-by query: an ordered list of groups, each with one
+/// value per aggregate.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  QueryResult(std::vector<std::string> agg_labels,
+              std::vector<std::string> group_labels_attrs)
+      : agg_labels_(std::move(agg_labels)),
+        group_attrs_(std::move(group_labels_attrs)) {}
+
+  /// Adds a group; key must be new. `label` is the rendered group key.
+  Status AddGroup(GroupKey key, std::string label, std::vector<double> values);
+
+  size_t num_groups() const { return keys_.size(); }
+  size_t num_aggregates() const { return agg_labels_.size(); }
+
+  const GroupKey& key(size_t i) const { return keys_[i]; }
+  const std::string& label(size_t i) const { return labels_[i]; }
+  const std::vector<double>& values(size_t i) const { return values_[i]; }
+  double value(size_t i, size_t agg) const { return values_[i][agg]; }
+
+  const std::vector<std::string>& agg_labels() const { return agg_labels_; }
+  const std::vector<std::string>& group_attrs() const { return group_attrs_; }
+
+  /// Index of a group by key, if present.
+  std::optional<size_t> Find(const GroupKey& key) const;
+
+  /// Index of a group by its rendered label, if present (tests/examples).
+  std::optional<size_t> FindByLabel(const std::string& label) const;
+
+  std::string ToString(size_t max_groups = 20) const;
+
+ private:
+  std::vector<std::string> agg_labels_;
+  std::vector<std::string> group_attrs_;
+  std::vector<GroupKey> keys_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<double>> values_;
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXEC_QUERY_RESULT_H_

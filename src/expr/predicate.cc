@@ -1,0 +1,272 @@
+#include "src/expr/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+bool ApplyOp(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+PredicatePtr Predicate::Compare(std::string column, CompareOp op, Value literal) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCompare;
+  p->column_ = std::move(column);
+  p->op_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::Between(std::string column, Value lo, Value hi) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kBetween;
+  p->column_ = std::move(column);
+  p->literal_ = std::move(lo);
+  p->hi_ = std::move(hi);
+  return p;
+}
+
+PredicatePtr Predicate::In(std::string column, std::vector<Value> values) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kIn;
+  p->column_ = std::move(column);
+  p->values_ = std::move(values);
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr a) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->left_ = std::move(a);
+  return p;
+}
+
+PredicatePtr Predicate::True() {
+  static PredicatePtr singleton = std::shared_ptr<Predicate>(new Predicate());
+  return singleton;
+}
+
+Status Predicate::EvalInto(const Table& table, const std::vector<uint32_t>* rows,
+                           std::vector<uint8_t>* mask) const {
+  const size_t n = rows ? rows->size() : table.num_rows();
+  auto row_at = [&](size_t i) -> size_t { return rows ? (*rows)[i] : i; };
+  mask->assign(n, 0);
+
+  switch (kind_) {
+    case Kind::kTrue: {
+      std::fill(mask->begin(), mask->end(), 1);
+      return Status::OK();
+    }
+    case Kind::kCompare: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        if (!literal_.is_string()) {
+          return Status::InvalidArgument("string column '" + column_ +
+                                         "' compared to non-string literal");
+        }
+        if (op_ == CompareOp::kEq || op_ == CompareOp::kNe) {
+          const int32_t code = col->LookupCode(literal_.AsString());
+          const bool want_eq = (op_ == CompareOp::kEq);
+          for (size_t i = 0; i < n; ++i) {
+            const bool eq = (code >= 0 && col->GetCode(row_at(i)) == code);
+            (*mask)[i] = (eq == want_eq) ? 1 : 0;
+          }
+        } else {
+          const std::string& lit = literal_.AsString();
+          for (size_t i = 0; i < n; ++i) {
+            (*mask)[i] = ApplyOp(op_, col->GetString(row_at(i)), lit) ? 1 : 0;
+          }
+        }
+        return Status::OK();
+      }
+      if (literal_.is_string()) {
+        return Status::InvalidArgument("numeric column '" + column_ +
+                                       "' compared to string literal");
+      }
+      const double lit = literal_.AsDouble();
+      for (size_t i = 0; i < n; ++i) {
+        (*mask)[i] = ApplyOp(op_, col->GetDouble(row_at(i)), lit) ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Kind::kBetween: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        return Status::InvalidArgument("BETWEEN is not supported on strings");
+      }
+      if (literal_.is_string() || hi_.is_string()) {
+        return Status::InvalidArgument("BETWEEN bounds must be numeric");
+      }
+      const double lo = literal_.AsDouble(), hi = hi_.AsDouble();
+      for (size_t i = 0; i < n; ++i) {
+        const double v = col->GetDouble(row_at(i));
+        (*mask)[i] = (v >= lo && v <= hi) ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Kind::kIn: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        std::vector<int32_t> codes;
+        for (const auto& v : values_) {
+          if (!v.is_string()) {
+            return Status::InvalidArgument("IN list type mismatch on " + column_);
+          }
+          const int32_t c = col->LookupCode(v.AsString());
+          if (c >= 0) codes.push_back(c);
+        }
+        std::sort(codes.begin(), codes.end());
+        for (size_t i = 0; i < n; ++i) {
+          (*mask)[i] = std::binary_search(codes.begin(), codes.end(),
+                                          col->GetCode(row_at(i)))
+                           ? 1
+                           : 0;
+        }
+        return Status::OK();
+      }
+      std::vector<double> vals;
+      for (const auto& v : values_) {
+        if (v.is_string()) {
+          return Status::InvalidArgument("IN list type mismatch on " + column_);
+        }
+        vals.push_back(v.AsDouble());
+      }
+      std::sort(vals.begin(), vals.end());
+      for (size_t i = 0; i < n; ++i) {
+        (*mask)[i] = std::binary_search(vals.begin(), vals.end(),
+                                        col->GetDouble(row_at(i)))
+                         ? 1
+                         : 0;
+      }
+      return Status::OK();
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<uint8_t> lhs, rhs;
+      CVOPT_RETURN_NOT_OK(left_->EvalInto(table, rows, &lhs));
+      CVOPT_RETURN_NOT_OK(right_->EvalInto(table, rows, &rhs));
+      if (kind_ == Kind::kAnd) {
+        for (size_t i = 0; i < n; ++i) (*mask)[i] = lhs[i] & rhs[i];
+      } else {
+        for (size_t i = 0; i < n; ++i) (*mask)[i] = lhs[i] | rhs[i];
+      }
+      return Status::OK();
+    }
+    case Kind::kNot: {
+      std::vector<uint8_t> inner;
+      CVOPT_RETURN_NOT_OK(left_->EvalInto(table, rows, &inner));
+      for (size_t i = 0; i < n; ++i) (*mask)[i] = inner[i] ? 0 : 1;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Result<std::vector<uint8_t>> Predicate::Evaluate(const Table& table) const {
+  std::vector<uint8_t> mask;
+  CVOPT_RETURN_NOT_OK(EvalInto(table, nullptr, &mask));
+  return mask;
+}
+
+Result<std::vector<uint8_t>> Predicate::EvaluateRows(
+    const Table& table, const std::vector<uint32_t>& rows) const {
+  std::vector<uint8_t> mask;
+  CVOPT_RETURN_NOT_OK(EvalInto(table, &rows, &mask));
+  return mask;
+}
+
+Result<bool> Predicate::Matches(const Table& table, size_t row) const {
+  std::vector<uint32_t> one{static_cast<uint32_t>(row)};
+  CVOPT_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, EvaluateRows(table, one));
+  return mask[0] != 0;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return column_ + " " + CompareOpToString(op_) + " " + literal_.ToString();
+    case Kind::kBetween:
+      return column_ + " BETWEEN " + literal_.ToString() + " AND " +
+             hi_.ToString();
+    case Kind::kIn: {
+      std::vector<std::string> vs;
+      for (const auto& v : values_) vs.push_back(v.ToString());
+      return column_ + " IN (" + Join(vs, ", ") + ")";
+    }
+    case Kind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case Kind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<double> Predicate::Selectivity(const Table& table) const {
+  if (table.num_rows() == 0) return 0.0;
+  CVOPT_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, Evaluate(table));
+  size_t count = 0;
+  for (uint8_t b : mask) count += b;
+  return static_cast<double>(count) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace cvopt

@@ -1,0 +1,79 @@
+// Predicate: a small expression AST for WHERE clauses, evaluated to selection
+// masks over a Table. Supports the predicate forms used by the paper's
+// workload: comparisons against literals, BETWEEN, IN, and AND/OR/NOT.
+#ifndef CVOPT_EXPR_PREDICATE_H_
+#define CVOPT_EXPR_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Comparison operators for Predicate::Compare.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Immutable predicate tree. Construct via the static factories; evaluate
+/// with Evaluate / EvaluateRows / Matches.
+class Predicate {
+ public:
+  /// `column <op> literal`.
+  static PredicatePtr Compare(std::string column, CompareOp op, Value literal);
+
+  /// `column BETWEEN lo AND hi` (inclusive on both ends, as in SQL).
+  static PredicatePtr Between(std::string column, Value lo, Value hi);
+
+  /// `column IN (values...)`.
+  static PredicatePtr In(std::string column, std::vector<Value> values);
+
+  static PredicatePtr And(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr Not(PredicatePtr a);
+
+  /// Predicate that accepts every row.
+  static PredicatePtr True();
+
+  /// Evaluates over all rows: mask[i] == 1 iff row i satisfies the predicate.
+  Result<std::vector<uint8_t>> Evaluate(const Table& table) const;
+
+  /// Evaluates over a subset of rows; output aligned with `rows`.
+  Result<std::vector<uint8_t>> EvaluateRows(
+      const Table& table, const std::vector<uint32_t>& rows) const;
+
+  /// Scalar evaluation of a single row (slow path; used by COUNT_IF).
+  Result<bool> Matches(const Table& table, size_t row) const;
+
+  /// SQL-ish rendering for logs and test diagnostics.
+  std::string ToString() const;
+
+  /// Fraction of rows selected (for experiment reporting).
+  Result<double> Selectivity(const Table& table) const;
+
+ private:
+  enum class Kind { kTrue, kCompare, kBetween, kIn, kAnd, kOr, kNot };
+
+  Predicate() = default;
+
+  Status EvalInto(const Table& table, const std::vector<uint32_t>* rows,
+                  std::vector<uint8_t>* mask) const;
+
+  Kind kind_ = Kind::kTrue;
+  std::string column_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  Value hi_;                      // kBetween upper bound
+  std::vector<Value> values_;     // kIn
+  PredicatePtr left_, right_;     // kAnd/kOr; kNot uses left_
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXPR_PREDICATE_H_

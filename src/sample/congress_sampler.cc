@@ -1,0 +1,88 @@
+#include "src/sample/congress_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cvopt {
+
+Result<StratifiedSample> CongressSampler::Build(
+    const Table& table, const std::vector<QuerySpec>& queries, uint64_t budget,
+    Rng* rng) const {
+  std::vector<std::vector<std::string>> attr_sets;
+  for (const auto& q : queries) attr_sets.push_back(q.group_by);
+  CVOPT_ASSIGN_OR_RETURN(Stratification strat,
+                         Stratification::Build(table, UnionAttrs(attr_sets)));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  const size_t r = shared->num_strata();
+  const double n_total = static_cast<double>(table.num_rows());
+  const double m = static_cast<double>(budget);
+
+  // Per-stratum congressional score: max over grouping sets.
+  std::vector<double> score(r, 0.0);
+  for (const auto& q : queries) {
+    CVOPT_ASSIGN_OR_RETURN(Stratification::Projection proj,
+                           shared->Project(q.group_by));
+    const double num_groups = static_cast<double>(proj.num_parents());
+    for (size_t c = 0; c < r; ++c) {
+      const uint32_t g = proj.stratum_to_parent[c];
+      const double n_g = static_cast<double>(proj.parent_sizes[g]);
+      if (n_g == 0) continue;
+      const double house = m * n_g / n_total;
+      const double senate = m / num_groups;
+      const double congress = std::max(house, senate);
+      // Subdivide the group's allocation among its strata by frequency.
+      const double n_c = static_cast<double>(shared->sizes()[c]);
+      score[c] = std::max(score[c], congress * n_c / n_g);
+    }
+  }
+
+  // Scale to the budget, cap at stratum sizes, round by largest remainder.
+  const double score_sum = std::accumulate(score.begin(), score.end(), 0.0);
+  std::vector<uint64_t> sizes(r, 0);
+  if (score_sum > 0.0) {
+    std::vector<double> frac(r, 0.0);
+    for (size_t c = 0; c < r; ++c) {
+      frac[c] = std::min(m * score[c] / score_sum,
+                         static_cast<double>(shared->sizes()[c]));
+    }
+    // Iteratively rescale: capping frees budget for uncapped strata.
+    for (int pass = 0; pass < 4; ++pass) {
+      double assigned = std::accumulate(frac.begin(), frac.end(), 0.0);
+      double slack = m - assigned;
+      if (slack <= 1.0) break;
+      double open_score = 0.0;
+      for (size_t c = 0; c < r; ++c) {
+        if (frac[c] < static_cast<double>(shared->sizes()[c])) open_score += score[c];
+      }
+      if (open_score <= 0.0) break;
+      for (size_t c = 0; c < r; ++c) {
+        const double cap = static_cast<double>(shared->sizes()[c]);
+        if (frac[c] < cap) {
+          frac[c] = std::min(cap, frac[c] + slack * score[c] / open_score);
+        }
+      }
+    }
+    uint64_t assigned = 0;
+    std::vector<std::pair<double, size_t>> rem;
+    for (size_t c = 0; c < r; ++c) {
+      sizes[c] = static_cast<uint64_t>(std::floor(frac[c]));
+      assigned += sizes[c];
+      rem.emplace_back(frac[c] - std::floor(frac[c]), c);
+    }
+    std::sort(rem.begin(), rem.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    uint64_t left = budget > assigned ? budget - assigned : 0;
+    for (const auto& [f, c] : rem) {
+      (void)f;
+      if (left == 0) break;
+      if (sizes[c] < shared->sizes()[c]) {
+        sizes[c]++;
+        left--;
+      }
+    }
+  }
+  return DrawStratified(table, shared, sizes, name(), rng);
+}
+
+}  // namespace cvopt

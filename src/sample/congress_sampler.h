@@ -1,0 +1,28 @@
+// Congressional sampling baseline (Acharya, Gibbons, Poosala, SIGMOD 2000):
+// a hybrid of frequency-proportional allocation (the "house") and equal
+// allocation (the "senate"). For multiple grouping sets, the scaled
+// congressional method: per grouping set take max(house, senate) per group,
+// subdivide within the group proportionally to stratum frequency, take the
+// per-stratum max over grouping sets, and scale the result to the budget.
+// CS uses only group frequencies — never variances or CVs — which is exactly
+// the gap CVOPT fills.
+#ifndef CVOPT_SAMPLE_CONGRESS_SAMPLER_H_
+#define CVOPT_SAMPLE_CONGRESS_SAMPLER_H_
+
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// The paper's "CS" baseline.
+class CongressSampler : public Sampler {
+ public:
+  std::string name() const override { return "CS"; }
+
+  Result<StratifiedSample> Build(const Table& table,
+                                 const std::vector<QuerySpec>& queries,
+                                 uint64_t budget, Rng* rng) const override;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_CONGRESS_SAMPLER_H_

@@ -1,0 +1,13 @@
+#include "src/sample/cvopt_sampler.h"
+
+namespace cvopt {
+
+Result<StratifiedSample> CvoptSampler::Build(
+    const Table& table, const std::vector<QuerySpec>& queries, uint64_t budget,
+    Rng* rng) const {
+  CVOPT_ASSIGN_OR_RETURN(AllocationPlan plan,
+                         PlanCvoptAllocation(table, queries, budget, options_));
+  return DrawStratified(table, plan.strat, plan.allocation.sizes, name(), rng);
+}
+
+}  // namespace cvopt

@@ -1,0 +1,54 @@
+#include "src/sample/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvopt {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, Rng* rng)
+    : capacity_(capacity), rng_(rng) {
+  sample_.reserve(capacity);
+}
+
+void ReservoirSampler::Offer(uint32_t item) {
+  ++seen_;
+  if (capacity_ == 0) return;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(item);
+    return;
+  }
+  const uint64_t j = rng_->Uniform(seen_);
+  if (j < capacity_) sample_[j] = item;
+}
+
+WeightedReservoirSampler::WeightedReservoirSampler(size_t capacity, Rng* rng)
+    : capacity_(capacity), rng_(rng) {
+  heap_.reserve(capacity + 1);
+}
+
+void WeightedReservoirSampler::Offer(uint32_t item, double weight) {
+  if (capacity_ == 0 || weight <= 0.0) return;
+  double u = rng_->NextDouble();
+  if (u <= 0.0) u = 1e-300;
+  const double key = std::pow(u, 1.0 / weight);
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{key, item});
+    std::push_heap(heap_.begin(), heap_.end());
+    return;
+  }
+  if (key > heap_.front().key) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = Entry{key, item};
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+}
+
+std::vector<uint32_t> WeightedReservoirSampler::TakeSample() {
+  std::vector<uint32_t> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_) out.push_back(e.item);
+  heap_.clear();
+  return out;
+}
+
+}  // namespace cvopt

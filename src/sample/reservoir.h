@@ -1,0 +1,67 @@
+// Reservoir sampling: uniform (Vitter's Algorithm R) and weighted
+// (Efraimidis–Spirakis A-Res) selection of k stream items without
+// replacement. Algorithm 1 of the paper draws each stratum's rows with
+// reservoir sampling.
+#ifndef CVOPT_SAMPLE_RESERVOIR_H_
+#define CVOPT_SAMPLE_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cvopt {
+
+/// Uniform sample of up to `capacity` items from a stream, without
+/// replacement: every size-k subset of the offered items is equally likely.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, Rng* rng);
+
+  /// Offers the next stream item.
+  void Offer(uint32_t item);
+
+  /// Items currently in the reservoir (unordered).
+  const std::vector<uint32_t>& sample() const { return sample_; }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t seen() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  Rng* rng_;
+  uint64_t seen_ = 0;
+  std::vector<uint32_t> sample_;
+};
+
+/// Weighted sample of up to `capacity` items without replacement, selection
+/// probability proportional to weight (A-Res: keep the k items with the
+/// largest u^(1/w) keys).
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(size_t capacity, Rng* rng);
+
+  /// Offers an item with a positive weight; non-positive weights are skipped.
+  void Offer(uint32_t item, double weight);
+
+  /// Selected items (unordered).
+  std::vector<uint32_t> TakeSample();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t item;
+    bool operator<(const Entry& other) const { return key > other.key; }  // min-heap
+  };
+
+  size_t capacity_;
+  Rng* rng_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_RESERVOIR_H_

@@ -1,0 +1,29 @@
+// RL baseline (Rösch & Lehner, EDBT 2009): CV-driven heuristic allocation.
+// Per the paper's characterization (Sections 1.2 and 6.1): RL allocates
+// proportionally to each group's coefficient of variation, "assumes that the
+// size of a group is always large, and in allocating sample sizes, does not
+// take the group size into account (it only uses the CV of elements in the
+// group)" — so on small groups it can allocate more rows than exist; the
+// surplus is truncated and wasted (not redistributed). For multiple
+// group-bys RL partitions the budget across the grouping sets
+// (hierarchical partitioning) and applies the same heuristic per set.
+#ifndef CVOPT_SAMPLE_RL_SAMPLER_H_
+#define CVOPT_SAMPLE_RL_SAMPLER_H_
+
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// The paper's "RL" baseline.
+class RlSampler : public Sampler {
+ public:
+  std::string name() const override { return "RL"; }
+
+  Result<StratifiedSample> Build(const Table& table,
+                                 const std::vector<QuerySpec>& queries,
+                                 uint64_t budget, Rng* rng) const override;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_RL_SAMPLER_H_

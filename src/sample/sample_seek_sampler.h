@@ -1,0 +1,32 @@
+// Sample+Seek baseline (Ding et al., SIGMOD 2016): measure-biased sampling.
+// Rows are selected with probability proportional to their value on the
+// aggregation measure, so heavy rows are over-represented and estimates are
+// corrected with inverse-probability (Horvitz–Thompson) weights. As the
+// paper notes, this "does not consider the variability within a group" —
+// a large group of identical large values still receives many samples.
+//
+// Substitution note (DESIGN.md §3): the original system pairs this sample
+// with a measure-augmented index used to "seek" rows for very-low-
+// selectivity predicates; the accuracy comparison in the paper exercises the
+// sampling distribution, which is what we implement.
+#ifndef CVOPT_SAMPLE_SAMPLE_SEEK_SAMPLER_H_
+#define CVOPT_SAMPLE_SAMPLE_SEEK_SAMPLER_H_
+
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// Measure-biased sampler over the first numeric aggregate column of the
+/// first target query (falls back to uniform when no measure is available).
+class SampleSeekSampler : public Sampler {
+ public:
+  std::string name() const override { return "Sample+Seek"; }
+
+  Result<StratifiedSample> Build(const Table& table,
+                                 const std::vector<QuerySpec>& queries,
+                                 uint64_t budget, Rng* rng) const override;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_SAMPLE_SEEK_SAMPLER_H_

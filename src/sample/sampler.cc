@@ -1,0 +1,52 @@
+#include "src/sample/sampler.h"
+
+#include "src/sample/reservoir.h"
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+Result<StratifiedSample> DrawStratified(
+    const Table& table, std::shared_ptr<const Stratification> strat,
+    const std::vector<uint64_t>& sizes, const std::string& method, Rng* rng) {
+  if (sizes.size() != strat->num_strata()) {
+    return Status::InvalidArgument(
+        StrFormat("allocation has %zu strata, stratification has %zu",
+                  sizes.size(), strat->num_strata()));
+  }
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    if (sizes[c] > strat->sizes()[c]) {
+      return Status::InvalidArgument(StrFormat(
+          "allocation %llu exceeds stratum size %llu at stratum %zu",
+          static_cast<unsigned long long>(sizes[c]),
+          static_cast<unsigned long long>(strat->sizes()[c]), c));
+    }
+  }
+
+  std::vector<ReservoirSampler> reservoirs;
+  reservoirs.reserve(sizes.size());
+  for (uint64_t s : sizes) {
+    reservoirs.emplace_back(static_cast<size_t>(s), rng);
+  }
+  const auto& row_strata = strat->row_strata();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    reservoirs[row_strata[r]].Offer(static_cast<uint32_t>(r));
+  }
+
+  std::vector<uint32_t> rows;
+  std::vector<double> weights;
+  for (size_t c = 0; c < reservoirs.size(); ++c) {
+    const auto& picked = reservoirs[c].sample();
+    if (picked.empty()) continue;
+    const double w = static_cast<double>(strat->sizes()[c]) /
+                     static_cast<double>(picked.size());
+    for (uint32_t r : picked) {
+      rows.push_back(r);
+      weights.push_back(w);
+    }
+  }
+  StratifiedSample sample(&table, std::move(rows), std::move(weights), method);
+  sample.set_stratification(std::move(strat));
+  return sample;
+}
+
+}  // namespace cvopt

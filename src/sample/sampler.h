@@ -1,0 +1,42 @@
+// Sampler: the common interface of all sampling methods compared in the
+// paper (Uniform, Senate, Congress/CS, RL, Sample+Seek, CVOPT, CVOPT-INF).
+#ifndef CVOPT_SAMPLE_SAMPLER_H_
+#define CVOPT_SAMPLE_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/stratification.h"
+#include "src/exec/query.h"
+#include "src/sample/stratified_sample.h"
+#include "src/util/rng.h"
+
+namespace cvopt {
+
+/// Builds a sample of `budget` rows tuned (or not) to a target query set.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Method name used in experiment reports, e.g. "CVOPT".
+  virtual std::string name() const = 0;
+
+  /// Draws a sample of about `budget` rows. `queries` describes the target
+  /// workload (grouping attributes, aggregates, weights); methods that are
+  /// query-oblivious (Uniform) ignore it. The table must outlive the sample.
+  virtual Result<StratifiedSample> Build(const Table& table,
+                                         const std::vector<QuerySpec>& queries,
+                                         uint64_t budget, Rng* rng) const = 0;
+};
+
+/// Helper shared by the stratified methods: draws `sizes[c]` rows uniformly
+/// without replacement from every stratum (one reservoir per stratum, single
+/// pass over the table) and assembles the sample with weights n_c / s_c.
+Result<StratifiedSample> DrawStratified(
+    const Table& table, std::shared_ptr<const Stratification> strat,
+    const std::vector<uint64_t>& sizes, const std::string& method, Rng* rng);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_SAMPLER_H_

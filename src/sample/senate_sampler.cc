@@ -1,0 +1,59 @@
+#include "src/sample/senate_sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cvopt {
+
+std::vector<uint64_t> EqualAllocation(const std::vector<uint64_t>& caps,
+                                      uint64_t budget) {
+  const size_t r = caps.size();
+  std::vector<uint64_t> out(r, 0);
+  if (r == 0) return out;
+  const uint64_t total = std::accumulate(caps.begin(), caps.end(), uint64_t{0});
+  uint64_t remaining = std::min(budget, total);
+
+  // Repeatedly split the remaining budget equally among strata that still
+  // have capacity; strata that fill up drop out (their surplus is what gets
+  // redistributed on the next pass).
+  std::vector<size_t> open(r);
+  std::iota(open.begin(), open.end(), 0);
+  while (remaining > 0 && !open.empty()) {
+    const uint64_t share = std::max<uint64_t>(1, remaining / open.size());
+    std::vector<size_t> next;
+    for (size_t i : open) {
+      if (remaining == 0) break;
+      const uint64_t room = caps[i] - out[i];
+      const uint64_t take = std::min({share, room, remaining});
+      out[i] += take;
+      remaining -= take;
+      if (out[i] < caps[i]) next.push_back(i);
+    }
+    if (next.size() == open.size() && remaining > 0 && share == 1) {
+      // One extra row per stratum until the budget runs out.
+      for (size_t i : next) {
+        if (remaining == 0) break;
+        if (out[i] < caps[i]) {
+          out[i]++;
+          remaining--;
+        }
+      }
+    }
+    open = std::move(next);
+  }
+  return out;
+}
+
+Result<StratifiedSample> SenateSampler::Build(
+    const Table& table, const std::vector<QuerySpec>& queries, uint64_t budget,
+    Rng* rng) const {
+  std::vector<std::vector<std::string>> attr_sets;
+  for (const auto& q : queries) attr_sets.push_back(q.group_by);
+  CVOPT_ASSIGN_OR_RETURN(Stratification strat,
+                         Stratification::Build(table, UnionAttrs(attr_sets)));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  const std::vector<uint64_t> sizes = EqualAllocation(shared->sizes(), budget);
+  return DrawStratified(table, shared, sizes, name(), rng);
+}
+
+}  // namespace cvopt

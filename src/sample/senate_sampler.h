@@ -1,0 +1,29 @@
+// SENATE baseline (Section 3.1): split the budget equally among strata,
+// ignoring sizes, means and variances. Used as a component of CS.
+#ifndef CVOPT_SAMPLE_SENATE_SAMPLER_H_
+#define CVOPT_SAMPLE_SENATE_SAMPLER_H_
+
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// Equal per-stratum allocation over the finest stratification of the
+/// target queries; leftover budget (from strata smaller than their share)
+/// is redistributed to strata with remaining capacity.
+class SenateSampler : public Sampler {
+ public:
+  std::string name() const override { return "Senate"; }
+
+  Result<StratifiedSample> Build(const Table& table,
+                                 const std::vector<QuerySpec>& queries,
+                                 uint64_t budget, Rng* rng) const override;
+};
+
+/// Shared helper: equal split of `budget` over strata with capacities
+/// `caps`, redistributing capped leftovers; sum(out) == min(budget, sum caps).
+std::vector<uint64_t> EqualAllocation(const std::vector<uint64_t>& caps,
+                                      uint64_t budget);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_SENATE_SAMPLER_H_

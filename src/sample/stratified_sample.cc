@@ -1,0 +1,14 @@
+#include "src/sample/stratified_sample.h"
+
+namespace cvopt {
+
+StratifiedSample::StratifiedSample(const Table* base, std::vector<uint32_t> rows,
+                                   std::vector<double> weights, std::string method)
+    : base_(base),
+      rows_(std::move(rows)),
+      weights_(std::move(weights)),
+      method_(std::move(method)) {
+  CVOPT_CHECK(rows_.size() == weights_.size(), "rows/weights size mismatch");
+}
+
+}  // namespace cvopt

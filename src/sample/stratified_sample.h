@@ -1,0 +1,61 @@
+// StratifiedSample: a materialized random sample with per-row Horvitz–
+// Thompson weights. This is the artifact the offline phase produces and the
+// online phase queries; because rows carry scale-up weights, the same sample
+// answers queries with runtime predicates and new groupings (Section 6.3).
+#ifndef CVOPT_SAMPLE_STRATIFIED_SAMPLE_H_
+#define CVOPT_SAMPLE_STRATIFIED_SAMPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/stratification.h"
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// A sample of base-table rows. `weights[i]` is the expansion factor of
+/// sampled row i: the number of base rows it represents (n_c / s_c for
+/// stratified uniform designs, 1 / (M * p_i) for measure-biased designs).
+class StratifiedSample {
+ public:
+  StratifiedSample(const Table* base, std::vector<uint32_t> rows,
+                   std::vector<double> weights, std::string method);
+
+  const Table& base() const { return *base_; }
+  const std::vector<uint32_t>& rows() const { return rows_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::string& method() const { return method_; }
+
+  size_t size() const { return rows_.size(); }
+
+  /// Fraction of base rows materialized.
+  double SampleRate() const {
+    return base_->num_rows() == 0
+               ? 0.0
+               : static_cast<double>(rows_.size()) /
+                     static_cast<double>(base_->num_rows());
+  }
+
+  /// Optional: the stratification the sample was drawn under (for reports).
+  void set_stratification(std::shared_ptr<const Stratification> s) {
+    strat_ = std::move(s);
+  }
+  const Stratification* stratification() const { return strat_.get(); }
+
+  /// Copies the sampled rows into a standalone Table (for export or for
+  /// engines that want a physical sample table).
+  Table Materialize() const { return base_->TakeRows(rows_); }
+
+ private:
+  const Table* base_;
+  std::vector<uint32_t> rows_;
+  std::vector<double> weights_;
+  std::string method_;
+  std::shared_ptr<const Stratification> strat_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_STRATIFIED_SAMPLE_H_

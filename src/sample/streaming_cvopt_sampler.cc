@@ -1,0 +1,144 @@
+#include "src/sample/streaming_cvopt_sampler.h"
+
+#include <algorithm>
+
+#include "src/core/lemma1.h"
+#include "src/core/stratification.h"
+
+namespace cvopt {
+
+StreamingCvoptBuilder::StreamingCvoptBuilder(const Table* table,
+                                             std::vector<size_t> group_columns,
+                                             size_t value_column,
+                                             uint64_t budget,
+                                             uint64_t replan_interval, Rng* rng)
+    : table_(table),
+      group_columns_(std::move(group_columns)),
+      value_column_(value_column),
+      budget_(budget),
+      replan_interval_(std::max<uint64_t>(1, replan_interval)),
+      rng_(rng) {}
+
+void StreamingCvoptBuilder::Offer(uint32_t row) {
+  GroupKey key;
+  key.codes.reserve(group_columns_.size());
+  for (size_t col : group_columns_) {
+    key.codes.push_back(table_->column(col).GroupCode(row));
+  }
+  auto [it, inserted] =
+      index_.try_emplace(key, static_cast<uint32_t>(strata_.size()));
+  if (inserted) {
+    strata_.emplace_back();
+    // Admit-all-then-subsample: a new stratum keeps every row until the
+    // next replan shrinks it to its optimal allocation. Shrinking evicts
+    // uniformly, so the survivors stay a uniform sample — this is what
+    // keeps a group whose rows all arrive inside one replan interval
+    // (e.g. a stream sorted by the grouping attribute) unbiased. Memory
+    // overshoot is bounded by one replan interval of rows.
+    strata_.back().capacity = static_cast<size_t>(budget_);
+  }
+  Stratum& st = strata_[it->second];
+  st.stats.Add(table_->column(value_column_).GetDouble(row));
+  st.seen++;
+
+  // Standard reservoir step against the stratum's current capacity.
+  if (st.reservoir.size() < st.capacity) {
+    st.reservoir.push_back(row);
+  } else if (st.capacity > 0) {
+    const uint64_t j = rng_->Uniform(st.seen);
+    if (j < st.capacity) st.reservoir[j] = row;
+  }
+
+  if (++rows_seen_ % replan_interval_ == 0) Replan();
+}
+
+void StreamingCvoptBuilder::Replan() {
+  const size_t r = strata_.size();
+  if (r == 0) return;
+  std::vector<double> alphas(r);
+  std::vector<uint64_t> caps(r);
+  for (size_t i = 0; i < r; ++i) {
+    const double cv = strata_[i].stats.cv();
+    alphas[i] = cv * cv;  // Theorem 1's alpha = (sigma/mu)^2, weight 1
+    caps[i] = strata_[i].seen;
+  }
+  auto allocation = SolveLemma1(alphas, caps, budget_);
+  if (!allocation.ok()) return;  // keep previous capacities
+  for (size_t i = 0; i < r; ++i) {
+    Stratum& st = strata_[i];
+    const size_t target = static_cast<size_t>(allocation->sizes[i]);
+    if (target < st.reservoir.size()) {
+      // Shrink: evict uniformly-chosen victims; the survivors remain a
+      // uniform sample of the stream prefix.
+      while (st.reservoir.size() > target) {
+        const size_t victim = rng_->Uniform(st.reservoir.size());
+        st.reservoir[victim] = st.reservoir.back();
+        st.reservoir.pop_back();
+      }
+    }
+    st.capacity = std::max<size_t>(target, 1);
+  }
+}
+
+StratifiedSample StreamingCvoptBuilder::Finish() && {
+  Replan();
+  std::vector<uint32_t> rows;
+  std::vector<double> weights;
+  for (const Stratum& st : strata_) {
+    if (st.reservoir.empty()) continue;
+    const double w = static_cast<double>(st.seen) /
+                     static_cast<double>(st.reservoir.size());
+    for (uint32_t row : st.reservoir) {
+      rows.push_back(row);
+      weights.push_back(w);
+    }
+  }
+  return StratifiedSample(table_, std::move(rows), std::move(weights),
+                          "CVOPT-STREAM");
+}
+
+Result<StratifiedSample> StreamingCvoptSampler::Build(
+    const Table& table, const std::vector<QuerySpec>& queries, uint64_t budget,
+    Rng* rng) const {
+  if (queries.empty() || queries[0].aggregates.empty()) {
+    return Status::InvalidArgument(
+        "streaming CVOPT needs a target query with an aggregate");
+  }
+  // Stratify by the union of all group-by attribute sets, as offline.
+  std::vector<std::vector<std::string>> attr_sets;
+  for (const auto& q : queries) attr_sets.push_back(q.group_by);
+  std::vector<size_t> gcols;
+  for (const auto& a : UnionAttrs(attr_sets)) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
+    if (table.column(idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column '" + a + "'");
+    }
+    gcols.push_back(idx);
+  }
+  // First numeric aggregated column drives the statistics.
+  size_t vcol = table.num_columns();
+  for (const auto& q : queries) {
+    for (const auto& agg : q.aggregates) {
+      if (agg.column.empty()) continue;
+      CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(agg.column));
+      if (table.column(idx).type() != DataType::kString) {
+        vcol = idx;
+        break;
+      }
+    }
+    if (vcol != table.num_columns()) break;
+  }
+  if (vcol == table.num_columns()) {
+    return Status::InvalidArgument(
+        "streaming CVOPT needs a numeric aggregation column");
+  }
+
+  StreamingCvoptBuilder builder(&table, gcols, vcol, budget, replan_interval_,
+                                rng);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    builder.Offer(static_cast<uint32_t>(row));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace cvopt

@@ -1,0 +1,24 @@
+#include "src/sample/uniform_sampler.h"
+
+#include <algorithm>
+
+#include "src/sample/reservoir.h"
+
+namespace cvopt {
+
+Result<StratifiedSample> UniformSampler::Build(
+    const Table& table, const std::vector<QuerySpec>& queries, uint64_t budget,
+    Rng* rng) const {
+  (void)queries;  // query-oblivious
+  const uint64_t n = table.num_rows();
+  const uint64_t m = std::min(budget, n);
+  ReservoirSampler res(static_cast<size_t>(m), rng);
+  for (uint64_t r = 0; r < n; ++r) res.Offer(static_cast<uint32_t>(r));
+  std::vector<uint32_t> rows = res.sample();
+  const double w =
+      rows.empty() ? 0.0 : static_cast<double>(n) / static_cast<double>(rows.size());
+  std::vector<double> weights(rows.size(), w);
+  return StratifiedSample(&table, std::move(rows), std::move(weights), name());
+}
+
+}  // namespace cvopt

@@ -1,0 +1,22 @@
+// Uniform sampling baseline: every row equally likely, query-oblivious.
+// The paper's experiments show it misses small groups entirely.
+#ifndef CVOPT_SAMPLE_UNIFORM_SAMPLER_H_
+#define CVOPT_SAMPLE_UNIFORM_SAMPLER_H_
+
+#include "src/sample/sampler.h"
+
+namespace cvopt {
+
+/// Samples `budget` rows uniformly without replacement from the table.
+class UniformSampler : public Sampler {
+ public:
+  std::string name() const override { return "Uniform"; }
+
+  Result<StratifiedSample> Build(const Table& table,
+                                 const std::vector<QuerySpec>& queries,
+                                 uint64_t budget, Rng* rng) const override;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SAMPLE_UNIFORM_SAMPLER_H_

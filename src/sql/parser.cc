@@ -1,0 +1,371 @@
+#include "src/sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;   // idents upper-cased for keyword matching; symbols as-is
+  std::string raw;    // original spelling (idents keep case; strings unquoted)
+  double number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = sql_.size();
+    while (i < n) {
+      const char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(sql_[j])) ||
+                         sql_[j] == '_')) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokKind::kIdent;
+        t.raw = sql_.substr(i, j - i);
+        t.text = t.raw;
+        std::transform(t.text.begin(), t.text.end(), t.text.begin(),
+                       [](unsigned char ch) { return std::toupper(ch); });
+        out.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < n &&
+           std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        size_t j = i;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(sql_[j])) ||
+                         sql_[j] == '.' || sql_[j] == 'e' || sql_[j] == 'E' ||
+                         ((sql_[j] == '+' || sql_[j] == '-') && j > i &&
+                          (sql_[j - 1] == 'e' || sql_[j - 1] == 'E')))) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokKind::kNumber;
+        t.raw = sql_.substr(i, j - i);
+        t.text = t.raw;
+        try {
+          t.number = std::stod(t.raw);
+        } catch (...) {
+          return Status::InvalidArgument("bad numeric literal '" + t.raw + "'");
+        }
+        out.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        std::string s;
+        while (j < n && sql_[j] != '\'') s += sql_[j++];
+        if (j >= n) return Status::InvalidArgument("unterminated string literal");
+        Token t;
+        t.kind = TokKind::kString;
+        t.raw = s;
+        t.text = s;
+        out.push_back(std::move(t));
+        i = j + 1;
+        continue;
+      }
+      // Two-character operators first.
+      if (i + 1 < n) {
+        const std::string two = sql_.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+          out.push_back({TokKind::kSymbol, two, two, 0});
+          i += 2;
+          continue;
+        }
+      }
+      const std::string one(1, c);
+      if (one == "(" || one == ")" || one == "," || one == "=" || one == "<" ||
+          one == ">" || one == "*" || one == ";") {
+        out.push_back({TokKind::kSymbol, one, one, 0});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(StrFormat("unexpected character '%c'", c));
+    }
+    out.push_back({TokKind::kEnd, "", "", 0});
+    return out;
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery out;
+    CVOPT_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+
+    // Select list: remember plain columns for GROUP BY validation.
+    std::vector<std::string> plain_columns;
+    while (true) {
+      CVOPT_RETURN_NOT_OK(ParseSelectItem(&out.query, &plain_columns));
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    CVOPT_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected table name after FROM");
+    }
+    out.table_name = Next().raw;
+
+    if (ConsumeKeyword("WHERE")) {
+      CVOPT_ASSIGN_OR_RETURN(out.query.where, ParseOr());
+    }
+
+    if (ConsumeKeyword("GROUP")) {
+      CVOPT_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("expected column in GROUP BY");
+        }
+        out.query.group_by.push_back(Next().raw);
+        if (!ConsumeSymbol(",")) break;
+      }
+      if (ConsumeKeyword("WITH")) {
+        CVOPT_RETURN_NOT_OK(ExpectKeyword("CUBE"));
+        out.with_cube = true;
+      }
+    }
+    ConsumeSymbol(";");
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     Peek().raw + "'");
+    }
+    if (out.query.aggregates.empty()) {
+      return Status::InvalidArgument("SELECT list has no aggregate");
+    }
+    // SQL validity: plain select columns must be grouped.
+    for (const auto& col : plain_columns) {
+      if (std::find(out.query.group_by.begin(), out.query.group_by.end(),
+                    col) == out.query.group_by.end()) {
+        return Status::InvalidArgument("column '" + col +
+                                       "' must appear in GROUP BY");
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const std::string& s) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!ConsumeSymbol(s)) {
+      return Status::InvalidArgument("expected '" + s + "' near '" +
+                                     Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectItem(QuerySpec* query,
+                         std::vector<std::string>* plain_columns) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected column or aggregate near '" +
+                                     Peek().raw + "'");
+    }
+    const std::string kw = Peek().text;
+    if (kw == "AVG" || kw == "SUM" || kw == "VAR" || kw == "VARIANCE" ||
+        kw == "MEDIAN") {
+      Next();
+      CVOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected column inside " + kw);
+      }
+      const std::string col = Next().raw;
+      CVOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (kw == "AVG") {
+        query->aggregates.push_back(AggSpec::Avg(col));
+      } else if (kw == "SUM") {
+        query->aggregates.push_back(AggSpec::Sum(col));
+      } else if (kw == "MEDIAN") {
+        query->aggregates.push_back(AggSpec::Median(col));
+      } else {
+        query->aggregates.push_back(AggSpec::Variance(col));
+      }
+      return Status::OK();
+    }
+    if (kw == "COUNT") {
+      Next();
+      CVOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      CVOPT_RETURN_NOT_OK(ExpectSymbol("*"));
+      CVOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      query->aggregates.push_back(AggSpec::Count());
+      return Status::OK();
+    }
+    if (kw == "COUNT_IF") {
+      Next();
+      CVOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      CVOPT_ASSIGN_OR_RETURN(PredicatePtr filter, ParseOr());
+      CVOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      query->aggregates.push_back(AggSpec::CountIf(std::move(filter)));
+      return Status::OK();
+    }
+    // Plain grouped column.
+    plain_columns->push_back(Next().raw);
+    return Status::OK();
+  }
+
+  Result<PredicatePtr> ParseOr() {
+    CVOPT_ASSIGN_OR_RETURN(PredicatePtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      CVOPT_ASSIGN_OR_RETURN(PredicatePtr rhs, ParseAnd());
+      lhs = Predicate::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    CVOPT_ASSIGN_OR_RETURN(PredicatePtr lhs, ParseUnary());
+    while (Peek().kind == TokKind::kIdent && Peek().text == "AND") {
+      ++pos_;
+      CVOPT_ASSIGN_OR_RETURN(PredicatePtr rhs, ParseUnary());
+      lhs = Predicate::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<PredicatePtr> ParseUnary() {
+    if (ConsumeKeyword("NOT")) {
+      CVOPT_ASSIGN_OR_RETURN(PredicatePtr inner, ParseUnary());
+      return Predicate::Not(std::move(inner));
+    }
+    if (ConsumeSymbol("(")) {
+      CVOPT_ASSIGN_OR_RETURN(PredicatePtr inner, ParseOr());
+      CVOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kNumber) {
+      Next();
+      // Integral literals stay int64 so they compare against int columns.
+      if (t.raw.find('.') == std::string::npos &&
+          t.raw.find('e') == std::string::npos &&
+          t.raw.find('E') == std::string::npos) {
+        return Value(static_cast<int64_t>(t.number));
+      }
+      return Value(t.number);
+    }
+    if (t.kind == TokKind::kString) {
+      Next();
+      return Value(t.raw);
+    }
+    return Status::InvalidArgument("expected literal near '" + t.raw + "'");
+  }
+
+  Result<PredicatePtr> ParseComparison() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected column near '" + Peek().raw + "'");
+    }
+    const std::string col = Next().raw;
+
+    if (ConsumeKeyword("BETWEEN")) {
+      CVOPT_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+      CVOPT_RETURN_NOT_OK(ExpectKeyword("AND"));
+      CVOPT_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+      return Predicate::Between(col, std::move(lo), std::move(hi));
+    }
+    if (ConsumeKeyword("IN")) {
+      CVOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> values;
+      while (true) {
+        CVOPT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(std::move(v));
+        if (!ConsumeSymbol(",")) break;
+      }
+      CVOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Predicate::In(col, std::move(values));
+    }
+
+    const Token& op_tok = Peek();
+    if (op_tok.kind != TokKind::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator near '" +
+                                     op_tok.raw + "'");
+    }
+    CompareOp op;
+    if (op_tok.text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_tok.text == "!=" || op_tok.text == "<>") {
+      op = CompareOp::kNe;
+    } else if (op_tok.text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_tok.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_tok.text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_tok.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + op_tok.raw + "'");
+    }
+    Next();
+    CVOPT_ASSIGN_OR_RETURN(Value lit, ParseLiteral());
+    return Predicate::Compare(col, op, std::move(lit));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  CVOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  CVOPT_ASSIGN_OR_RETURN(ParsedQuery parsed, parser.Parse());
+  parsed.query.name = sql;
+  return parsed;
+}
+
+}  // namespace cvopt

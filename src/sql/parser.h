@@ -1,0 +1,37 @@
+// A small SQL front-end for the subset of SQL the paper's workload uses:
+//
+//   SELECT <col | AVG(col) | SUM(col) | COUNT(*) | COUNT_IF(pred)> [, ...]
+//   FROM <table>
+//   [WHERE <pred>]
+//   [GROUP BY col [, ...] [WITH CUBE]]
+//
+// with predicates over =, !=, <>, <, <=, >, >=, BETWEEN..AND, IN (...),
+// AND / OR / NOT and parentheses; numeric and 'string' literals. Keywords
+// are case-insensitive. The parser produces the same QuerySpec the
+// programmatic API uses, so parsed queries run on both the exact and the
+// sample-based engines.
+#ifndef CVOPT_SQL_PARSER_H_
+#define CVOPT_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/exec/query.h"
+
+namespace cvopt {
+
+/// Result of parsing one SELECT statement.
+struct ParsedQuery {
+  QuerySpec query;
+  std::string table_name;
+  /// True when the GROUP BY clause ends in WITH CUBE; expand with
+  /// ExpandCube(query) to obtain all grouping sets.
+  bool with_cube = false;
+};
+
+/// Parses a single SELECT statement. Plain (non-aggregate) select columns
+/// must appear in the GROUP BY clause, as in SQL.
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SQL_PARSER_H_

@@ -1,0 +1,25 @@
+#include "src/stats/group_key.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+std::string GroupKey::Render(const Table& table,
+                             const std::vector<size_t>& column_indices) const {
+  std::vector<std::string> parts;
+  parts.reserve(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const Column& col = table.column(column_indices[i]);
+    if (col.type() == DataType::kString) {
+      const auto& dict = col.dictionary();
+      const auto code = static_cast<size_t>(codes[i]);
+      parts.push_back(code < dict.size() ? dict[code]
+                                         : StrFormat("<%lld>", (long long)codes[i]));
+    } else {
+      parts.push_back(StrFormat("%lld", static_cast<long long>(codes[i])));
+    }
+  }
+  return Join(parts, "|");
+}
+
+}  // namespace cvopt

@@ -1,0 +1,37 @@
+// GroupKey: composite discrete key identifying one group / stratum.
+#ifndef CVOPT_STATS_GROUP_KEY_H_
+#define CVOPT_STATS_GROUP_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/table/table.h"
+#include "src/util/hash.h"
+
+namespace cvopt {
+
+/// One discrete code per grouping attribute. Int columns contribute the raw
+/// value, string columns their dictionary code.
+struct GroupKey {
+  std::vector<int64_t> codes;
+
+  bool operator==(const GroupKey& other) const { return codes == other.codes; }
+
+  /// Rendered as "v1|v2|..." using the source columns' dictionaries.
+  std::string Render(const Table& table,
+                     const std::vector<size_t>& column_indices) const;
+};
+
+/// Hash functor for unordered containers keyed by GroupKey.
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 0x2545F4914F6CDD1DULL;
+    for (int64_t c : k.codes) h = HashCombine(h, static_cast<uint64_t>(c));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_STATS_GROUP_KEY_H_

@@ -1,0 +1,13 @@
+#include "src/stats/group_stats.h"
+
+namespace cvopt {
+
+Status GroupStatsTable::Merge(const GroupStatsTable& other) {
+  if (other.num_strata_ != num_strata_ || other.num_columns_ != num_columns_) {
+    return Status::InvalidArgument("GroupStatsTable shape mismatch in Merge");
+  }
+  for (size_t i = 0; i < flat_.size(); ++i) flat_[i].Merge(other.flat_[i]);
+  return Status::OK();
+}
+
+}  // namespace cvopt

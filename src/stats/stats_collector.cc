@@ -1,0 +1,83 @@
+#include "src/stats/stats_collector.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cvopt {
+
+namespace {
+
+Status ValidateSources(const Stratification& strat,
+                       const std::vector<StatSource>& sources) {
+  const size_t n = strat.table().num_rows();
+  for (const auto& s : sources) {
+    if (!s.constant_one && s.column == nullptr && s.indicator == nullptr) {
+      return Status::InvalidArgument("StatSource has no value stream");
+    }
+    if (s.indicator != nullptr && s.indicator->size() != n) {
+      return Status::InvalidArgument("indicator length does not match table");
+    }
+    if (s.column != nullptr && s.column->type() == DataType::kString) {
+      return Status::InvalidArgument("cannot aggregate a string column");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GroupStatsTable> CollectGroupStats(
+    const Stratification& strat, const std::vector<StatSource>& sources) {
+  CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
+  const size_t n = strat.table().num_rows();
+  GroupStatsTable stats(strat.num_strata(), sources.size());
+  const auto& row_strata = strat.row_strata();
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t s = row_strata[r];
+    for (size_t j = 0; j < sources.size(); ++j) {
+      stats.At(s, j).Add(sources[j].ValueAt(r));
+    }
+  }
+  return stats;
+}
+
+Result<GroupStatsTable> CollectGroupStatsParallel(
+    const Stratification& strat, const std::vector<StatSource>& sources,
+    int num_threads) {
+  CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
+  const size_t n = strat.table().num_rows();
+  size_t threads = num_threads > 0
+                       ? static_cast<size_t>(num_threads)
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max<size_t>(1, n / 4096));
+  if (threads <= 1) return CollectGroupStats(strat, sources);
+
+  const auto& row_strata = strat.row_strata();
+  std::vector<GroupStatsTable> partials(
+      threads, GroupStatsTable(strat.num_strata(), sources.size()));
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t lo = t * chunk;
+      const size_t hi = std::min(n, lo + chunk);
+      GroupStatsTable& local = partials[t];
+      for (size_t r = lo; r < hi; ++r) {
+        const uint32_t s = row_strata[r];
+        for (size_t j = 0; j < sources.size(); ++j) {
+          local.At(s, j).Add(sources[j].ValueAt(r));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  GroupStatsTable merged = std::move(partials[0]);
+  for (size_t t = 1; t < threads; ++t) {
+    CVOPT_RETURN_NOT_OK(merged.Merge(partials[t]));
+  }
+  return merged;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,47 @@
+// Single-pass collection of per-stratum statistics for a set of "stat
+// sources" (aggregation value streams). This is the offline first pass the
+// paper describes in Section 6: "The first pass computes some statistics for
+// each group".
+#ifndef CVOPT_STATS_STATS_COLLECTOR_H_
+#define CVOPT_STATS_STATS_COLLECTOR_H_
+
+#include <vector>
+
+#include "src/core/stratification.h"
+#include "src/stats/group_stats.h"
+#include "src/table/column.h"
+
+namespace cvopt {
+
+/// One per-row value stream feeding a stat column:
+/// - a numeric column (AVG/SUM aggregates),
+/// - a 0/1 indicator vector (COUNT_IF aggregates), or
+/// - the constant 1 (COUNT aggregates).
+struct StatSource {
+  const Column* column = nullptr;
+  const std::vector<uint8_t>* indicator = nullptr;
+  bool constant_one = false;
+
+  double ValueAt(size_t row) const {
+    if (constant_one) return 1.0;
+    if (indicator != nullptr) return (*indicator)[row] ? 1.0 : 0.0;
+    return column->GetDouble(row);
+  }
+};
+
+/// Computes RunningStats for every (stratum, source) pair in one pass over
+/// the table rows of `strat`.
+Result<GroupStatsTable> CollectGroupStats(const Stratification& strat,
+                                          const std::vector<StatSource>& sources);
+
+/// Parallel variant: splits the rows into `num_threads` contiguous chunks,
+/// collects per-chunk statistics, and merges them (Chan et al. pairwise
+/// merge, exact up to floating-point reassociation). num_threads <= 0 uses
+/// the hardware concurrency.
+Result<GroupStatsTable> CollectGroupStatsParallel(
+    const Stratification& strat, const std::vector<StatSource>& sources,
+    int num_threads = 0);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_STATS_STATS_COLLECTOR_H_

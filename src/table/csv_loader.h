@@ -1,0 +1,39 @@
+// CSV ingestion: load external datasets (e.g. the real OpenAQ or Divvy
+// exports) into the engine's columnar Table. Supports explicit schemas or
+// type inference from a sample of rows.
+#ifndef CVOPT_TABLE_CSV_LOADER_H_
+#define CVOPT_TABLE_CSV_LOADER_H_
+
+#include <string>
+
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row is a header with column names.
+  bool has_header = true;
+  /// Rows examined for type inference (int64 -> double -> string fallback).
+  size_t inference_rows = 100;
+};
+
+/// Parses CSV text with an explicit schema. Field counts must match; values
+/// must convert to the declared types.
+Result<Table> TableFromCsv(const std::string& csv_text, const Schema& schema,
+                           const CsvOptions& options = {});
+
+/// Parses CSV text, inferring each column's type from the leading rows:
+/// a column is int64 if every sampled value parses as an integer, double if
+/// every value parses as a number, string otherwise.
+Result<Table> TableFromCsvInferred(const std::string& csv_text,
+                                   const CsvOptions& options = {});
+
+/// Reads a CSV file from disk (explicit schema).
+Result<Table> TableFromCsvFile(const std::string& path, const Schema& schema,
+                               const CsvOptions& options = {});
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_CSV_LOADER_H_

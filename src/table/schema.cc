@@ -1,0 +1,32 @@
+#include "src/table/schema.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    parts.push_back(f.name + ":" + DataTypeToString(f.type));
+  }
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace cvopt

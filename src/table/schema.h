@@ -1,0 +1,49 @@
+// Schema: ordered list of named, typed columns.
+#ifndef CVOPT_TABLE_SCHEMA_H_
+#define CVOPT_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/table/value.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// A single column definition.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered collection of Fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with the given name, or error.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  /// True if a column with the given name exists.
+  bool HasColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_SCHEMA_H_

@@ -1,0 +1,82 @@
+#include "src/table/table.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+Table::Table(Schema schema, std::vector<Column> columns)
+    : schema_(std::move(schema)), columns_(std::move(columns)) {
+  CVOPT_CHECK(schema_.num_fields() == columns_.size(),
+              "schema/column count mismatch");
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  for (const auto& c : columns_) {
+    CVOPT_CHECK(c.size() == num_rows_, "ragged columns");
+  }
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  CVOPT_ASSIGN_OR_RETURN(size_t idx, schema_.FindColumn(name));
+  return &columns_[idx];
+}
+
+Table Table::TakeRows(const std::vector<uint32_t>& row_indices) const {
+  std::vector<Column> out_cols;
+  out_cols.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    Column out(col.type());
+    out.Reserve(row_indices.size());
+    switch (col.type()) {
+      case DataType::kInt64:
+        for (uint32_t r : row_indices) out.AppendInt(col.GetInt(r));
+        break;
+      case DataType::kDouble:
+        for (uint32_t r : row_indices) out.AppendDouble(col.GetDouble(r));
+        break;
+      case DataType::kString:
+        // Re-intern to keep the output dictionary dense.
+        for (uint32_t r : row_indices) out.AppendString(col.GetString(r));
+        break;
+    }
+    out_cols.push_back(std::move(out));
+  }
+  return Table(schema_, std::move(out_cols));
+}
+
+Table Table::Duplicate(size_t factor) const {
+  std::vector<Column> out_cols;
+  out_cols.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    Column out(col.type());
+    out.Reserve(num_rows_ * factor);
+    for (size_t f = 0; f < factor; ++f) {
+      switch (col.type()) {
+        case DataType::kInt64:
+          for (size_t r = 0; r < num_rows_; ++r) out.AppendInt(col.GetInt(r));
+          break;
+        case DataType::kDouble:
+          for (size_t r = 0; r < num_rows_; ++r) out.AppendDouble(col.GetDouble(r));
+          break;
+        case DataType::kString:
+          for (size_t r = 0; r < num_rows_; ++r) out.AppendString(col.GetString(r));
+          break;
+      }
+    }
+    out_cols.push_back(std::move(out));
+  }
+  return Table(schema_, std::move(out_cols));
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + StrFormat(" rows=%zu\n", num_rows_);
+  const size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> fields;
+    fields.reserve(columns_.size());
+    for (const auto& c : columns_) fields.push_back(c.GetValue(r).ToString());
+    out += "  [" + Join(fields, ", ") + "]\n";
+  }
+  if (n < num_rows_) out += StrFormat("  ... (%zu more)\n", num_rows_ - n);
+  return out;
+}
+
+}  // namespace cvopt

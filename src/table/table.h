@@ -1,0 +1,52 @@
+// Table: an immutable-after-build in-memory columnar table.
+#ifndef CVOPT_TABLE_TABLE_H_
+#define CVOPT_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/column.h"
+#include "src/table/schema.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Columnar table: a Schema plus one Column per field, all equal length.
+class Table {
+ public:
+  Table(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column by name, or error if absent.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Index of the named column, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const {
+    return schema_.FindColumn(name);
+  }
+
+  /// Builds a new table containing exactly the given rows (in order).
+  /// Used to materialize samples.
+  Table TakeRows(const std::vector<uint32_t>& row_indices) const;
+
+  /// Builds a new table with this table's rows repeated `factor` times
+  /// (used by the Table 6 scale-up experiment, mirroring OpenAQ-25x).
+  Table Duplicate(size_t factor) const;
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_TABLE_H_

@@ -1,0 +1,32 @@
+#include "src/table/table_builder.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row width %zu does not match schema width %zu",
+                  values.size(), columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    CVOPT_RETURN_NOT_OK(columns_[i].Append(values[i]));
+  }
+  return Status::OK();
+}
+
+void TableBuilder::Reserve(size_t n) {
+  for (auto& c : columns_) c.Reserve(n);
+}
+
+Table TableBuilder::Finish() && {
+  return Table(std::move(schema_), std::move(columns_));
+}
+
+}  // namespace cvopt

@@ -1,0 +1,37 @@
+// TableBuilder: row-at-a-time construction of a Table.
+#ifndef CVOPT_TABLE_TABLE_BUILDER_H_
+#define CVOPT_TABLE_TABLE_BUILDER_H_
+
+#include <vector>
+
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Appends rows against a fixed schema, then finishes into a Table.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; value types must match the schema.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Direct column access for bulk typed appends (caller keeps lengths equal).
+  Column* MutableColumn(size_t i) { return &columns_[i]; }
+
+  /// Pre-allocates capacity in every column.
+  void Reserve(size_t n);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  /// Consumes the builder and produces the Table.
+  Table Finish() &&;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_TABLE_BUILDER_H_

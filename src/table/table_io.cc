@@ -1,0 +1,179 @@
+#include "src/table/table_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/table/table_builder.h"
+#include "src/util/string_util.h"
+
+namespace cvopt {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'V', 'T', 'B'};
+constexpr uint32_t kVersion = 1;
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileCloser(const FileCloser&) = delete;
+  FileCloser& operator=(const FileCloser&) = delete;
+
+ private:
+  std::FILE* f_;
+};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, T v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+
+Status WriteString(std::FILE* f, const std::string& s) {
+  CVOPT_RETURN_NOT_OK(WritePod<uint32_t>(f, static_cast<uint32_t>(s.size())));
+  return WriteBytes(f, s.data(), s.size());
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::Internal("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<T> ReadPod(std::FILE* f) {
+  T v;
+  CVOPT_RETURN_NOT_OK(ReadBytes(f, &v, sizeof(T)));
+  return v;
+}
+
+Result<std::string> ReadString(std::FILE* f) {
+  CVOPT_ASSIGN_OR_RETURN(uint32_t len, ReadPod<uint32_t>(f));
+  if (len > (1u << 28)) return Status::Internal("corrupt string length");
+  std::string s(len, '\0');
+  CVOPT_RETURN_NOT_OK(ReadBytes(f, s.data(), len));
+  return s;
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open for write: " + path);
+  FileCloser closer(f);
+
+  CVOPT_RETURN_NOT_OK(WriteBytes(f, kMagic, sizeof(kMagic)));
+  CVOPT_RETURN_NOT_OK(WritePod<uint32_t>(f, kVersion));
+  CVOPT_RETURN_NOT_OK(WritePod<uint64_t>(f, table.num_rows()));
+  CVOPT_RETURN_NOT_OK(
+      WritePod<uint32_t>(f, static_cast<uint32_t>(table.num_columns())));
+
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const Column& col = table.column(i);
+    CVOPT_RETURN_NOT_OK(WriteString(f, table.schema().field(i).name));
+    CVOPT_RETURN_NOT_OK(WritePod<uint8_t>(f, static_cast<uint8_t>(col.type())));
+    switch (col.type()) {
+      case DataType::kInt64:
+        CVOPT_RETURN_NOT_OK(WriteBytes(f, col.ints().data(),
+                                       col.ints().size() * sizeof(int64_t)));
+        break;
+      case DataType::kDouble:
+        CVOPT_RETURN_NOT_OK(WriteBytes(f, col.doubles().data(),
+                                       col.doubles().size() * sizeof(double)));
+        break;
+      case DataType::kString: {
+        const auto& dict = col.dictionary();
+        CVOPT_RETURN_NOT_OK(
+            WritePod<uint32_t>(f, static_cast<uint32_t>(dict.size())));
+        for (const auto& s : dict) CVOPT_RETURN_NOT_OK(WriteString(f, s));
+        CVOPT_RETURN_NOT_OK(WriteBytes(f, col.codes().data(),
+                                       col.codes().size() * sizeof(int32_t)));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadTableFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
+  FileCloser closer(f);
+
+  char magic[4];
+  CVOPT_RETURN_NOT_OK(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a cvopt table file: " + path);
+  }
+  CVOPT_ASSIGN_OR_RETURN(uint32_t version, ReadPod<uint32_t>(f));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported table file version %u", version));
+  }
+  CVOPT_ASSIGN_OR_RETURN(uint64_t num_rows, ReadPod<uint64_t>(f));
+  CVOPT_ASSIGN_OR_RETURN(uint32_t num_cols, ReadPod<uint32_t>(f));
+  if (num_cols > (1u << 16)) return Status::Internal("corrupt column count");
+
+  std::vector<Field> fields;
+  std::vector<Column> columns;
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    CVOPT_ASSIGN_OR_RETURN(std::string name, ReadString(f));
+    CVOPT_ASSIGN_OR_RETURN(uint8_t type_raw, ReadPod<uint8_t>(f));
+    if (type_raw > static_cast<uint8_t>(DataType::kString)) {
+      return Status::Internal("corrupt column type");
+    }
+    const DataType type = static_cast<DataType>(type_raw);
+    fields.push_back({name, type});
+    Column col(type);
+    col.Reserve(num_rows);
+    switch (type) {
+      case DataType::kInt64: {
+        std::vector<int64_t> vals(num_rows);
+        CVOPT_RETURN_NOT_OK(
+            ReadBytes(f, vals.data(), num_rows * sizeof(int64_t)));
+        for (int64_t v : vals) col.AppendInt(v);
+        break;
+      }
+      case DataType::kDouble: {
+        std::vector<double> vals(num_rows);
+        CVOPT_RETURN_NOT_OK(
+            ReadBytes(f, vals.data(), num_rows * sizeof(double)));
+        for (double v : vals) col.AppendDouble(v);
+        break;
+      }
+      case DataType::kString: {
+        CVOPT_ASSIGN_OR_RETURN(uint32_t dict_size, ReadPod<uint32_t>(f));
+        if (dict_size > (1u << 28)) return Status::Internal("corrupt dict");
+        std::vector<int32_t> remap(dict_size);
+        for (uint32_t d = 0; d < dict_size; ++d) {
+          CVOPT_ASSIGN_OR_RETURN(std::string entry, ReadString(f));
+          remap[d] = col.InternString(entry);
+        }
+        std::vector<int32_t> codes(num_rows);
+        CVOPT_RETURN_NOT_OK(
+            ReadBytes(f, codes.data(), num_rows * sizeof(int32_t)));
+        for (int32_t c : codes) {
+          if (c < 0 || static_cast<uint32_t>(c) >= dict_size) {
+            return Status::Internal("corrupt dictionary code");
+          }
+          col.AppendCode(remap[c]);
+        }
+        break;
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table(Schema(std::move(fields)), std::move(columns));
+}
+
+}  // namespace cvopt

@@ -1,0 +1,29 @@
+// Binary persistence for tables and materialized samples. A real warehouse
+// deployment of CVOPT computes samples offline and ships them to query
+// frontends; this module provides the (de)serialization for that step and
+// for checkpointing expensive synthetic datasets.
+//
+// Format (little-endian, version 1):
+//   magic "CVTB" | u32 version | u64 num_rows | u32 num_cols
+//   per column: u32 name_len | name | u8 type |
+//     int64:  raw int64 values
+//     double: raw double values
+//     string: u32 dict_size | (u32 len | bytes)* | raw int32 codes
+#ifndef CVOPT_TABLE_TABLE_IO_H_
+#define CVOPT_TABLE_TABLE_IO_H_
+
+#include <string>
+
+#include "src/table/table.h"
+
+namespace cvopt {
+
+/// Writes the table to `path`, overwriting any existing file.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Reads a table previously written by WriteTableFile.
+Result<Table> ReadTableFile(const std::string& path);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_TABLE_IO_H_

@@ -1,0 +1,36 @@
+#include "src/table/value.h"
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  if (is_int()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  return static_cast<double>(std::get<int64_t>(v_));
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(AsInt()));
+  if (is_double()) return FormatDouble(std::get<double>(v_), 6);
+  return AsString();
+}
+
+}  // namespace cvopt

@@ -1,0 +1,53 @@
+// Value: a dynamically-typed scalar used for literals, row building, and
+// group-key rendering.
+#ifndef CVOPT_TABLE_VALUE_H_
+#define CVOPT_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cvopt {
+
+/// Physical column types supported by the engine.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Human-readable type name.
+const char* DataTypeToString(DataType t);
+
+/// A typed scalar. Small enough to pass by value in builder paths.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                    // NOLINT(runtime/explicit)
+  Value(int v) : v_(static_cast<int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}                     // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}     // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}   // NOLINT(runtime/explicit)
+
+  DataType type() const;
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion: int64 and double render as numbers; string as-is.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_VALUE_H_

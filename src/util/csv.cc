@@ -1,0 +1,59 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Status CsvWriter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "CSV row has %zu fields, header has %zu", row.size(), header_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  const std::string data = ToString();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cvopt

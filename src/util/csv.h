@@ -1,0 +1,38 @@
+// Minimal CSV writer used by the bench harness to dump experiment series.
+#ifndef CVOPT_UTIL_CSV_H_
+#define CVOPT_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+class CsvWriter {
+ public:
+  /// Sets the header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Serializes all rows (header first) to a string.
+  std::string ToString() const;
+
+  /// Writes the CSV to a file path.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeField(const std::string& f);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_UTIL_CSV_H_

@@ -1,0 +1,27 @@
+// Hashing helpers for composite keys.
+#ifndef CVOPT_UTIL_HASH_H_
+#define CVOPT_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cvopt {
+
+/// Mixes a 64-bit value (finalizer from MurmurHash3).
+inline uint64_t HashMix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines a hash with a new value (boost::hash_combine, 64-bit variant).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (HashMix64(v) + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace cvopt
+
+#endif  // CVOPT_UTIL_HASH_H_

@@ -1,0 +1,80 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace cvopt {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  spare_gaussian_ = mag * std::sin(two_pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+Rng Rng::Split() { return Rng(Next64()); }
+
+}  // namespace cvopt

@@ -1,0 +1,144 @@
+// Status and Result<T>: lightweight, Arrow-style error propagation used across
+// the cvopt library. No exceptions cross public API boundaries.
+#ifndef CVOPT_UTIL_STATUS_H_
+#define CVOPT_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cvopt {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined if !ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or dies with the error message.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression returning Status.
+#define CVOPT_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::cvopt::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Assigns from a Result<T>, propagating errors.
+#define CVOPT_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto CVOPT_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!CVOPT_CONCAT_(_res_, __LINE__).ok())       \
+    return CVOPT_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(CVOPT_CONCAT_(_res_, __LINE__)).value();
+
+#define CVOPT_CONCAT_(a, b) CVOPT_CONCAT_IMPL_(a, b)
+#define CVOPT_CONCAT_IMPL_(a, b) a##b
+
+/// Internal invariant check; aborts with a message on failure.
+#define CVOPT_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, msg);                                        \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace cvopt
+
+#endif  // CVOPT_UTIL_STATUS_H_

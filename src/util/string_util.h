@@ -1,0 +1,27 @@
+// Small string helpers used by result formatting and CSV output.
+#ifndef CVOPT_UTIL_STRING_UTIL_H_
+#define CVOPT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace cvopt {
+
+/// Joins the parts with the separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string FormatDouble(double v, int precision = 6);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_UTIL_STRING_UTIL_H_

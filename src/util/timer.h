@@ -1,0 +1,32 @@
+// Wall-clock timing helper for the experiment harness.
+#ifndef CVOPT_UTIL_TIMER_H_
+#define CVOPT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cvopt {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_UTIL_TIMER_H_

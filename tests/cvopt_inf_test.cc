@@ -1,0 +1,148 @@
+// Tests for CVOPT-INF (Section 5): the l-inf allocation equalizes per-group
+// CVs, respects budgets/caps, and achieves a lower max-CV than the l2
+// allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/core/cvopt_inf.h"
+#include "src/core/lemma1.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+// Expected CV of the stratified mean estimator for group i with allocation s.
+double EstimatorCv(double sigma, double mu, uint64_t n, double s) {
+  if (s <= 0 || sigma == 0) return 0;
+  const double nn = static_cast<double>(n);
+  return sigma / mu * std::sqrt((nn - s) / (nn * s));
+}
+
+uint64_t Total(const std::vector<uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), uint64_t{0});
+}
+
+TEST(CvoptInfTest, BudgetRespected) {
+  std::vector<double> sigmas{10, 1, 5};
+  std::vector<double> mus{100, 100, 100};
+  std::vector<uint64_t> ns{10000, 10000, 10000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, 600));
+  EXPECT_LE(Total(a.sizes), 600u);
+  EXPECT_GE(Total(a.sizes), 590u);  // nearly all of it used
+  for (size_t i = 0; i < 3; ++i) EXPECT_LE(a.sizes[i], ns[i]);
+}
+
+TEST(CvoptInfTest, FractionalSolutionEqualizesCv) {
+  // Lemma 4: at the optimum all per-group CVs are equal.
+  std::vector<double> sigmas{10, 1, 5, 2.5};
+  std::vector<double> mus{100, 50, 200, 80};
+  std::vector<uint64_t> ns{50000, 30000, 80000, 10000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, 2000));
+  std::vector<double> cvs;
+  for (size_t i = 0; i < 4; ++i) {
+    cvs.push_back(EstimatorCv(sigmas[i], mus[i], ns[i], a.fractional[i]));
+  }
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(cvs[i], cvs[0], cvs[0] * 0.02)
+        << "CVs not equalized: " << cvs[0] << " vs " << cvs[i];
+  }
+}
+
+TEST(CvoptInfTest, LowerMaxCvThanL2) {
+  Rng rng(77);
+  std::vector<double> sigmas, mus;
+  std::vector<uint64_t> ns;
+  std::vector<double> alphas;
+  for (int i = 0; i < 12; ++i) {
+    const double mu = rng.UniformDouble(10, 500);
+    const double sigma = mu * rng.UniformDouble(0.05, 2.0);
+    const uint64_t n = 1000 + rng.Uniform(100000);
+    sigmas.push_back(sigma);
+    mus.push_back(mu);
+    ns.push_back(n);
+    alphas.push_back(sigma * sigma / (mu * mu));
+  }
+  const uint64_t budget = 3000;
+  ASSERT_OK_AND_ASSIGN(Allocation inf, SolveCvoptInf(sigmas, mus, ns, budget));
+  ASSERT_OK_AND_ASSIGN(Allocation l2, SolveLemma1(alphas, ns, budget));
+
+  auto max_cv = [&](const Allocation& a) {
+    double m = 0;
+    for (size_t i = 0; i < sigmas.size(); ++i) {
+      m = std::max(m, EstimatorCv(sigmas[i], mus[i], ns[i],
+                                  static_cast<double>(a.sizes[i])));
+    }
+    return m;
+  };
+  // The l-inf optimum cannot have a larger max CV than the l2 optimum
+  // (modulo integer rounding; allow 5% slack).
+  EXPECT_LE(max_cv(inf), max_cv(l2) * 1.05);
+}
+
+TEST(CvoptInfTest, ZeroVarianceGroupsGetOneRow) {
+  std::vector<double> sigmas{0, 5, 0};
+  std::vector<double> mus{10, 100, 20};
+  std::vector<uint64_t> ns{1000, 1000, 1000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, 100));
+  EXPECT_EQ(a.sizes[0], 1u);
+  EXPECT_EQ(a.sizes[2], 1u);
+  EXPECT_GE(a.sizes[1], 90u);
+}
+
+TEST(CvoptInfTest, AllConstantGroups) {
+  std::vector<double> sigmas{0, 0};
+  std::vector<double> mus{10, 20};
+  std::vector<uint64_t> ns{500, 500};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, 50));
+  EXPECT_EQ(a.sizes[0], 1u);
+  EXPECT_EQ(a.sizes[1], 1u);
+}
+
+TEST(CvoptInfTest, BudgetCoversPopulation) {
+  std::vector<double> sigmas{1, 2};
+  std::vector<double> mus{10, 10};
+  std::vector<uint64_t> ns{20, 30};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, 1000));
+  EXPECT_EQ(a.sizes[0], 20u);
+  EXPECT_EQ(a.sizes[1], 30u);
+}
+
+TEST(CvoptInfTest, InputValidation) {
+  EXPECT_FALSE(SolveCvoptInf({1.0}, {1.0, 2.0}, {10}, 5).ok());
+  ASSERT_OK_AND_ASSIGN(Allocation empty, SolveCvoptInf({}, {}, {}, 5));
+  EXPECT_TRUE(empty.sizes.empty());
+}
+
+// Property: across random instances, the integral allocation stays within
+// budget and caps, and every nonempty group is represented.
+class CvoptInfProperty : public testing::TestWithParam<int> {};
+
+TEST_P(CvoptInfProperty, FeasibleAndCovering) {
+  Rng rng(500 + GetParam());
+  const size_t r = 2 + rng.Uniform(30);
+  std::vector<double> sigmas(r), mus(r);
+  std::vector<uint64_t> ns(r);
+  for (size_t i = 0; i < r; ++i) {
+    mus[i] = rng.UniformDouble(1, 1000);
+    sigmas[i] = rng.NextDouble() < 0.2 ? 0.0 : mus[i] * rng.UniformDouble(0, 3);
+    ns[i] = 1 + rng.Uniform(50000);
+  }
+  const uint64_t budget = r + rng.Uniform(5000);
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveCvoptInf(sigmas, mus, ns, budget));
+  EXPECT_LE(Total(a.sizes), budget);
+  for (size_t i = 0; i < r; ++i) {
+    EXPECT_LE(a.sizes[i], ns[i]);
+    if (ns[i] > 0) {
+      EXPECT_GE(a.sizes[i], 1u) << "group " << i << " missing";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, CvoptInfProperty,
+                         testing::Range(0, 10));
+
+}  // namespace
+}  // namespace cvopt

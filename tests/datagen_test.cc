@@ -1,0 +1,220 @@
+// Tests for the synthetic dataset generators: schemas, sizes, and the
+// statistical properties the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/core/stratification.h"
+#include "src/datagen/bikes_gen.h"
+#include "src/datagen/distributions.h"
+#include "src/datagen/openaq_gen.h"
+#include "src/datagen/tpch_gen.h"
+#include "src/datagen/zipf.h"
+#include "src/exec/group_by_executor.h"
+#include "src/stats/stats_collector.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.2);
+  double sum = 0;
+  for (size_t k = 0; k < 100; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.Pmf(1000), 0.0);
+}
+
+TEST(ZipfTest, SkewOrdersProbabilities) {
+  ZipfDistribution z(10, 1.0);
+  for (size_t k = 1; k < 10; ++k) EXPECT_LT(z.Pmf(k), z.Pmf(k - 1));
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution z(8, 0.0);
+  for (size_t k = 0; k < 8; ++k) EXPECT_NEAR(z.Pmf(k), 0.125, 1e-12);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfDistribution z(20, 1.1);
+  Rng rng(101);
+  std::vector<int> hits(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits[z.Sample(&rng)]++;
+  for (size_t k = 0; k < 20; ++k) {
+    const double expect = n * z.Pmf(k);
+    EXPECT_NEAR(hits[k], expect, 5 * std::sqrt(expect) + 5) << "k=" << k;
+  }
+}
+
+TEST(DistributionsTest, LognormalMeanCvCalibrated) {
+  Rng rng(103);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) {
+    s.Add(SampleLognormalMeanCv(&rng, 50.0, 0.8));
+  }
+  EXPECT_NEAR(s.mean(), 50.0, 1.0);
+  EXPECT_NEAR(s.cv(), 0.8, 0.03);
+}
+
+TEST(DistributionsTest, ParetoBounds) {
+  Rng rng(107);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(SamplePareto(&rng, 3.0, 2.0), 3.0);
+  }
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  Rng rng(109);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.Add(SampleExponential(&rng, 0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+}
+
+TEST(OpenAqTest, SchemaAndSize) {
+  OpenAqOptions opts;
+  opts.num_rows = 50000;
+  Table t = GenerateOpenAq(opts);
+  EXPECT_EQ(t.num_rows(), 50000u);
+  for (const char* col : {"country", "parameter", "unit", "value", "latitude",
+                          "year", "month", "hour"}) {
+    EXPECT_TRUE(t.schema().HasColumn(col)) << col;
+  }
+}
+
+TEST(OpenAqTest, GroupSizesAreSkewed) {
+  OpenAqOptions opts;
+  opts.num_rows = 100000;
+  Table t = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(Stratification s, Stratification::Build(t, {"country"}));
+  uint64_t mn = UINT64_MAX, mx = 0;
+  for (uint64_t sz : s.sizes()) {
+    mn = std::min(mn, sz);
+    mx = std::max(mx, sz);
+  }
+  EXPECT_GT(mx, mn * 10) << "country sizes should be heavily skewed";
+}
+
+TEST(OpenAqTest, GroupCvsAreSpread) {
+  OpenAqOptions opts;
+  opts.num_rows = 100000;
+  Table t = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(Stratification s,
+                       Stratification::Build(t, {"country", "parameter"}));
+  ASSERT_OK_AND_ASSIGN(const Column* v, t.ColumnByName("value"));
+  StatSource src;
+  src.column = v;
+  ASSERT_OK_AND_ASSIGN(GroupStatsTable stats, CollectGroupStats(s, {src}));
+  double min_cv = 1e9, max_cv = 0;
+  for (size_t c = 0; c < s.num_strata(); ++c) {
+    if (stats.At(c, 0).count() < 100) continue;
+    min_cv = std::min(min_cv, stats.At(c, 0).cv());
+    max_cv = std::max(max_cv, stats.At(c, 0).cv());
+  }
+  EXPECT_GT(max_cv, 4 * min_cv) << "per-group CVs should vary widely";
+}
+
+TEST(OpenAqTest, ValuesPositiveAndBcStraddlesThreshold) {
+  OpenAqOptions opts;
+  opts.num_rows = 100000;
+  Table t = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(const Column* v, t.ColumnByName("value"));
+  for (size_t r = 0; r < 1000; ++r) EXPECT_GT(v->GetDouble(r), 0.0);
+
+  QuerySpec q;
+  q.aggregates = {
+      AggSpec::CountIf(Predicate::And(
+          Predicate::Compare("parameter", CompareOp::kEq, "bc"),
+          Predicate::Compare("value", CompareOp::kGt, 0.04))),
+      AggSpec::CountIf(Predicate::And(
+          Predicate::Compare("parameter", CompareOp::kEq, "bc"),
+          Predicate::Compare("value", CompareOp::kLe, 0.04)))};
+  ASSERT_OK_AND_ASSIGN(QueryResult res, ExecuteExact(t, q));
+  EXPECT_GT(res.value(0, 0), 100.0);  // some bc above threshold
+  EXPECT_GT(res.value(0, 1), 100.0);  // some bc below
+}
+
+TEST(OpenAqTest, YearsCoverRange) {
+  OpenAqOptions opts;
+  opts.num_rows = 20000;
+  Table t = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(Stratification s, Stratification::Build(t, {"year"}));
+  EXPECT_EQ(s.num_strata(), 4u);  // 2015..2018
+}
+
+TEST(OpenAqTest, Deterministic) {
+  OpenAqOptions opts;
+  opts.num_rows = 1000;
+  Table a = GenerateOpenAq(opts);
+  Table b = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(const Column* va, a.ColumnByName("value"));
+  ASSERT_OK_AND_ASSIGN(const Column* vb, b.ColumnByName("value"));
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_DOUBLE_EQ(va->GetDouble(r), vb->GetDouble(r));
+  }
+}
+
+TEST(BikesTest, SchemaAndStations) {
+  BikesOptions opts;
+  opts.num_rows = 50000;
+  Table t = GenerateBikes(opts);
+  EXPECT_EQ(t.num_rows(), 50000u);
+  for (const char* col : {"from_station_id", "year", "trip_duration", "age",
+                          "gender", "month", "hour"}) {
+    EXPECT_TRUE(t.schema().HasColumn(col)) << col;
+  }
+  ASSERT_OK_AND_ASSIGN(const Column* st, t.ColumnByName("from_station_id"));
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_GE(st->GetInt(r), 1);
+    EXPECT_LE(st->GetInt(r), 619);
+  }
+}
+
+TEST(BikesTest, BadAgeFractionApproximatelyHonored) {
+  BikesOptions opts;
+  opts.num_rows = 100000;
+  opts.bad_age_fraction = 0.05;
+  Table t = GenerateBikes(opts);
+  ASSERT_OK_AND_ASSIGN(const Column* age, t.ColumnByName("age"));
+  size_t bad = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) bad += age->GetInt(r) <= 0;
+  EXPECT_NEAR(static_cast<double>(bad) / t.num_rows(), 0.05, 0.005);
+}
+
+TEST(BikesTest, DurationsPositiveAndYearsValid) {
+  BikesOptions opts;
+  opts.num_rows = 20000;
+  Table t = GenerateBikes(opts);
+  ASSERT_OK_AND_ASSIGN(const Column* dur, t.ColumnByName("trip_duration"));
+  ASSERT_OK_AND_ASSIGN(const Column* year, t.ColumnByName("year"));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(dur->GetDouble(r), 60.0);
+    EXPECT_GE(year->GetInt(r), 2016);
+    EXPECT_LE(year->GetInt(r), 2018);
+  }
+}
+
+TEST(TpchTest, SchemaAndDomains) {
+  TpchOptions opts;
+  opts.num_rows = 20000;
+  Table t = GenerateTpchLineitem(opts);
+  EXPECT_EQ(t.num_rows(), 20000u);
+  ASSERT_OK_AND_ASSIGN(const Column* rf, t.ColumnByName("returnflag"));
+  EXPECT_LE(rf->dictionary().size(), 3u);
+  ASSERT_OK_AND_ASSIGN(const Column* sm, t.ColumnByName("shipmode"));
+  EXPECT_EQ(sm->dictionary().size(), 7u);
+  ASSERT_OK_AND_ASSIGN(const Column* qty, t.ColumnByName("quantity"));
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_GE(qty->GetDouble(r), 1.0);
+    EXPECT_LE(qty->GetDouble(r), 50.0);
+  }
+  ASSERT_OK_AND_ASSIGN(const Column* disc, t.ColumnByName("discount"));
+  for (size_t r = 0; r < 1000; ++r) {
+    EXPECT_GE(disc->GetDouble(r), 0.0);
+    EXPECT_LE(disc->GetDouble(r), 0.10 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,91 @@
+// Tests for the AqpEngine facade.
+#include <gtest/gtest.h>
+
+#include "src/aqp/engine.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/sample/uniform_sampler.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+QuerySpec AvgV() {
+  QuerySpec q;
+  q.group_by = {"g"};
+  q.aggregates = {AggSpec::Avg("v")};
+  return q;
+}
+
+TEST(AqpEngineTest, BuildGetDrop) {
+  Table t = MakeSkewedTable(4, 50);
+  AqpEngine engine(&t);
+  CvoptSampler cvopt;
+  ASSERT_OK(engine.BuildSample("s1", cvopt, {AvgV()}, 0.5));
+  EXPECT_EQ(engine.num_samples(), 1u);
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s, engine.GetSample("s1"));
+  EXPECT_EQ(s->method(), "CVOPT");
+  EXPECT_NEAR(s->SampleRate(), 0.5, 0.05);
+  EXPECT_FALSE(engine.GetSample("nope").ok());
+  engine.DropSample("s1");
+  EXPECT_EQ(engine.num_samples(), 0u);
+}
+
+TEST(AqpEngineTest, RateValidation) {
+  Table t = MakeSkewedTable(2, 10);
+  AqpEngine engine(&t);
+  UniformSampler u;
+  EXPECT_FALSE(engine.BuildSample("x", u, {}, 0.0).ok());
+  EXPECT_FALSE(engine.BuildSample("x", u, {}, 1.5).ok());
+  EXPECT_OK(engine.BuildSample("x", u, {}, 1.0));
+}
+
+TEST(AqpEngineTest, ReplacesSampleUnderSameName) {
+  Table t = MakeSkewedTable(2, 50);
+  AqpEngine engine(&t);
+  UniformSampler u;
+  CvoptSampler cvopt;
+  ASSERT_OK(engine.BuildSample("s", u, {}, 0.2));
+  ASSERT_OK(engine.BuildSample("s", cvopt, {AvgV()}, 0.2));
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s, engine.GetSample("s"));
+  EXPECT_EQ(s->method(), "CVOPT");
+  EXPECT_EQ(engine.num_samples(), 1u);
+}
+
+TEST(AqpEngineTest, ExactVsApproxAndEvaluate) {
+  Table t = MakeSkewedTable(5, 100);
+  AqpEngine engine(&t, /*seed=*/7);
+  CvoptSampler cvopt;
+  ASSERT_OK(engine.BuildSample("s", cvopt, {AvgV()}, 0.3));
+
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, engine.AnswerExact(AvgV()));
+  EXPECT_EQ(exact.num_groups(), 5u);
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, engine.AnswerApprox("s", AvgV()));
+  EXPECT_EQ(approx.num_groups(), 5u);
+
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, engine.Evaluate("s", AvgV()));
+  EXPECT_EQ(rep.errors.size(), 5u);
+  EXPECT_LT(rep.MaxError(), 0.2);  // 30% CVOPT sample is quite accurate here
+}
+
+TEST(AqpEngineTest, BudgetVariant) {
+  Table t = MakeSkewedTable(3, 100);
+  AqpEngine engine(&t);
+  UniformSampler u;
+  ASSERT_OK(engine.BuildSampleWithBudget("b", u, {}, 123));
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s, engine.GetSample("b"));
+  EXPECT_EQ(s->size(), 123u);
+}
+
+TEST(AqpEngineTest, DeterministicAcrossSeeds) {
+  Table t = MakeSkewedTable(3, 100);
+  UniformSampler u;
+  AqpEngine e1(&t, 99), e2(&t, 99);
+  ASSERT_OK(e1.BuildSampleWithBudget("s", u, {}, 50));
+  ASSERT_OK(e2.BuildSampleWithBudget("s", u, {}, 50));
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s1, e1.GetSample("s"));
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s2, e2.GetSample("s"));
+  EXPECT_EQ(s1->rows(), s2->rows());
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,109 @@
+// Tests for ErrorReport / CompareResults.
+#include <gtest/gtest.h>
+
+#include "src/estimate/error_report.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+QueryResult MakeResult(std::vector<std::pair<int64_t, double>> groups) {
+  QueryResult r({"v"}, {"g"});
+  for (const auto& [k, v] : groups) {
+    EXPECT_OK(r.AddGroup(GroupKey{{k}}, std::to_string(k), {v}));
+  }
+  return r;
+}
+
+TEST(ErrorReportTest, ExactMatchIsZeroError) {
+  QueryResult a = MakeResult({{1, 10.0}, {2, 20.0}});
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, CompareResults(a, a));
+  EXPECT_EQ(rep.errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.MaxError(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.AvgError(), 0.0);
+  EXPECT_EQ(rep.missing_groups, 0u);
+}
+
+TEST(ErrorReportTest, RelativeErrorsComputed) {
+  QueryResult exact = MakeResult({{1, 100.0}, {2, 200.0}});
+  QueryResult approx = MakeResult({{1, 110.0}, {2, 150.0}});
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, CompareResults(exact, approx));
+  EXPECT_DOUBLE_EQ(rep.MaxError(), 0.25);
+  EXPECT_DOUBLE_EQ(rep.AvgError(), (0.1 + 0.25) / 2);
+}
+
+TEST(ErrorReportTest, MissingGroupChargedFullError) {
+  QueryResult exact = MakeResult({{1, 100.0}, {2, 200.0}});
+  QueryResult approx = MakeResult({{1, 100.0}});
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, CompareResults(exact, approx));
+  EXPECT_EQ(rep.missing_groups, 1u);
+  EXPECT_DOUBLE_EQ(rep.MaxError(), 1.0);
+}
+
+TEST(ErrorReportTest, ExtraApproxGroupsIgnored) {
+  QueryResult exact = MakeResult({{1, 100.0}});
+  QueryResult approx = MakeResult({{1, 100.0}, {9, 5.0}});
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, CompareResults(exact, approx));
+  EXPECT_EQ(rep.errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.MaxError(), 0.0);
+}
+
+TEST(ErrorReportTest, ZeroTruthSkipped) {
+  QueryResult exact = MakeResult({{1, 0.0}, {2, 10.0}});
+  QueryResult approx = MakeResult({{1, 5.0}, {2, 10.0}});
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, CompareResults(exact, approx));
+  EXPECT_EQ(rep.skipped_zero_truth, 1u);
+  EXPECT_EQ(rep.errors.size(), 1u);
+}
+
+TEST(ErrorReportTest, AggCountMismatchRejected) {
+  QueryResult a({"v"}, {"g"});
+  QueryResult b({"v", "w"}, {"g"});
+  EXPECT_FALSE(CompareResults(a, b).ok());
+}
+
+TEST(ErrorReportTest, Percentiles) {
+  ErrorReport rep;
+  rep.errors = {0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(rep.Percentile(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(rep.Percentile(0.5), 0.3);
+  EXPECT_DOUBLE_EQ(rep.Percentile(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(rep.Percentile(0.25), 0.2);
+  // Interpolation between ranks.
+  EXPECT_NEAR(rep.Percentile(0.375), 0.25, 1e-12);
+}
+
+TEST(ErrorReportTest, PercentileEdgeCases) {
+  ErrorReport empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  ErrorReport one;
+  one.errors = {0.7};
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 0.7);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 0.7);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(one.Percentile(-1.0), 0.7);
+  EXPECT_DOUBLE_EQ(one.Percentile(2.0), 0.7);
+}
+
+TEST(ErrorReportTest, MergePoolsErrors) {
+  ErrorReport a, b;
+  a.errors = {0.1, 0.2};
+  a.missing_groups = 1;
+  b.errors = {0.9};
+  b.skipped_zero_truth = 2;
+  ErrorReport m = MergeReports({a, b});
+  EXPECT_EQ(m.errors.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.MaxError(), 0.9);
+  EXPECT_EQ(m.missing_groups, 1u);
+  EXPECT_EQ(m.skipped_zero_truth, 2u);
+}
+
+TEST(ErrorReportTest, ToStringIsInformative) {
+  ErrorReport rep;
+  rep.errors = {0.5};
+  const std::string s = rep.ToString();
+  EXPECT_NE(s.find("max=50.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,167 @@
+// Tests for the approximate executor: exactness at full budget, statistical
+// unbiasedness, predicate handling, and regrouping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimate/approx_executor.h"
+#include "src/exec/group_by_executor.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/sample/uniform_sampler.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+QuerySpec AvgV() {
+  QuerySpec q;
+  q.group_by = {"g"};
+  q.aggregates = {AggSpec::Avg("v")};
+  return q;
+}
+
+TEST(ApproxExecutorTest, FullBudgetSampleIsExact) {
+  Table t = MakeSkewedTable(4, 30);
+  Rng rng(61);
+  CvoptSampler cvopt;
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       cvopt.Build(t, {AvgV()}, t.num_rows(), &rng));
+  ASSERT_EQ(s.size(), t.num_rows());
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, AvgV()));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, AvgV()));
+  ASSERT_EQ(approx.num_groups(), exact.num_groups());
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    auto j = approx.Find(exact.key(i));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_NEAR(approx.value(*j, 0), exact.value(i, 0),
+                1e-9 * std::fabs(exact.value(i, 0)));
+  }
+}
+
+TEST(ApproxExecutorTest, CountAndSumScaleUp) {
+  Table t = MakeSkewedTable(3, 100);  // group sizes 100, 200, 300
+  Rng rng(67);
+  CvoptSampler cvopt;
+  QuerySpec q;
+  q.group_by = {"g"};
+  q.aggregates = {AggSpec::Count(), AggSpec::Sum("v")};
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, cvopt.Build(t, {q}, 150, &rng));
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, q));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, q));
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    auto j = approx.Find(exact.key(i));
+    ASSERT_TRUE(j.has_value()) << exact.label(i);
+    // COUNT from a stratified sample on the grouping attrs is exact: the
+    // HT weights per stratum sum to n_c.
+    EXPECT_NEAR(approx.value(*j, 0), exact.value(i, 0), 1e-6);
+    // SUM is a noisy but calibrated estimate.
+    EXPECT_NEAR(approx.value(*j, 1), exact.value(i, 1),
+                0.25 * std::fabs(exact.value(i, 1)));
+  }
+}
+
+TEST(ApproxExecutorTest, UnbiasedOverRepetitions) {
+  // The average of many independent AVG estimates converges to the truth.
+  Table t = MakeSkewedTable(3, 60, /*seed=*/71);
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, AvgV()));
+  UniformSampler uniform;
+
+  std::vector<double> acc(exact.num_groups(), 0.0);
+  std::vector<int> seen(exact.num_groups(), 0);
+  const int reps = 300;
+  Rng rng(73);
+  for (int rep = 0; rep < reps; ++rep) {
+    ASSERT_OK_AND_ASSIGN(StratifiedSample s, uniform.Build(t, {}, 120, &rng));
+    ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, AvgV()));
+    for (size_t i = 0; i < exact.num_groups(); ++i) {
+      auto j = approx.Find(exact.key(i));
+      if (j.has_value()) {
+        acc[i] += approx.value(*j, 0);
+        seen[i]++;
+      }
+    }
+  }
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    ASSERT_GT(seen[i], reps / 2);
+    const double mean_est = acc[i] / seen[i];
+    EXPECT_NEAR(mean_est, exact.value(i, 0), 0.02 * std::fabs(exact.value(i, 0)))
+        << exact.label(i);
+  }
+}
+
+TEST(ApproxExecutorTest, RuntimePredicateOnSample) {
+  Table t = MakeStudentTable();
+  Rng rng(79);
+  CvoptSampler cvopt;
+  QuerySpec build_q;
+  build_q.group_by = {"major"};
+  build_q.aggregates = {AggSpec::Avg("gpa")};
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       cvopt.Build(t, {build_q}, t.num_rows(), &rng));
+
+  QuerySpec pred_q = build_q;
+  pred_q.where = Predicate::Compare("college", CompareOp::kEq, "Science");
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, pred_q));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, pred_q));
+  ASSERT_EQ(approx.num_groups(), exact.num_groups());  // CS and Math only
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    auto j = approx.Find(exact.key(i));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_NEAR(approx.value(*j, 0), exact.value(i, 0), 1e-9);
+  }
+}
+
+TEST(ApproxExecutorTest, RegroupingOnCoarserAttrs) {
+  // Sample stratified by (major); query regrouped by nothing (full table).
+  Table t = MakeStudentTable();
+  Rng rng(83);
+  CvoptSampler cvopt;
+  QuerySpec build_q;
+  build_q.group_by = {"major"};
+  build_q.aggregates = {AggSpec::Avg("age")};
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       cvopt.Build(t, {build_q}, t.num_rows(), &rng));
+  QuerySpec full;
+  full.aggregates = {AggSpec::Avg("age"), AggSpec::Count()};
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, full));
+  ASSERT_EQ(approx.num_groups(), 1u);
+  EXPECT_NEAR(approx.value(0, 0), 24.5, 1e-9);  // exact: full sample
+  EXPECT_NEAR(approx.value(0, 1), 8.0, 1e-9);
+}
+
+TEST(ApproxExecutorTest, CountIfEstimate) {
+  Table t = MakeStudentTable();
+  Rng rng(89);
+  CvoptSampler cvopt;
+  QuerySpec q;
+  q.group_by = {"college"};
+  q.aggregates = {
+      AggSpec::CountIf(Predicate::Compare("gpa", CompareOp::kGt, 3.4))};
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, cvopt.Build(t, {q}, t.num_rows(), &rng));
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, q));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, q));
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    auto j = approx.Find(exact.key(i));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_NEAR(approx.value(*j, 0), exact.value(i, 0), 1e-9);
+  }
+}
+
+TEST(ApproxExecutorTest, ErrorsOnBadQueries) {
+  Table t = MakeStudentTable();
+  Rng rng(97);
+  UniformSampler u;
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, u.Build(t, {}, 4, &rng));
+  QuerySpec no_aggs;
+  EXPECT_FALSE(ExecuteApprox(s, no_aggs).ok());
+  QuerySpec bad_group;
+  bad_group.group_by = {"gpa"};
+  bad_group.aggregates = {AggSpec::Count()};
+  EXPECT_FALSE(ExecuteApprox(s, bad_group).ok());
+  QuerySpec bad_agg;
+  bad_agg.aggregates = {AggSpec::Avg("major")};
+  EXPECT_FALSE(ExecuteApprox(s, bad_agg).ok());
+}
+
+}  // namespace
+}  // namespace cvopt

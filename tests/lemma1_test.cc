@@ -1,0 +1,165 @@
+// Tests for the Lemma 1 solver: closed form, caps, minimums, rounding, and
+// an optimality property test (random feasible perturbations never improve
+// the objective).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/core/lemma1.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+uint64_t Total(const std::vector<uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), uint64_t{0});
+}
+
+TEST(Lemma1Test, ClosedFormWhenUnconstrained) {
+  // alphas 1, 4, 16 -> sqrt 1, 2, 4 -> shares 1/7, 2/7, 4/7 of 700.
+  std::vector<double> alphas{1, 4, 16};
+  std::vector<uint64_t> caps{100000, 100000, 100000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 700));
+  EXPECT_NEAR(a.fractional[0], 100, 1e-6);
+  EXPECT_NEAR(a.fractional[1], 200, 1e-6);
+  EXPECT_NEAR(a.fractional[2], 400, 1e-6);
+  EXPECT_EQ(a.sizes[0], 100u);
+  EXPECT_EQ(a.sizes[1], 200u);
+  EXPECT_EQ(a.sizes[2], 400u);
+}
+
+TEST(Lemma1Test, BudgetSpentExactly) {
+  std::vector<double> alphas{3, 1, 7, 2};
+  std::vector<uint64_t> caps{1000, 1000, 1000, 1000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 123));
+  EXPECT_EQ(Total(a.sizes), 123u);
+}
+
+TEST(Lemma1Test, CapsRespectedAndBudgetRedistributed) {
+  // Stratum 0 wants most of the budget but only has 10 rows.
+  std::vector<double> alphas{1000, 1, 1};
+  std::vector<uint64_t> caps{10, 500, 500};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 300));
+  EXPECT_EQ(a.sizes[0], 10u);
+  EXPECT_EQ(Total(a.sizes), 300u);  // surplus went to strata 1 and 2
+  EXPECT_EQ(a.sizes[1], a.sizes[2]);
+}
+
+TEST(Lemma1Test, BudgetCoversPopulation) {
+  std::vector<double> alphas{1, 2};
+  std::vector<uint64_t> caps{5, 7};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 100));
+  EXPECT_EQ(a.sizes[0], 5u);
+  EXPECT_EQ(a.sizes[1], 7u);
+}
+
+TEST(Lemma1Test, EveryNonemptyStratumGetsOneRow) {
+  // Stratum 1 has tiny alpha but must still be represented.
+  std::vector<double> alphas{1000, 1e-9, 500};
+  std::vector<uint64_t> caps{10000, 10000, 10000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 50));
+  EXPECT_GE(a.sizes[1], 1u);
+  EXPECT_EQ(Total(a.sizes), 50u);
+}
+
+TEST(Lemma1Test, ZeroAlphaGetsExactlyMinimum) {
+  std::vector<double> alphas{0.0, 10.0, 10.0};
+  std::vector<uint64_t> caps{100, 100, 100};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 21));
+  EXPECT_EQ(a.sizes[0], 1u);  // sigma == 0: one row suffices
+  EXPECT_EQ(Total(a.sizes), 21u);
+  EXPECT_EQ(a.sizes[1], a.sizes[2]);
+}
+
+TEST(Lemma1Test, EmptyStratumGetsNothing) {
+  std::vector<double> alphas{5.0, 5.0};
+  std::vector<uint64_t> caps{0, 100};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 10));
+  EXPECT_EQ(a.sizes[0], 0u);
+  EXPECT_EQ(a.sizes[1], 10u);
+}
+
+TEST(Lemma1Test, DegenerateBudgetBelowStratumCount) {
+  std::vector<double> alphas{1.0, 100.0, 10.0, 50.0};
+  std::vector<uint64_t> caps{10, 10, 10, 10};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, 2));
+  EXPECT_EQ(Total(a.sizes), 2u);
+  // The two largest alphas win.
+  EXPECT_EQ(a.sizes[1], 1u);
+  EXPECT_EQ(a.sizes[3], 1u);
+}
+
+TEST(Lemma1Test, InvalidInputs) {
+  EXPECT_FALSE(SolveLemma1({1.0}, {1, 2}, 10).ok());            // size mismatch
+  EXPECT_FALSE(SolveLemma1({-1.0}, {5}, 10).ok());              // negative alpha
+  EXPECT_FALSE(SolveLemma1({std::nan("")}, {5}, 10).ok());      // NaN alpha
+}
+
+TEST(Lemma1Test, EmptyProblem) {
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1({}, {}, 10));
+  EXPECT_TRUE(a.sizes.empty());
+}
+
+TEST(Lemma1Test, ObjectiveComputation) {
+  Allocation a;
+  a.sizes = {10, 20};
+  EXPECT_DOUBLE_EQ(a.Objective({100.0, 40.0}), 10.0 + 2.0);
+  a.sizes = {0, 20};
+  EXPECT_DOUBLE_EQ(a.Objective({100.0, 40.0}), 2.0);  // zero-size skipped
+}
+
+// Property test: the solver's fractional solution beats (or ties) random
+// feasible alternatives across many random problem instances.
+class Lemma1OptimalityProperty : public testing::TestWithParam<int> {};
+
+TEST_P(Lemma1OptimalityProperty, NoFeasiblePerturbationImproves) {
+  Rng rng(1000 + GetParam());
+  const size_t k = 2 + rng.Uniform(20);
+  std::vector<double> alphas(k);
+  std::vector<uint64_t> caps(k);
+  for (size_t i = 0; i < k; ++i) {
+    alphas[i] = rng.UniformDouble(0.0, 100.0);
+    caps[i] = 50 + rng.Uniform(5000);
+  }
+  const uint64_t budget = k + rng.Uniform(2000);
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLemma1(alphas, caps, budget));
+
+  auto objective = [&](const std::vector<double>& s) {
+    double obj = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (alphas[i] > 0) obj += alphas[i] / std::max(s[i], 1e-12);
+    }
+    return obj;
+  };
+  const double opt = objective(a.fractional);
+
+  // Move mass between random pairs; objective must not drop by more than
+  // floating-point noise (the lower bound s_i >= 1 makes exact KKT
+  // comparisons valid only for interior moves, which these are).
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t i = rng.Uniform(k), j = rng.Uniform(k);
+    if (i == j) continue;
+    std::vector<double> s = a.fractional;
+    const double delta =
+        rng.UniformDouble(0.0, 0.25) * std::min(s[i] - 1.0, 1000.0);
+    if (delta <= 0) continue;
+    if (s[j] + delta > static_cast<double>(caps[j])) continue;
+    s[i] -= delta;
+    s[j] += delta;
+    EXPECT_GE(objective(s), opt * (1 - 1e-9))
+        << "perturbation improved the objective at trial " << trial;
+  }
+
+  // Feasibility of the integral solution.
+  uint64_t total = Total(a.sizes);
+  EXPECT_LE(total, budget);
+  for (size_t i = 0; i < k; ++i) EXPECT_LE(a.sizes[i], caps[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Lemma1OptimalityProperty,
+                         testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cvopt

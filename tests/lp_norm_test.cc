@@ -1,0 +1,139 @@
+// Tests for the l_p-norm allocation extension (paper §8 future work (2)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/core/cvopt_allocator.h"
+#include "src/core/lp_norm.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+uint64_t Total(const std::vector<uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), uint64_t{0});
+}
+
+TEST(LpNormTest, P2MatchesLemma1) {
+  std::vector<double> alphas{1, 4, 16, 2.5};
+  std::vector<uint64_t> caps{100000, 100000, 100000, 100000};
+  ASSERT_OK_AND_ASSIGN(Allocation lp, SolveLpAllocation(alphas, caps, 700, 2.0));
+  ASSERT_OK_AND_ASSIGN(Allocation l2, SolveLemma1(alphas, caps, 700));
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    EXPECT_NEAR(lp.fractional[i], l2.fractional[i], 1e-9);
+    EXPECT_EQ(lp.sizes[i], l2.sizes[i]);
+  }
+}
+
+TEST(LpNormTest, ClosedFormExponent) {
+  // s_i ∝ alpha_i^(p/(p+2)); check with p = 4: exponent 2/3.
+  std::vector<double> alphas{1.0, 8.0};  // 8^(2/3) = 4 -> shares 1:4
+  std::vector<uint64_t> caps{100000, 100000};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLpAllocation(alphas, caps, 500, 4.0));
+  EXPECT_NEAR(a.fractional[0], 100.0, 1e-6);
+  EXPECT_NEAR(a.fractional[1], 400.0, 1e-6);
+}
+
+TEST(LpNormTest, LargePApproachesProportionalToAlpha) {
+  std::vector<double> alphas{1.0, 9.0};
+  std::vector<uint64_t> caps{100000, 100000};
+  // p -> inf: exponent -> 1, shares 1:9.
+  ASSERT_OK_AND_ASSIGN(Allocation a,
+                       SolveLpAllocation(alphas, caps, 1000, 1000.0));
+  EXPECT_NEAR(a.fractional[1] / a.fractional[0], 9.0, 0.1);
+}
+
+TEST(LpNormTest, PInterpolatesConcentration) {
+  // Higher p shifts allocation toward the worst (highest-alpha) stratum.
+  Rng rng(3);
+  std::vector<double> alphas(16);
+  std::vector<uint64_t> caps(16, 1000000);
+  for (auto& a : alphas) a = rng.UniformDouble(0.1, 10.0);
+  const size_t worst =
+      std::max_element(alphas.begin(), alphas.end()) - alphas.begin();
+  double prev_share = 0;
+  for (double p : {1.0, 2.0, 4.0, 8.0, 32.0}) {
+    ASSERT_OK_AND_ASSIGN(Allocation a, SolveLpAllocation(alphas, caps, 16000, p));
+    const double share =
+        a.fractional[worst] / static_cast<double>(Total(a.sizes));
+    EXPECT_GT(share, prev_share) << "p=" << p;
+    prev_share = share;
+  }
+}
+
+TEST(LpNormTest, RespectsCapsAndBudget) {
+  std::vector<double> alphas{100.0, 1.0, 1.0};
+  std::vector<uint64_t> caps{10, 500, 500};
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLpAllocation(alphas, caps, 300, 6.0));
+  EXPECT_EQ(a.sizes[0], 10u);
+  EXPECT_EQ(Total(a.sizes), 300u);
+}
+
+TEST(LpNormTest, RejectsBadP) {
+  EXPECT_FALSE(SolveLpAllocation({1.0}, {10}, 5, 0.5).ok());
+  EXPECT_FALSE(SolveLpAllocation({1.0}, {10}, 5, -1.0).ok());
+  EXPECT_FALSE(
+      SolveLpAllocation({1.0}, {10}, 5, std::numeric_limits<double>::infinity())
+          .ok());
+}
+
+TEST(LpNormTest, AllocatorIntegration) {
+  Table t = MakeSkewedTable(6, 100);
+  QuerySpec q;
+  q.group_by = {"g"};
+  q.aggregates = {AggSpec::Avg("v")};
+  AllocatorOptions opts;
+  opts.norm = CvNorm::kLp;
+  opts.lp_p = 6.0;
+  ASSERT_OK_AND_ASSIGN(AllocationPlan plan,
+                       PlanCvoptAllocation(t, {q}, 120, opts));
+  EXPECT_EQ(plan.TotalSize(), 120u);
+  // The allocation differs from the l2 one (different norm).
+  ASSERT_OK_AND_ASSIGN(AllocationPlan l2, PlanCvoptAllocation(t, {q}, 120));
+  bool different = false;
+  for (size_t c = 0; c < plan.allocation.sizes.size(); ++c) {
+    if (plan.allocation.sizes[c] != l2.allocation.sizes[c]) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+// Property: the fractional l_p solution beats random feasible perturbations
+// under the l_p objective.
+class LpOptimalityProperty : public testing::TestWithParam<double> {};
+
+TEST_P(LpOptimalityProperty, PerturbationsDoNotImprove) {
+  const double p = GetParam();
+  Rng rng(static_cast<uint64_t>(p * 100) + 17);
+  const size_t k = 10;
+  std::vector<double> alphas(k);
+  std::vector<uint64_t> caps(k, 1000000);
+  for (auto& a : alphas) a = rng.UniformDouble(0.5, 20.0);
+  ASSERT_OK_AND_ASSIGN(Allocation a, SolveLpAllocation(alphas, caps, 5000, p));
+
+  auto objective = [&](const std::vector<double>& s) {
+    double obj = 0;
+    for (size_t i = 0; i < k; ++i) {
+      obj += std::pow(alphas[i] / s[i], p / 2.0);
+    }
+    return obj;
+  };
+  const double opt = objective(a.fractional);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t i = rng.Uniform(k), j = rng.Uniform(k);
+    if (i == j) continue;
+    std::vector<double> s = a.fractional;
+    const double delta = rng.UniformDouble(0.0, 0.2) * (s[i] - 1.0);
+    if (delta <= 0) continue;
+    s[i] -= delta;
+    s[j] += delta;
+    EXPECT_GE(objective(s), opt * (1 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, LpOptimalityProperty,
+                         testing::Values(1.0, 2.0, 3.0, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace cvopt

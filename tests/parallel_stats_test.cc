@@ -1,0 +1,74 @@
+// Tests for parallel group-statistics collection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/datagen/openaq_gen.h"
+#include "src/stats/stats_collector.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+class ParallelStatsTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelStatsTest, MatchesSerialCollection) {
+  OpenAqOptions opts;
+  opts.num_rows = 100000;
+  Table t = GenerateOpenAq(opts);
+  ASSERT_OK_AND_ASSIGN(Stratification strat,
+                       Stratification::Build(t, {"country", "parameter"}));
+  ASSERT_OK_AND_ASSIGN(const Column* v, t.ColumnByName("value"));
+  StatSource src;
+  src.column = v;
+  StatSource one;
+  one.constant_one = true;
+
+  ASSERT_OK_AND_ASSIGN(GroupStatsTable serial,
+                       CollectGroupStats(strat, {src, one}));
+  ASSERT_OK_AND_ASSIGN(GroupStatsTable parallel,
+                       CollectGroupStatsParallel(strat, {src, one}, GetParam()));
+  ASSERT_EQ(parallel.num_strata(), serial.num_strata());
+  for (size_t c = 0; c < serial.num_strata(); ++c) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(parallel.At(c, j).count(), serial.At(c, j).count());
+      EXPECT_NEAR(parallel.At(c, j).mean(), serial.At(c, j).mean(),
+                  1e-9 * std::max(1.0, std::fabs(serial.At(c, j).mean())));
+      EXPECT_NEAR(parallel.At(c, j).variance_population(),
+                  serial.At(c, j).variance_population(),
+                  1e-6 * std::max(1.0, serial.At(c, j).variance_population()));
+      EXPECT_DOUBLE_EQ(parallel.At(c, j).min(), serial.At(c, j).min());
+      EXPECT_DOUBLE_EQ(parallel.At(c, j).max(), serial.At(c, j).max());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelStatsTest,
+                         testing::Values(0, 1, 2, 4, 8, 16));
+
+TEST(ParallelStatsTest2, TinyTableFallsBackToSerial) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(Stratification strat,
+                       Stratification::Build(t, {"major"}));
+  ASSERT_OK_AND_ASSIGN(const Column* gpa, t.ColumnByName("gpa"));
+  StatSource src;
+  src.column = gpa;
+  ASSERT_OK_AND_ASSIGN(GroupStatsTable stats,
+                       CollectGroupStatsParallel(strat, {src}, 8));
+  // 8 rows << 4096/thread: must behave exactly like serial.
+  ASSERT_OK_AND_ASSIGN(GroupStatsTable serial, CollectGroupStats(strat, {src}));
+  for (size_t c = 0; c < serial.num_strata(); ++c) {
+    EXPECT_TRUE(stats.At(c, 0) == serial.At(c, 0));
+  }
+}
+
+TEST(ParallelStatsTest2, ValidatesSourcesLikeSerial) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(Stratification strat,
+                       Stratification::Build(t, {"major"}));
+  StatSource empty;
+  EXPECT_FALSE(CollectGroupStatsParallel(strat, {empty}, 4).ok());
+}
+
+}  // namespace
+}  // namespace cvopt

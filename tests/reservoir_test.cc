@@ -1,0 +1,96 @@
+// Tests for reservoir sampling: exact sizes, uniformity, and weighted bias.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/sample/reservoir.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+TEST(ReservoirTest, KeepsEverythingWhenUnderCapacity) {
+  Rng rng(1);
+  ReservoirSampler res(10, &rng);
+  for (uint32_t i = 0; i < 5; ++i) res.Offer(i);
+  EXPECT_EQ(res.sample().size(), 5u);
+  EXPECT_EQ(res.seen(), 5u);
+}
+
+TEST(ReservoirTest, ExactCapacityWhenOverOffered) {
+  Rng rng(2);
+  ReservoirSampler res(100, &rng);
+  for (uint32_t i = 0; i < 100000; ++i) res.Offer(i);
+  EXPECT_EQ(res.sample().size(), 100u);
+  // All items distinct (without replacement).
+  std::set<uint32_t> s(res.sample().begin(), res.sample().end());
+  EXPECT_EQ(s.size(), 100u);
+}
+
+TEST(ReservoirTest, ZeroCapacity) {
+  Rng rng(3);
+  ReservoirSampler res(0, &rng);
+  for (uint32_t i = 0; i < 10; ++i) res.Offer(i);
+  EXPECT_TRUE(res.sample().empty());
+}
+
+TEST(ReservoirTest, InclusionProbabilityIsUniform) {
+  // Sample 50 of 500, 4000 repetitions: each item should be included about
+  // 400 times. A loose 5-sigma band keeps the test deterministic-enough.
+  const int n = 500, k = 50, reps = 4000;
+  std::vector<int> hits(n, 0);
+  Rng rng(4);
+  for (int rep = 0; rep < reps; ++rep) {
+    ReservoirSampler res(k, &rng);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) res.Offer(i);
+    for (uint32_t x : res.sample()) hits[x]++;
+  }
+  const double p = static_cast<double>(k) / n;
+  const double expect = reps * p;
+  const double sigma = std::sqrt(reps * p * (1 - p));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i], expect, 5 * sigma) << "item " << i;
+  }
+}
+
+TEST(WeightedReservoirTest, SizesAndDistinctness) {
+  Rng rng(5);
+  WeightedReservoirSampler res(20, &rng);
+  for (uint32_t i = 0; i < 1000; ++i) res.Offer(i, 1.0 + i % 7);
+  std::vector<uint32_t> out = res.TakeSample();
+  EXPECT_EQ(out.size(), 20u);
+  std::set<uint32_t> s(out.begin(), out.end());
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(WeightedReservoirTest, SkipsNonPositiveWeights) {
+  Rng rng(6);
+  WeightedReservoirSampler res(5, &rng);
+  res.Offer(1, 0.0);
+  res.Offer(2, -1.0);
+  res.Offer(3, 2.0);
+  std::vector<uint32_t> out = res.TakeSample();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST(WeightedReservoirTest, HeavyItemsSampledMoreOften) {
+  // Items 0..9: item 9 has weight 10, others weight 1. Sampling 1 of 10
+  // repeatedly, item 9 should win ~10/19 of the time.
+  Rng rng(7);
+  int wins = 0;
+  const int reps = 5000;
+  for (int rep = 0; rep < reps; ++rep) {
+    WeightedReservoirSampler res(1, &rng);
+    for (uint32_t i = 0; i < 10; ++i) res.Offer(i, i == 9 ? 10.0 : 1.0);
+    if (res.TakeSample()[0] == 9) wins++;
+  }
+  const double frac = static_cast<double>(wins) / reps;
+  EXPECT_NEAR(frac, 10.0 / 19.0, 0.04);
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,172 @@
+// Tests for the SQL front-end: the paper's appendix queries should parse
+// into the same QuerySpecs the benches build programmatically.
+#include <gtest/gtest.h>
+
+#include "src/exec/cube.h"
+#include "src/exec/group_by_executor.h"
+#include "src/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+TEST(SqlParserTest, SimpleAvgGroupBy) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p, ParseSql("SELECT major, AVG(gpa) FROM Student GROUP BY major"));
+  EXPECT_EQ(p.table_name, "Student");
+  EXPECT_EQ(p.query.group_by, (std::vector<std::string>{"major"}));
+  ASSERT_EQ(p.query.aggregates.size(), 1u);
+  EXPECT_EQ(p.query.aggregates[0].Label(), "AVG(gpa)");
+  EXPECT_FALSE(p.with_cube);
+  EXPECT_EQ(p.query.where, nullptr);
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("select major, avg(gpa) from Student group by major"));
+  EXPECT_EQ(p.query.group_by, (std::vector<std::string>{"major"}));
+}
+
+TEST(SqlParserTest, MultipleAggregatesAndColumns) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT country, parameter, SUM(value), COUNT(*) "
+               "FROM OpenAQ GROUP BY country, parameter"));
+  ASSERT_EQ(p.query.aggregates.size(), 2u);
+  EXPECT_EQ(p.query.aggregates[0].Label(), "SUM(value)");
+  EXPECT_EQ(p.query.aggregates[1].Label(), "COUNT(*)");
+  EXPECT_EQ(p.query.group_by,
+            (std::vector<std::string>{"country", "parameter"}));
+}
+
+TEST(SqlParserTest, WherePredicates) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT major, AVG(gpa) FROM s "
+               "WHERE college = 'Science' AND age > 21 GROUP BY major"));
+  ASSERT_NE(p.query.where, nullptr);
+  EXPECT_EQ(p.query.where->ToString(), "(college = Science AND age > 21)");
+}
+
+TEST(SqlParserTest, BetweenInNotParens) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT g, AVG(v) FROM t WHERE (hour BETWEEN 0 AND 11 "
+               "OR major IN ('CS', 'EE')) AND NOT age <= 20 GROUP BY g"));
+  ASSERT_NE(p.query.where, nullptr);
+  EXPECT_EQ(p.query.where->ToString(),
+            "((hour BETWEEN 0 AND 11 OR major IN (CS, EE)) AND NOT (age <= 20))");
+}
+
+TEST(SqlParserTest, CountIfAggregate) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT country, COUNT_IF(value > 0.04) FROM t GROUP BY country"));
+  ASSERT_EQ(p.query.aggregates.size(), 1u);
+  EXPECT_EQ(p.query.aggregates[0].func, AggFunc::kCountIf);
+  EXPECT_EQ(p.query.aggregates[0].Label(), "COUNT_IF(value > 0.04)");
+}
+
+TEST(SqlParserTest, WithCube) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT country, parameter, SUM(value) FROM OpenAQ "
+               "GROUP BY country, parameter WITH CUBE"));
+  EXPECT_TRUE(p.with_cube);
+  EXPECT_EQ(ExpandCube(p.query).size(), 4u);
+}
+
+TEST(SqlParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    const std::string sql =
+        std::string("SELECT AVG(v) FROM t WHERE x ") + op + " 5";
+    ASSERT_OK_AND_ASSIGN(ParsedQuery p, ParseSql(sql));
+    ASSERT_NE(p.query.where, nullptr) << op;
+  }
+}
+
+TEST(SqlParserTest, NumericLiteralTypes) {
+  // Integral literals compare against int columns; decimals are doubles.
+  ASSERT_OK_AND_ASSIGN(ParsedQuery p1,
+                       ParseSql("SELECT AVG(v) FROM t WHERE age = 21"));
+  ASSERT_OK_AND_ASSIGN(ParsedQuery p2,
+                       ParseSql("SELECT AVG(v) FROM t WHERE gpa > 3.5"));
+  EXPECT_EQ(p1.query.where->ToString(), "age = 21");
+  EXPECT_EQ(p2.query.where->ToString(), "gpa > 3.5");
+}
+
+TEST(SqlParserTest, FullTableQueryNoGroupBy) {
+  ASSERT_OK_AND_ASSIGN(ParsedQuery p, ParseSql("SELECT COUNT(*) FROM t"));
+  EXPECT_TRUE(p.query.group_by.empty());
+}
+
+TEST(SqlParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSql("SELECT COUNT(*) FROM t;").ok());
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT major FROM t").ok());            // no aggregate
+  EXPECT_FALSE(ParseSql("SELECT AVG(gpa) FROM").ok());           // no table
+  EXPECT_FALSE(ParseSql("SELECT AVG(gpa FROM t").ok());          // bad parens
+  EXPECT_FALSE(ParseSql("SELECT AVG(gpa) FROM t WHERE").ok());   // empty pred
+  EXPECT_FALSE(ParseSql("SELECT AVG(g) FROM t GROUP BY").ok());  // empty group
+  EXPECT_FALSE(ParseSql("SELECT AVG(v) FROM t WHERE x ~ 5").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(v) FROM t WHERE x = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT AVG(v) FROM t extra junk").ok());
+  // Non-grouped plain column.
+  EXPECT_FALSE(
+      ParseSql("SELECT major, AVG(gpa) FROM t GROUP BY college").ok());
+}
+
+TEST(SqlParserTest, ParsedQueryExecutes) {
+  // End-to-end: parse the paper's example query and run it exactly.
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(
+      ParsedQuery p,
+      ParseSql("SELECT major, AVG(gpa) FROM Student "
+               "WHERE college = 'Science' GROUP BY major"));
+  ASSERT_OK_AND_ASSIGN(QueryResult res, ExecuteExact(t, p.query));
+  EXPECT_EQ(res.num_groups(), 2u);
+  auto cs = res.FindByLabel("CS");
+  ASSERT_TRUE(cs.has_value());
+  EXPECT_DOUBLE_EQ(res.value(*cs, 0), 3.25);
+}
+
+TEST(SqlParserTest, PaperAppendixQueriesParse) {
+  // The paper's appendix queries (adapted to our schema/dialect) all parse.
+  const char* queries[] = {
+      // AQ2
+      "SELECT country, parameter, unit, SUM(value), COUNT(*) FROM OpenAQ "
+      "GROUP BY country, parameter, unit",
+      // AQ3
+      "SELECT country, parameter, unit, AVG(value) FROM OpenAQ "
+      "WHERE hour BETWEEN 0 AND 24 GROUP BY country, parameter, unit",
+      // AQ5
+      "SELECT country, parameter, unit, AVG(value) FROM OpenAQ "
+      "WHERE latitude > 0 GROUP BY country, parameter, unit",
+      // AQ6
+      "SELECT parameter, unit, COUNT_IF(value > 0.5) FROM OpenAQ "
+      "WHERE country = 'VN' GROUP BY parameter, unit",
+      // AQ7
+      "SELECT country, parameter, SUM(value) FROM OpenAQ "
+      "GROUP BY country, parameter WITH CUBE",
+      // B1
+      "SELECT from_station_id, AVG(age), AVG(trip_duration) FROM Bikes "
+      "WHERE age > 0 GROUP BY from_station_id",
+      // B2
+      "SELECT from_station_id, AVG(trip_duration) FROM Bikes "
+      "WHERE trip_duration > 0 GROUP BY from_station_id",
+      // B4
+      "SELECT from_station_id, year, SUM(trip_duration), SUM(age) FROM Bikes "
+      "GROUP BY from_station_id, year WITH CUBE",
+  };
+  for (const char* sql : queries) {
+    EXPECT_TRUE(ParseSql(sql).ok()) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace cvopt

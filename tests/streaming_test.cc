@@ -1,0 +1,118 @@
+// Tests for the streaming CVOPT sampler (paper §8 future work (3)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "src/estimate/approx_executor.h"
+#include "src/exec/group_by_executor.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/sample/streaming_cvopt_sampler.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+QuerySpec AvgV() {
+  QuerySpec q;
+  q.group_by = {"g"};
+  q.aggregates = {AggSpec::Avg("v")};
+  return q;
+}
+
+TEST(StreamingCvoptTest, BudgetAndCoverage) {
+  Table t = MakeSkewedTable(8, 200);
+  Rng rng(31);
+  StreamingCvoptSampler sampler(/*replan_interval=*/500);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, sampler.Build(t, {AvgV()}, 400, &rng));
+  EXPECT_LE(s.size(), 420u);
+  EXPECT_GE(s.size(), 300u);
+  // Every group is represented.
+  ASSERT_OK_AND_ASSIGN(size_t gcol, t.ColumnIndex("g"));
+  std::set<int64_t> covered;
+  for (uint32_t r : s.rows()) covered.insert(t.column(gcol).GetInt(r));
+  EXPECT_EQ(covered.size(), 8u);
+}
+
+TEST(StreamingCvoptTest, WeightsExpandToPopulation) {
+  Table t = MakeSkewedTable(6, 150);
+  Rng rng(37);
+  StreamingCvoptSampler sampler(300);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, sampler.Build(t, {AvgV()}, 300, &rng));
+  const double wsum =
+      std::accumulate(s.weights().begin(), s.weights().end(), 0.0);
+  EXPECT_NEAR(wsum, static_cast<double>(t.num_rows()), 0.01 * t.num_rows());
+}
+
+TEST(StreamingCvoptTest, ConvergesTowardOfflineAllocation) {
+  // On a stationary stream the one-pass allocation should be close to the
+  // two-pass CVOPT allocation.
+  Table t = MakeSkewedTable(5, 400, /*seed=*/41);
+  Rng rng(43);
+  StreamingCvoptSampler stream(200);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, stream.Build(t, {AvgV()}, 500, &rng));
+
+  CvoptSampler offline;
+  ASSERT_OK_AND_ASSIGN(AllocationPlan plan, offline.Plan(t, {AvgV()}, 500));
+
+  // Per-group streaming sample sizes.
+  ASSERT_OK_AND_ASSIGN(size_t gcol, t.ColumnIndex("g"));
+  std::unordered_map<int64_t, int> stream_sizes;
+  for (uint32_t r : s.rows()) stream_sizes[t.column(gcol).GetInt(r)]++;
+  for (size_t c = 0; c < plan.strat->num_strata(); ++c) {
+    const int64_t g = plan.strat->key(c).codes[0];
+    const double offline_s = static_cast<double>(plan.allocation.sizes[c]);
+    const double stream_s = stream_sizes[g];
+    EXPECT_NEAR(stream_s, offline_s, 0.35 * offline_s + 4)
+        << "group " << g;
+  }
+}
+
+TEST(StreamingCvoptTest, EstimatesAreAccurate) {
+  Table t = MakeSkewedTable(6, 300, /*seed=*/47);
+  Rng rng(53);
+  StreamingCvoptSampler sampler(500);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, sampler.Build(t, {AvgV()}, 600, &rng));
+  ASSERT_OK_AND_ASSIGN(QueryResult approx, ExecuteApprox(s, AvgV()));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact, ExecuteExact(t, AvgV()));
+  ASSERT_EQ(approx.num_groups(), exact.num_groups());
+  for (size_t i = 0; i < exact.num_groups(); ++i) {
+    auto j = approx.Find(exact.key(i));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_NEAR(approx.value(*j, 0), exact.value(i, 0),
+                0.1 * std::fabs(exact.value(i, 0)));
+  }
+}
+
+TEST(StreamingCvoptTest, BuilderDirectUse) {
+  Table t = MakeSkewedTable(3, 100);
+  Rng rng(59);
+  ASSERT_OK_AND_ASSIGN(size_t gcol, t.ColumnIndex("g"));
+  ASSERT_OK_AND_ASSIGN(size_t vcol, t.ColumnIndex("v"));
+  StreamingCvoptBuilder builder(&t, {gcol}, vcol, 60, 100, &rng);
+  for (uint32_t r = 0; r < t.num_rows(); ++r) builder.Offer(r);
+  EXPECT_EQ(builder.rows_seen(), t.num_rows());
+  EXPECT_EQ(builder.num_strata(), 3u);
+  StratifiedSample s = std::move(builder).Finish();
+  EXPECT_LE(s.size(), 66u);
+  EXPECT_EQ(s.method(), "CVOPT-STREAM");
+}
+
+TEST(StreamingCvoptTest, RejectsBadInputs) {
+  Table t = MakeSkewedTable(2, 10);
+  Rng rng(61);
+  StreamingCvoptSampler sampler;
+  EXPECT_FALSE(sampler.Build(t, {}, 10, &rng).ok());
+  QuerySpec count_only;
+  count_only.group_by = {"g"};
+  count_only.aggregates = {AggSpec::Count()};
+  EXPECT_FALSE(sampler.Build(t, {count_only}, 10, &rng).ok());
+  QuerySpec bad_group;
+  bad_group.group_by = {"v"};  // double column
+  bad_group.aggregates = {AggSpec::Avg("v")};
+  EXPECT_FALSE(sampler.Build(t, {bad_group}, 10, &rng).ok());
+}
+
+}  // namespace
+}  // namespace cvopt

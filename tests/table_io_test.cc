@@ -1,0 +1,104 @@
+// Tests for table persistence (WriteTableFile / ReadTableFile).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/datagen/openaq_gen.h"
+#include "src/sample/uniform_sampler.h"
+#include "src/table/table_io.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+std::string TempPath(const char* name) { return testing::TempDir() + "/" + name; }
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_TRUE(a.schema() == b.schema()) << a.schema().ToString() << " vs "
+                                        << b.schema().ToString();
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_TRUE(a.column(c).GetValue(r) == b.column(c).GetValue(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(TableIoTest, RoundTripStudentTable) {
+  Table t = MakeStudentTable();
+  const std::string path = TempPath("students.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(Table back, ReadTableFile(path));
+  ExpectTablesEqual(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RoundTripEmptyTable) {
+  TableBuilder b(Schema({{"x", DataType::kInt64}, {"s", DataType::kString}}));
+  Table t = std::move(b).Finish();
+  const std::string path = TempPath("empty.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(Table back, ReadTableFile(path));
+  EXPECT_EQ(back.num_rows(), 0u);
+  EXPECT_EQ(back.num_columns(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RoundTripGeneratedDataset) {
+  OpenAqOptions opts;
+  opts.num_rows = 5000;
+  Table t = GenerateOpenAq(opts);
+  const std::string path = TempPath("openaq.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(Table back, ReadTableFile(path));
+  ExpectTablesEqual(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MaterializedSampleRoundTrip) {
+  // The deployment flow: draw a sample, materialize it, persist it, reload.
+  Table t = MakeSkewedTable(4, 100);
+  Rng rng(67);
+  UniformSampler u;
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s, u.Build(t, {}, 50, &rng));
+  Table materialized = s.Materialize();
+  const std::string path = TempPath("sample.cvtb");
+  ASSERT_OK(WriteTableFile(materialized, path));
+  ASSERT_OK_AND_ASSIGN(Table back, ReadTableFile(path));
+  ExpectTablesEqual(materialized, back);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFile) {
+  EXPECT_FALSE(ReadTableFile("/nonexistent/nope.cvtb").ok());
+}
+
+TEST(TableIoTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.cvtb");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("this is not a table", f);
+  fclose(f);
+  auto result = ReadTableFile(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RejectsTruncatedFile) {
+  Table t = MakeStudentTable();
+  const std::string path = TempPath("trunc.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  // Truncate to half size.
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  const long size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(ReadTableFile(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cvopt

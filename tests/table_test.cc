@@ -1,0 +1,176 @@
+// Tests for src/table: Value, Schema, Column, Table, TableBuilder.
+#include <gtest/gtest.h>
+
+#include "src/table/table_builder.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{7});
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.type(), DataType::kInt64);
+  EXPECT_EQ(i.AsInt(), 7);
+  EXPECT_DOUBLE_EQ(i.AsDouble(), 7.0);
+
+  Value d(2.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+
+  Value s("hi");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.AsString(), "hi");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // int != double variant
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  ASSERT_OK_AND_ASSIGN(size_t idx, s.FindColumn("b"));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_TRUE(s.HasColumn("a"));
+  EXPECT_FALSE(s.HasColumn("c"));
+  EXPECT_FALSE(s.FindColumn("c").ok());
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  Schema s({{"a", DataType::kInt64}, {"s", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "{a:int64, s:string}");
+}
+
+TEST(ColumnTest, IntColumn) {
+  Column c(DataType::kInt64);
+  c.AppendInt(1);
+  c.AppendInt(-5);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt(1), -5);
+  EXPECT_DOUBLE_EQ(c.GetDouble(1), -5.0);
+  EXPECT_EQ(c.GroupCode(0), 1);
+}
+
+TEST(ColumnTest, StringDictionary) {
+  Column c(DataType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendString("a");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.GetCode(0), c.GetCode(2));
+  EXPECT_NE(c.GetCode(0), c.GetCode(1));
+  EXPECT_EQ(c.GetString(2), "a");
+  EXPECT_EQ(c.dictionary().size(), 2u);
+  EXPECT_EQ(c.LookupCode("b"), c.GetCode(1));
+  EXPECT_EQ(c.LookupCode("zzz"), -1);
+}
+
+TEST(ColumnTest, AppendTypeChecking) {
+  Column i(DataType::kInt64);
+  EXPECT_OK(i.Append(Value(int64_t{1})));
+  EXPECT_FALSE(i.Append(Value(1.5)).ok());
+  EXPECT_FALSE(i.Append(Value("x")).ok());
+
+  Column d(DataType::kDouble);
+  EXPECT_OK(d.Append(Value(1.5)));
+  EXPECT_OK(d.Append(Value(int64_t{2})));  // int coerces into double
+  EXPECT_FALSE(d.Append(Value("x")).ok());
+  EXPECT_DOUBLE_EQ(d.GetDouble(1), 2.0);
+
+  Column s(DataType::kString);
+  EXPECT_OK(s.Append(Value("ok")));
+  EXPECT_FALSE(s.Append(Value(int64_t{3})).ok());
+}
+
+TEST(ColumnTest, GetValueRoundTrip) {
+  Column s(DataType::kString);
+  s.AppendString("hello");
+  EXPECT_EQ(s.GetValue(0).AsString(), "hello");
+  Column d(DataType::kDouble);
+  d.AppendDouble(1.25);
+  EXPECT_DOUBLE_EQ(d.GetValue(0).AsDouble(), 1.25);
+}
+
+TEST(TableBuilderTest, BuildsStudentTable) {
+  Table t = MakeStudentTable();
+  EXPECT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(t.num_columns(), 6u);
+  ASSERT_OK_AND_ASSIGN(const Column* major, t.ColumnByName("major"));
+  EXPECT_EQ(major->GetString(0), "CS");
+  EXPECT_EQ(major->GetString(7), "ME");
+  ASSERT_OK_AND_ASSIGN(const Column* gpa, t.ColumnByName("gpa"));
+  EXPECT_DOUBLE_EQ(gpa->GetDouble(2), 3.8);
+}
+
+TEST(TableBuilderTest, RejectsWrongWidthRow) {
+  TableBuilder b(Schema({{"a", DataType::kInt64}}));
+  EXPECT_FALSE(b.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+  EXPECT_OK(b.AppendRow({Value(int64_t{1})}));
+  EXPECT_EQ(b.num_rows(), 1u);
+}
+
+TEST(TableBuilderTest, RejectsTypeMismatch) {
+  TableBuilder b(Schema({{"a", DataType::kInt64}}));
+  EXPECT_FALSE(b.AppendRow({Value("str")}).ok());
+}
+
+TEST(TableTest, ColumnByNameErrors) {
+  Table t = MakeStudentTable();
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+  EXPECT_FALSE(t.ColumnIndex("nope").ok());
+}
+
+TEST(TableTest, TakeRowsSelectsAndReorders) {
+  Table t = MakeStudentTable();
+  Table sub = t.TakeRows({7, 0, 2});
+  EXPECT_EQ(sub.num_rows(), 3u);
+  ASSERT_OK_AND_ASSIGN(const Column* major, sub.ColumnByName("major"));
+  EXPECT_EQ(major->GetString(0), "ME");
+  EXPECT_EQ(major->GetString(1), "CS");
+  EXPECT_EQ(major->GetString(2), "Math");
+  ASSERT_OK_AND_ASSIGN(const Column* age, sub.ColumnByName("age"));
+  EXPECT_EQ(age->GetInt(0), 26);
+}
+
+TEST(TableTest, TakeRowsReinternsDictionary) {
+  Table t = MakeStudentTable();
+  Table sub = t.TakeRows({4, 5});  // both EE / Engineering
+  ASSERT_OK_AND_ASSIGN(const Column* major, sub.ColumnByName("major"));
+  EXPECT_EQ(major->dictionary().size(), 1u);
+  EXPECT_EQ(major->GetString(0), "EE");
+}
+
+TEST(TableTest, DuplicateScalesRowCount) {
+  Table t = MakeStudentTable();
+  Table big = t.Duplicate(3);
+  EXPECT_EQ(big.num_rows(), 24u);
+  ASSERT_OK_AND_ASSIGN(const Column* age, big.ColumnByName("age"));
+  EXPECT_EQ(age->GetInt(0), age->GetInt(8));
+  EXPECT_EQ(age->GetInt(7), age->GetInt(23));
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeStudentTable();
+  const std::string s = t.ToString(2);
+  EXPECT_NE(s.find("(6 more)"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTable) {
+  TableBuilder b(Schema({{"a", DataType::kInt64}}));
+  Table t = std::move(b).Finish();
+  EXPECT_EQ(t.num_rows(), 0u);
+  Table sub = t.TakeRows({});
+  EXPECT_EQ(sub.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,82 @@
+// Shared helpers for the cvopt test suite.
+#ifndef CVOPT_TESTS_TEST_UTIL_H_
+#define CVOPT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/table/table_builder.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+#define ASSERT_OK(expr)                                         \
+  do {                                                          \
+    const ::cvopt::Status _st = (expr);                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#define EXPECT_OK(expr)                                         \
+  do {                                                          \
+    const ::cvopt::Status _st = (expr);                         \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                        \
+  auto CVOPT_CONCAT_(_r_, __LINE__) = (rexpr);                  \
+  ASSERT_TRUE(CVOPT_CONCAT_(_r_, __LINE__).ok())                \
+      << CVOPT_CONCAT_(_r_, __LINE__).status().ToString();      \
+  lhs = std::move(CVOPT_CONCAT_(_r_, __LINE__)).value();
+
+/// The paper's example Student table (Table 1).
+inline Table MakeStudentTable() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"age", DataType::kInt64},
+                 {"gpa", DataType::kDouble},
+                 {"sat", DataType::kInt64},
+                 {"major", DataType::kString},
+                 {"college", DataType::kString}});
+  TableBuilder b(schema);
+  auto add = [&b](int64_t id, int64_t age, double gpa, int64_t sat,
+                  const char* major, const char* college) {
+    Status st = b.AppendRow({Value(id), Value(age), Value(gpa), Value(sat),
+                             Value(major), Value(college)});
+    CVOPT_CHECK(st.ok(), "append failed");
+  };
+  add(1, 25, 3.4, 1250, "CS", "Science");
+  add(2, 22, 3.1, 1280, "CS", "Science");
+  add(3, 24, 3.8, 1230, "Math", "Science");
+  add(4, 28, 3.6, 1270, "Math", "Science");
+  add(5, 21, 3.5, 1210, "EE", "Engineering");
+  add(6, 23, 3.2, 1260, "EE", "Engineering");
+  add(7, 27, 3.7, 1220, "ME", "Engineering");
+  add(8, 26, 3.3, 1230, "ME", "Engineering");
+  return std::move(b).Finish();
+}
+
+/// A small skewed table: `groups` groups, group g has (g+1)*base rows with
+/// value distribution N(mean_g, sigma_g) where means and sigmas diverge.
+inline Table MakeSkewedTable(int groups, int base, uint64_t seed = 7) {
+  Schema schema({{"g", DataType::kInt64}, {"v", DataType::kDouble}});
+  TableBuilder b(schema);
+  Rng rng(seed);
+  for (int g = 0; g < groups; ++g) {
+    const int n = (g + 1) * base;
+    const double mean = 10.0 * (g + 1);
+    const double sigma = 0.5 * (groups - g);  // small groups more variable
+    for (int i = 0; i < n; ++i) {
+      Status st = b.AppendRow(
+          {Value(static_cast<int64_t>(g)),
+           Value(mean + sigma * rng.NextGaussian())});
+      CVOPT_CHECK(st.ok(), "append failed");
+    }
+  }
+  return std::move(b).Finish();
+}
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TESTS_TEST_UTIL_H_
