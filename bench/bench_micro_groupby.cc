@@ -32,6 +32,32 @@ void BM_ExactGroupBy(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactGroupBy);
 
+void BM_ExactGroupByIntKey(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"hour"};
+  q.aggregates = {AggSpec::Avg("value")};
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByIntKey);
+
+void BM_ExactGroupByManyKeys(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"country", "parameter", "unit", "year", "month", "hour"};
+  q.aggregates = {AggSpec::Avg("value")};
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByManyKeys);
+
 void BM_ExactGroupByWithPredicate(benchmark::State& state) {
   const Table& t = BenchTable();
   QuerySpec q;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/exec/group_index.h"
+
 namespace cvopt {
 
 Result<Stratification> Stratification::Build(const Table& table,
@@ -9,42 +11,13 @@ Result<Stratification> Stratification::Build(const Table& table,
   Stratification out;
   out.table_ = &table;
   out.attrs_ = std::move(attrs);
-  out.column_indices_.reserve(out.attrs_.size());
-  for (const auto& a : out.attrs_) {
-    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
-    if (table.column(idx).type() == DataType::kDouble) {
-      return Status::InvalidArgument("cannot group by double column '" + a + "'");
-    }
-    out.column_indices_.push_back(idx);
-  }
-
-  const size_t n = table.num_rows();
-  out.row_strata_.resize(n);
-
-  if (out.attrs_.empty()) {
-    // Single stratum covering the whole table.
-    std::fill(out.row_strata_.begin(), out.row_strata_.end(), 0);
-    out.keys_.push_back(GroupKey{});
-    out.sizes_.push_back(n);
-    return out;
-  }
-
-  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index;
-  GroupKey key;
-  key.codes.resize(out.column_indices_.size());
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t j = 0; j < out.column_indices_.size(); ++j) {
-      key.codes[j] = table.column(out.column_indices_[j]).GroupCode(r);
-    }
-    auto [it, inserted] =
-        index.try_emplace(key, static_cast<uint32_t>(out.keys_.size()));
-    if (inserted) {
-      out.keys_.push_back(key);
-      out.sizes_.push_back(0);
-    }
-    out.row_strata_[r] = it->second;
-    out.sizes_[it->second]++;
-  }
+  // One vectorized pass: dense stratum ids, sizes, and representative keys
+  // all come from the shared group-id pipeline.
+  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx, GroupIndex::Build(table, out.attrs_));
+  out.column_indices_ = gidx.column_indices();
+  out.keys_ = gidx.Keys();
+  out.row_strata_ = gidx.TakeRowGroups();
+  out.sizes_ = gidx.TakeSizes();
   return out;
 }
 
@@ -68,22 +41,19 @@ Result<Stratification::Projection> Stratification::Project(
   }
 
   proj.stratum_to_parent.resize(num_strata());
-  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index;
+  GroupKeyInterner interner(num_strata());
   GroupKey sub;
   sub.codes.resize(positions.size());
   for (size_t c = 0; c < num_strata(); ++c) {
     for (size_t j = 0; j < positions.size(); ++j) {
       sub.codes[j] = keys_[c].codes[positions[j]];
     }
-    auto [it, inserted] =
-        index.try_emplace(sub, static_cast<uint32_t>(proj.parent_keys.size()));
-    if (inserted) {
-      proj.parent_keys.push_back(sub);
-      proj.parent_sizes.push_back(0);
-    }
-    proj.stratum_to_parent[c] = it->second;
-    proj.parent_sizes[it->second] += sizes_[c];
+    const uint32_t parent = interner.Intern(sub);
+    if (parent == proj.parent_sizes.size()) proj.parent_sizes.push_back(0);
+    proj.stratum_to_parent[c] = parent;
+    proj.parent_sizes[parent] += sizes_[c];
   }
+  proj.parent_keys = interner.TakeKeys();
   return proj;
 }
 

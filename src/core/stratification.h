@@ -7,7 +7,6 @@
 #define CVOPT_CORE_STRATIFICATION_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/stats/group_key.h"

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
+#include "src/exec/group_index.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -79,31 +81,39 @@ Result<Workload::AllocationInput> Workload::Deduce(const Table& table) const {
   auto freqs = std::make_shared<std::unordered_map<std::string, double>>();
   std::map<std::string, AggregationGroup> diagnostics;
 
+  // The group index depends only on the merged query's attribute set, so
+  // entries sharing a grouping (e.g. the same query under different year
+  // filters) share one full-table build.
+  std::vector<std::unique_ptr<GroupIndex>> index_cache(out.queries.size());
   for (const auto& [q, freq] : entries_) {
     const std::string canon = CanonicalAttrs(q.group_by);
     const size_t qi = query_index.at(canon);
-    // Build grouping codes per row; honor the WHERE predicate.
-    std::vector<size_t> gcols;
-    for (const auto& a : out.queries[qi].group_by) {
-      CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
-      gcols.push_back(idx);
+    // Dense group ids over all rows; honor the WHERE predicate with one
+    // per-group occurrence flag instead of a per-row key-map probe.
+    if (index_cache[qi] == nullptr) {
+      CVOPT_ASSIGN_OR_RETURN(GroupIndex built,
+                             GroupIndex::Build(table, out.queries[qi].group_by));
+      index_cache[qi] = std::make_unique<GroupIndex>(std::move(built));
     }
+    const GroupIndex& gidx = *index_cache[qi];
     std::vector<uint8_t> mask;
     if (q.where != nullptr) {
       CVOPT_ASSIGN_OR_RETURN(mask, q.where->Evaluate(table));
     }
-    std::unordered_map<GroupKey, char, GroupKeyHash> seen;
-    GroupKey key;
-    key.codes.resize(gcols.size());
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      if (!mask.empty() && !mask[r]) continue;
-      for (size_t j = 0; j < gcols.size(); ++j) {
-        key.codes[j] = table.column(gcols[j]).GroupCode(r);
+    std::vector<uint8_t> seen(gidx.num_groups(), 0);
+    if (mask.empty()) {
+      for (size_t g = 0; g < gidx.num_groups(); ++g) {
+        seen[g] = gidx.sizes()[g] > 0 ? 1 : 0;
       }
-      seen.try_emplace(key, 1);
+    } else {
+      const uint32_t* rg = gidx.row_groups().data();
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        if (mask[r]) seen[rg[r]] = 1;
+      }
     }
-    for (const auto& [gkey, unused] : seen) {
-      (void)unused;
+    for (size_t g = 0; g < gidx.num_groups(); ++g) {
+      if (!seen[g]) continue;
+      const GroupKey gkey = gidx.KeyOf(g);
       for (const auto& agg : q.aggregates) {
         const std::string label = agg.Label();
         const std::string fkey = canon + "#" + label + "#" + KeyToken(gkey);
@@ -111,8 +121,7 @@ Result<Workload::AllocationInput> Workload::Deduce(const Table& table) const {
         auto dit = diagnostics.find(fkey);
         if (dit == diagnostics.end()) {
           diagnostics.emplace(
-              fkey, AggregationGroup{canon, gkey.Render(table, gcols), label,
-                                     freq});
+              fkey, AggregationGroup{canon, gidx.Label(g), label, freq});
         } else {
           dit->second.frequency += freq;
         }

@@ -1,11 +1,40 @@
 #include "src/estimate/approx_executor.h"
 
 #include <algorithm>
-#include <unordered_map>
 
-#include "src/stats/group_key.h"
+#include "src/exec/group_index.h"
 
 namespace cvopt {
+
+namespace {
+
+// Weighted median: the value at which cumulative Horvitz–Thompson weight
+// crosses half the total, with the midpoint convention at an exact
+// half-weight boundary (the even-count case with uniform weights), matching
+// the exact executor.
+double WeightedMedianOf(std::vector<std::pair<double, double>>* pairs,
+                        double total_weight) {
+  if (pairs->empty()) return 0.0;
+  std::sort(pairs->begin(), pairs->end());
+  const double half = total_weight / 2.0;
+  const double eps = 1e-9 * total_weight;
+  double cum = 0.0;
+  double med = pairs->back().first;
+  for (size_t p = 0; p < pairs->size(); ++p) {
+    cum += (*pairs)[p].second;
+    if (cum >= half - eps) {
+      if (cum <= half + eps && p + 1 < pairs->size()) {
+        med = ((*pairs)[p].first + (*pairs)[p + 1].first) / 2.0;
+      } else {
+        med = (*pairs)[p].first;
+      }
+      break;
+    }
+  }
+  return med;
+}
+
+}  // namespace
 
 Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
                                   const QuerySpec& query) {
@@ -16,16 +45,10 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   const std::vector<uint32_t>& rows = sample.rows();
   const std::vector<double>& weights = sample.weights();
 
-  // Resolve grouping columns.
-  std::vector<size_t> gcols;
-  gcols.reserve(query.group_by.size());
-  for (const auto& a : query.group_by) {
-    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
-    if (table.column(idx).type() == DataType::kDouble) {
-      return Status::InvalidArgument("cannot group by double column '" + a + "'");
-    }
-    gcols.push_back(idx);
-  }
+  // Dense group ids over the sampled rows; position i maps to the group of
+  // base row rows[i].
+  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
+                         GroupIndex::BuildForRows(table, query.group_by, rows));
 
   // WHERE mask over the sampled rows only.
   std::vector<uint8_t> where_mask;
@@ -65,60 +88,90 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     }
   }
 
-  bool any_median = false;
-  for (const auto& a : query.aggregates) {
-    any_median |= (a.func == AggFunc::kMedian);
-  }
-  struct Acc {
-    std::vector<double> wsum;    // sum of w * value
-    std::vector<double> wsum2;   // sum of w * value^2 (VARIANCE)
-    std::vector<double> wcount;  // sum of w (for AVG/VARIANCE denominators)
-    // (value, weight) pairs for MEDIAN aggregates only.
-    std::vector<std::vector<std::pair<double, double>>> weighted_values;
-  };
-  std::unordered_map<GroupKey, Acc, GroupKeyHash> accs;
-  std::vector<GroupKey> order;
+  const size_t m = rows.size();
+  const size_t G = gidx.num_groups();
+  const uint32_t* rg = gidx.row_groups().data();
+  const uint32_t* row_ids = rows.data();
+  const double* w = weights.data();
 
-  GroupKey key;
-  key.codes.resize(gcols.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (!where_mask.empty() && !where_mask[i]) continue;
-    const uint32_t r = rows[i];
-    const double w = weights[i];
-    for (size_t j = 0; j < gcols.size(); ++j) {
-      key.codes[j] = table.column(gcols[j]).GroupCode(r);
+  // Selection vector of sample positions surviving the WHERE mask.
+  const bool use_sel = !where_mask.empty();
+  std::vector<uint32_t> sel;
+  if (use_sel) {
+    sel.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      if (where_mask[i]) sel.push_back(static_cast<uint32_t>(i));
     }
-    auto it = accs.find(key);
-    if (it == accs.end()) {
-      Acc fresh{std::vector<double>(t, 0.0), std::vector<double>(t, 0.0),
-                std::vector<double>(t, 0.0), {}};
-      if (any_median) fresh.weighted_values.resize(t);
-      it = accs.emplace(key, std::move(fresh)).first;
-      order.push_back(key);
+  }
+  auto for_each_pos = [&](auto&& fn) {
+    if (use_sel) {
+      for (const uint32_t i : sel) fn(static_cast<size_t>(i));
+    } else {
+      for (size_t i = 0; i < m; ++i) fn(i);
     }
-    Acc& acc = it->second;
-    for (size_t j = 0; j < t; ++j) {
-      double v = 1.0;
-      switch (query.aggregates[j].func) {
-        case AggFunc::kAvg:
-        case AggFunc::kSum:
+  };
+
+  // Per-group surviving-position counts and total HT weight (identical
+  // across aggregates: every aggregate sees every surviving sampled row).
+  std::vector<uint64_t> cnt(G, 0);
+  std::vector<double> wcnt(G, 0.0);
+  for_each_pos([&](size_t i) {
+    cnt[rg[i]]++;
+    wcnt[rg[i]] += w[i];
+  });
+
+  // Struct-of-arrays weighted accumulators, aggregate-major: wsums[j*G+g].
+  bool any_var = false;
+  for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
+  std::vector<double> wsums(t * G, 0.0);
+  std::vector<double> wsums2;
+  if (any_var) wsums2.assign(t * G, 0.0);
+  // (value, weight) buffers per MEDIAN aggregate, indexed [agg][group].
+  std::vector<std::vector<std::vector<std::pair<double, double>>>>
+      median_pairs(t);
+
+  for (size_t j = 0; j < t; ++j) {
+    const AggFunc f = query.aggregates[j].func;
+    if (f == AggFunc::kCount) continue;  // answered by wcnt[] directly
+    double* S = wsums.data() + j * G;
+    double* S2 = any_var ? wsums2.data() + j * G : nullptr;
+    auto accumulate = [&](auto value_at) {
+      switch (f) {
         case AggFunc::kVariance:
-        case AggFunc::kMedian:
-          v = agg_cols[j]->GetDouble(r);
+          for_each_pos([&](size_t i) {
+            const double v = value_at(i);
+            S[rg[i]] += w[i] * v;
+            S2[rg[i]] += w[i] * v * v;
+          });
           break;
-        case AggFunc::kCount:
-          v = 1.0;
+        case AggFunc::kMedian: {
+          // Finalization reads only the (value, weight) buffers and wcnt.
+          auto& bufs = median_pairs[j];
+          bufs.resize(G);
+          for_each_pos([&](size_t i) {
+            bufs[rg[i]].emplace_back(value_at(i), w[i]);
+          });
           break;
-        case AggFunc::kCountIf:
-          v = agg_masks[j][i] ? 1.0 : 0.0;
+        }
+        default:
+          for_each_pos([&](size_t i) { S[rg[i]] += w[i] * value_at(i); });
           break;
       }
-      acc.wsum[j] += w * v;
-      acc.wsum2[j] += w * v * v;
-      acc.wcount[j] += w;
-      if (query.aggregates[j].func == AggFunc::kMedian) {
-        acc.weighted_values[j].emplace_back(v, w);
+    };
+    // Hoisted value-stream dispatch; `value_at` takes a sample position.
+    if (agg_cols[j] != nullptr) {
+      if (agg_cols[j]->type() == DataType::kDouble) {
+        const double* vals = agg_cols[j]->doubles().data();
+        accumulate([vals, row_ids](size_t i) { return vals[row_ids[i]]; });
+      } else {
+        const int64_t* vals = agg_cols[j]->ints().data();
+        accumulate([vals, row_ids](size_t i) {
+          return static_cast<double>(vals[row_ids[i]]);
+        });
       }
+    } else {
+      const uint8_t* ind = agg_masks[j].data();  // COUNT_IF
+      accumulate([ind](size_t i) { return ind[i] ? 1.0 : 0.0; });
     }
   }
 
@@ -127,64 +180,40 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
 
   QueryResult result(std::move(agg_labels), query.group_by);
-  for (const auto& k : order) {
-    Acc& acc = accs.at(k);
-    std::vector<double> vals(t);
+  std::vector<double> vals(t);
+  // Groups emit in first-occurrence-over-sampled-rows order; under a WHERE
+  // clause this may differ from the legacy first-surviving-row order.
+  for (size_t g = 0; g < G; ++g) {
+    if (cnt[g] == 0) continue;  // no surviving sampled rows in this group
     for (size_t j = 0; j < t; ++j) {
       switch (query.aggregates[j].func) {
         case AggFunc::kAvg:
-          vals[j] = acc.wcount[j] > 0.0 ? acc.wsum[j] / acc.wcount[j] : 0.0;
+          vals[j] = wcnt[g] > 0.0 ? wsums[j * G + g] / wcnt[g] : 0.0;
+          break;
+        case AggFunc::kCount:
+          vals[j] = wcnt[g];
           break;
         case AggFunc::kSum:
-        case AggFunc::kCount:
         case AggFunc::kCountIf:
-          vals[j] = acc.wsum[j];
+          vals[j] = wsums[j * G + g];
           break;
         case AggFunc::kVariance: {
           // Weighted plug-in estimator of the population variance:
           // E_w[v^2] - E_w[v]^2.
-          if (acc.wcount[j] <= 0.0) {
+          if (wcnt[g] <= 0.0) {
             vals[j] = 0.0;
             break;
           }
-          const double mean = acc.wsum[j] / acc.wcount[j];
-          vals[j] = std::max(0.0, acc.wsum2[j] / acc.wcount[j] - mean * mean);
+          const double mean = wsums[j * G + g] / wcnt[g];
+          vals[j] = std::max(0.0, wsums2[j * G + g] / wcnt[g] - mean * mean);
           break;
         }
-        case AggFunc::kMedian: {
-          // Weighted median: the value at which cumulative HT weight
-          // crosses half the total.
-          auto& pairs = acc.weighted_values[j];
-          if (pairs.empty()) {
-            vals[j] = 0.0;
-            break;
-          }
-          std::sort(pairs.begin(), pairs.end());
-          const double half = acc.wcount[j] / 2.0;
-          const double eps = 1e-9 * acc.wcount[j];
-          double cum = 0.0;
-          double med = pairs.back().first;
-          for (size_t p = 0; p < pairs.size(); ++p) {
-            cum += pairs[p].second;
-            if (cum >= half - eps) {
-              // Exactly at the half-weight boundary (the even-count case
-              // with uniform weights): use the midpoint convention, like
-              // the exact executor.
-              if (cum <= half + eps && p + 1 < pairs.size()) {
-                med = (pairs[p].first + pairs[p + 1].first) / 2.0;
-              } else {
-                med = pairs[p].first;
-              }
-              break;
-            }
-          }
-          vals[j] = med;
+        case AggFunc::kMedian:
+          vals[j] = WeightedMedianOf(&median_pairs[j][g], wcnt[g]);
           break;
-        }
       }
     }
-    CVOPT_RETURN_NOT_OK(
-        result.AddGroup(k, k.Render(table, gcols), std::move(vals)));
+    CVOPT_RETURN_NOT_OK(result.AddGroup(gidx.KeyOf(g), gidx.Label(g), vals));
   }
   return result;
 }

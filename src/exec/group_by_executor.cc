@@ -2,10 +2,25 @@
 
 #include <algorithm>
 
-#include "src/core/stratification.h"
-#include "src/stats/group_key.h"
+#include "src/exec/group_index.h"
 
 namespace cvopt {
+
+namespace {
+
+// Median with the midpoint convention for even counts: middle element for
+// odd sizes, mean of the two middle elements for even sizes.
+double MedianOf(std::vector<double>* vs) {
+  if (vs->empty()) return 0.0;
+  const size_t mid = vs->size() / 2;
+  std::nth_element(vs->begin(), vs->begin() + mid, vs->end());
+  if (vs->size() % 2 == 1) return (*vs)[mid];
+  const double hi = (*vs)[mid];
+  const double lo = *std::max_element(vs->begin(), vs->begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
 
 Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   if (query.aggregates.empty()) {
@@ -13,69 +28,94 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   }
   CVOPT_ASSIGN_OR_RETURN(BoundAggregates bound,
                          BoundAggregates::Bind(table, query.aggregates));
-
-  // Resolve grouping columns.
-  std::vector<size_t> gcols;
-  gcols.reserve(query.group_by.size());
-  for (const auto& a : query.group_by) {
-    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
-    if (table.column(idx).type() == DataType::kDouble) {
-      return Status::InvalidArgument("cannot group by double column '" + a + "'");
-    }
-    gcols.push_back(idx);
-  }
+  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
+                         GroupIndex::Build(table, query.group_by));
 
   std::vector<uint8_t> mask;
   if (query.where != nullptr) {
     CVOPT_ASSIGN_OR_RETURN(mask, query.where->Evaluate(table));
   }
 
-  // Accumulate per (group, aggregate): sums, squared sums (VARIANCE), and
-  // value buffers (MEDIAN).
+  const size_t n = table.num_rows();
   const size_t t = query.aggregates.size();
-  bool any_median = false;
-  for (const auto& a : query.aggregates) {
-    any_median |= (a.func == AggFunc::kMedian);
-  }
-  struct Acc {
-    std::vector<double> sum;
-    std::vector<double> sum2;
-    std::vector<uint64_t> cnt;
-    std::vector<std::vector<double>> values;  // filled for kMedian only
-  };
-  std::unordered_map<GroupKey, Acc, GroupKeyHash> accs;
-  std::vector<GroupKey> order;  // first-seen group order
+  const size_t G = gidx.num_groups();
+  const uint32_t* rg = gidx.row_groups().data();
 
-  GroupKey key;
-  key.codes.resize(gcols.size());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (!mask.empty() && !mask[r]) continue;
-    for (size_t j = 0; j < gcols.size(); ++j) {
-      key.codes[j] = table.column(gcols[j]).GroupCode(r);
+  // Selection vector of rows surviving the WHERE mask; hoists the mask
+  // branch out of every accumulation loop.
+  const bool use_sel = !mask.empty();
+  std::vector<uint32_t> sel;
+  if (use_sel) {
+    sel.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (mask[r]) sel.push_back(static_cast<uint32_t>(r));
     }
-    auto it = accs.find(key);
-    if (it == accs.end()) {
-      Acc fresh{std::vector<double>(t, 0.0), std::vector<double>(t, 0.0),
-                std::vector<uint64_t>(t, 0), {}};
-      if (any_median) fresh.values.resize(t);
-      it = accs.emplace(key, std::move(fresh)).first;
-      order.push_back(key);
+  }
+  auto for_each_row = [&](auto&& fn) {
+    if (use_sel) {
+      for (const uint32_t r : sel) fn(static_cast<size_t>(r));
+    } else {
+      for (size_t r = 0; r < n; ++r) fn(r);
     }
-    Acc& acc = it->second;
-    for (size_t j = 0; j < t; ++j) {
-      const double v = bound.ValueAt(j, r);
-      acc.sum[j] += v;
-      acc.cnt[j] += 1;
-      switch (query.aggregates[j].func) {
+  };
+
+  // Per-group surviving-row counts (identical across aggregates).
+  std::vector<uint64_t> cnt;
+  if (use_sel) {
+    cnt.assign(G, 0);
+    for (const uint32_t r : sel) cnt[rg[r]]++;
+  } else {
+    cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+  }
+
+  // Struct-of-arrays accumulators, aggregate-major: sums[j * G + g]. Each
+  // aggregate's pass writes one contiguous G-sized slab.
+  bool any_var = false;
+  for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
+  std::vector<double> sums(t * G, 0.0);
+  std::vector<double> sums2;
+  if (any_var) sums2.assign(t * G, 0.0);
+  // Value buffers per MEDIAN aggregate, indexed [agg][group].
+  std::vector<std::vector<std::vector<double>>> median_values(t);
+
+  for (size_t j = 0; j < t; ++j) {
+    const AggFunc f = query.aggregates[j].func;
+    const StatSource& src = bound.sources()[j];
+    if (src.constant_one) continue;  // COUNT is answered by cnt[] directly
+    double* S = sums.data() + j * G;
+    double* S2 = any_var ? sums2.data() + j * G : nullptr;
+    auto accumulate = [&](auto value_at) {
+      switch (f) {
         case AggFunc::kVariance:
-          acc.sum2[j] += v * v;
+          for_each_row([&](size_t r) {
+            const double v = value_at(r);
+            S[rg[r]] += v;
+            S2[rg[r]] += v * v;
+          });
           break;
-        case AggFunc::kMedian:
-          acc.values[j].push_back(v);
+        case AggFunc::kMedian: {
+          // Finalization reads only the value buffers, not the sums slab.
+          auto& bufs = median_values[j];
+          bufs.resize(G);
+          for_each_row([&](size_t r) { bufs[rg[r]].push_back(value_at(r)); });
           break;
+        }
         default:
+          for_each_row([&](size_t r) { S[rg[r]] += value_at(r); });
           break;
       }
+    };
+    // Hoist the value-stream dispatch (indicator / column type) out of the
+    // row loop; each branch instantiates a specialized inner loop.
+    if (src.indicator != nullptr) {
+      const uint8_t* ind = src.indicator->data();
+      accumulate([ind](size_t r) { return ind[r] ? 1.0 : 0.0; });
+    } else if (src.column->type() == DataType::kDouble) {
+      const double* vals = src.column->doubles().data();
+      accumulate([vals](size_t r) { return vals[r]; });
+    } else {
+      const int64_t* vals = src.column->ints().data();
+      accumulate([vals](size_t r) { return static_cast<double>(vals[r]); });
     }
   }
 
@@ -84,50 +124,36 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
 
   QueryResult result(std::move(agg_labels), query.group_by);
-  for (const auto& k : order) {
-    Acc& acc = accs.at(k);
-    std::vector<double> vals(t);
+  std::vector<double> vals(t);
+  // Groups emit in first-occurrence-over-all-rows order (the GroupIndex is
+  // built unmasked); under a WHERE clause this may differ from the legacy
+  // first-surviving-row order. The group set and values are identical.
+  for (size_t g = 0; g < G; ++g) {
+    if (cnt[g] == 0) continue;  // no surviving rows: group absent from result
+    const double ng = static_cast<double>(cnt[g]);
     for (size_t j = 0; j < t; ++j) {
-      const double n = static_cast<double>(acc.cnt[j]);
       switch (query.aggregates[j].func) {
         case AggFunc::kAvg:
-          vals[j] = acc.cnt[j] ? acc.sum[j] / n : 0.0;
+          vals[j] = sums[j * G + g] / ng;
+          break;
+        case AggFunc::kCount:
+          vals[j] = ng;
           break;
         case AggFunc::kSum:
-        case AggFunc::kCount:
         case AggFunc::kCountIf:
-          vals[j] = acc.sum[j];
+          vals[j] = sums[j * G + g];
           break;
         case AggFunc::kVariance: {
-          if (acc.cnt[j] == 0) {
-            vals[j] = 0.0;
-            break;
-          }
-          const double mean = acc.sum[j] / n;
-          vals[j] = std::max(0.0, acc.sum2[j] / n - mean * mean);
+          const double mean = sums[j * G + g] / ng;
+          vals[j] = std::max(0.0, sums2[j * G + g] / ng - mean * mean);
           break;
         }
-        case AggFunc::kMedian: {
-          auto& vs = acc.values[j];
-          if (vs.empty()) {
-            vals[j] = 0.0;
-            break;
-          }
-          const size_t mid = vs.size() / 2;
-          std::nth_element(vs.begin(), vs.begin() + mid, vs.end());
-          if (vs.size() % 2 == 1) {
-            vals[j] = vs[mid];
-          } else {
-            const double hi = vs[mid];
-            const double lo = *std::max_element(vs.begin(), vs.begin() + mid);
-            vals[j] = (lo + hi) / 2.0;
-          }
+        case AggFunc::kMedian:
+          vals[j] = MedianOf(&median_values[j][g]);
           break;
-        }
       }
     }
-    CVOPT_RETURN_NOT_OK(
-        result.AddGroup(k, k.Render(table, gcols), std::move(vals)));
+    CVOPT_RETURN_NOT_OK(result.AddGroup(gidx.KeyOf(g), gidx.Label(g), vals));
   }
   return result;
 }

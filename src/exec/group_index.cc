@@ -1,0 +1,339 @@
+#include "src/exec/group_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/hash.h"
+
+namespace cvopt {
+
+namespace {
+
+constexpr uint32_t kEmptyId = std::numeric_limits<uint32_t>::max();
+// Largest dense remap the direct tier may allocate: 2^22 4-byte slots
+// (16 MiB), far above any realistic grouping-key domain but bounded.
+constexpr int kDirectBits = 22;
+
+size_t NextPow2(size_t x) {
+  size_t c = 1;
+  while (c < x) c <<= 1;
+  return c;
+}
+
+// Bits needed to encode codes 0 .. domain-1.
+int BitsFor(uint64_t domain) {
+  if (domain <= 1) return 0;
+  int bits = 0;
+  for (uint64_t v = domain - 1; v != 0; v >>= 1) ++bits;
+  return bits;
+}
+
+// Per-column access plan: raw storage pointer, code domain, packing shift.
+struct ColAccess {
+  bool is_string = false;
+  const int32_t* codes = nullptr;  // string columns (dictionary codes)
+  const int64_t* ints = nullptr;   // int columns
+  uint64_t base = 0;               // int columns: observed min (as bits)
+  uint64_t domain = 1;             // distinct-code upper bound
+  int shift = 0;
+
+  // Code rebased to [0, domain), for bit-packing.
+  uint64_t PackedCode(size_t row) const {
+    return is_string ? static_cast<uint64_t>(static_cast<uint32_t>(codes[row]))
+                     : static_cast<uint64_t>(ints[row]) - base;
+  }
+  // Raw grouping code, matching Column::GroupCode.
+  int64_t RawCode(size_t row) const {
+    return is_string ? codes[row] : ints[row];
+  }
+};
+
+struct BuildOutput {
+  GroupIndex::Tier tier = GroupIndex::Tier::kDirect;
+  std::vector<uint32_t> row_groups;
+  std::vector<uint32_t> rep_rows;
+  std::vector<uint64_t> sizes;
+};
+
+// Core build loop, shared by Build (row_at = identity) and BuildForRows
+// (row_at = sample row lookup). `n` is the number of mapped positions.
+template <class RowAt>
+BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
+                      size_t n, RowAt row_at) {
+  BuildOutput out;
+  out.row_groups.assign(n, 0);
+
+  if (cols.empty()) {
+    // Single group covering every position (even zero of them), matching
+    // the empty-attribute stratification.
+    out.rep_rows.push_back(0);
+    out.sizes.push_back(n);
+    return out;
+  }
+  if (n == 0) return out;
+
+  // Column access plans and code domains: dictionary size for strings, the
+  // observed [min, max] for ints (one cheap scan over contiguous storage).
+  std::vector<ColAccess> acc(cols.size());
+  int total_bits = 0;
+  uint64_t domain_product = 1;
+  for (size_t j = 0; j < cols.size(); ++j) {
+    const Column& col = table.column(cols[j]);
+    ColAccess& a = acc[j];
+    if (col.type() == DataType::kString) {
+      a.is_string = true;
+      a.codes = col.codes().data();
+      a.domain = std::max<uint64_t>(1, col.dictionary().size());
+    } else {
+      a.ints = col.ints().data();
+      int64_t lo = a.ints[row_at(0)];
+      int64_t hi = lo;
+      for (size_t i = 1; i < n; ++i) {
+        const int64_t v = a.ints[row_at(i)];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      a.base = static_cast<uint64_t>(lo);
+      const uint64_t spread =
+          static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      a.domain = spread == std::numeric_limits<uint64_t>::max()
+                     ? std::numeric_limits<uint64_t>::max()
+                     : spread + 1;
+    }
+    a.shift = std::min(total_bits, 63);
+    total_bits += a.domain == std::numeric_limits<uint64_t>::max()
+                      ? 64
+                      : BitsFor(a.domain);
+    total_bits = std::min(total_bits, 127);  // saturate, avoid int overflow
+    domain_product = domain_product > std::numeric_limits<uint64_t>::max() / a.domain
+                         ? std::numeric_limits<uint64_t>::max()
+                         : domain_product * a.domain;
+  }
+
+  auto pack = [&acc](size_t r) {
+    uint64_t key = 0;
+    for (const ColAccess& a : acc) key |= a.PackedCode(r) << a.shift;
+    return key;
+  };
+
+  // The direct tier must also be worth its remap: bounded bits alone would
+  // let a 1k-row sample over a ~4M-spread int column allocate and clear a
+  // 16 MiB array to map 1k positions, so require the remap to stay within a
+  // small multiple of the mapped row count (the flat-hash tier below is
+  // already bounded by min(n, domain product)).
+  const bool direct_worthwhile =
+      total_bits <= kDirectBits &&
+      (uint64_t{1} << total_bits) <=
+          std::max<uint64_t>(1024, 8 * static_cast<uint64_t>(n));
+  if (direct_worthwhile) {
+    // Tier kDirect: dense remap indexed by the packed code — dictionary
+    // codes / small int domains map straight to ids with no hashing.
+    std::vector<uint32_t> remap(size_t{1} << total_bits, kEmptyId);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = row_at(i);
+      const uint64_t key = pack(r);
+      uint32_t id = remap[key];
+      if (id == kEmptyId) {
+        id = static_cast<uint32_t>(out.rep_rows.size());
+        remap[key] = id;
+        out.rep_rows.push_back(static_cast<uint32_t>(r));
+        out.sizes.push_back(0);
+      }
+      out.row_groups[i] = id;
+      out.sizes[id]++;
+    }
+    out.tier = GroupIndex::Tier::kDirect;
+    return out;
+  }
+
+  // Flat open-addressing table shared by the packed and wide tiers:
+  // power-of-two capacity, linear probing, no per-key allocation. Pre-sized
+  // from the cardinality hint min(rows, product of per-column domains).
+  struct Slot {
+    uint64_t key = 0;  // packed key (kPacked) or composite hash (kWide)
+    uint32_t id = kEmptyId;
+  };
+  const uint64_t expected = std::min<uint64_t>(
+      {static_cast<uint64_t>(n), domain_product, uint64_t{1} << 20});
+  size_t capacity = NextPow2(static_cast<size_t>(
+      std::max<uint64_t>(64, 2 * expected)));
+  std::vector<Slot> slots(capacity);
+  size_t mask = capacity - 1;
+  auto grow = [&]() {
+    capacity <<= 1;
+    mask = capacity - 1;
+    std::vector<Slot> fresh(capacity);
+    for (const Slot& s : slots) {
+      if (s.id == kEmptyId) continue;
+      size_t idx = HashMix64(s.key) & mask;
+      while (fresh[idx].id != kEmptyId) idx = (idx + 1) & mask;
+      fresh[idx] = s;
+    }
+    slots.swap(fresh);
+  };
+
+  if (total_bits <= 64) {
+    // Tier kPacked: per-column codes bit-pack into one uint64; probe on the
+    // exact packed key, so no key comparison beyond one integer.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = row_at(i);
+      const uint64_t key = pack(r);
+      size_t idx = HashMix64(key) & mask;
+      while (slots[idx].id != kEmptyId && slots[idx].key != key) {
+        idx = (idx + 1) & mask;
+      }
+      uint32_t id = slots[idx].id;
+      if (id == kEmptyId) {
+        id = static_cast<uint32_t>(out.rep_rows.size());
+        slots[idx] = {key, id};
+        out.rep_rows.push_back(static_cast<uint32_t>(r));
+        out.sizes.push_back(0);
+        if (out.rep_rows.size() * 10 >= capacity * 7) grow();
+      }
+      out.row_groups[i] = id;
+      out.sizes[id]++;
+    }
+    out.tier = GroupIndex::Tier::kPacked;
+    return out;
+  }
+
+  // Tier kWide: codes do not fit one word. Hash the composite key and
+  // verify candidates against each group's representative row.
+  auto rows_equal = [&acc](size_t r1, size_t r2) {
+    for (const ColAccess& a : acc) {
+      if (a.RawCode(r1) != a.RawCode(r2)) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = row_at(i);
+    uint64_t h = 0x2545F4914F6CDD1DULL;
+    for (const ColAccess& a : acc) {
+      h = HashCombine(h, static_cast<uint64_t>(a.RawCode(r)));
+    }
+    size_t idx = HashMix64(h) & mask;
+    uint32_t id = kEmptyId;
+    while (slots[idx].id != kEmptyId) {
+      if (slots[idx].key == h && rows_equal(r, out.rep_rows[slots[idx].id])) {
+        id = slots[idx].id;
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (id == kEmptyId) {
+      id = static_cast<uint32_t>(out.rep_rows.size());
+      slots[idx] = {h, id};
+      out.rep_rows.push_back(static_cast<uint32_t>(r));
+      out.sizes.push_back(0);
+      if (out.rep_rows.size() * 10 >= capacity * 7) grow();
+    }
+    out.row_groups[i] = id;
+    out.sizes[id]++;
+  }
+  out.tier = GroupIndex::Tier::kWide;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> GroupIndex::Resolve(
+    const Table& table, const std::vector<std::string>& attrs) {
+  std::vector<size_t> cols;
+  cols.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
+    if (table.column(idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column '" + a + "'");
+    }
+    cols.push_back(idx);
+  }
+  return cols;
+}
+
+Result<GroupIndex> GroupIndex::Build(const Table& table,
+                                     const std::vector<std::string>& attrs) {
+  CVOPT_ASSIGN_OR_RETURN(std::vector<size_t> cols, Resolve(table, attrs));
+  GroupIndex out;
+  out.table_ = &table;
+  out.cols_ = std::move(cols);
+  BuildOutput built = BuildImpl(table, out.cols_, table.num_rows(),
+                                [](size_t i) { return i; });
+  out.tier_ = built.tier;
+  out.row_groups_ = std::move(built.row_groups);
+  out.rep_rows_ = std::move(built.rep_rows);
+  out.sizes_ = std::move(built.sizes);
+  return out;
+}
+
+Result<GroupIndex> GroupIndex::BuildForRows(const Table& table,
+                                            const std::vector<std::string>& attrs,
+                                            const std::vector<uint32_t>& rows) {
+  CVOPT_ASSIGN_OR_RETURN(std::vector<size_t> cols, Resolve(table, attrs));
+  GroupIndex out;
+  out.table_ = &table;
+  out.cols_ = std::move(cols);
+  const uint32_t* r = rows.data();
+  BuildOutput built =
+      BuildImpl(table, out.cols_, rows.size(),
+                [r](size_t i) { return static_cast<size_t>(r[i]); });
+  out.tier_ = built.tier;
+  out.row_groups_ = std::move(built.row_groups);
+  out.rep_rows_ = std::move(built.rep_rows);
+  out.sizes_ = std::move(built.sizes);
+  return out;
+}
+
+GroupKey GroupIndex::KeyOf(size_t g) const {
+  GroupKey key;
+  key.codes.reserve(cols_.size());
+  for (size_t c : cols_) {
+    key.codes.push_back(table_->column(c).GroupCode(rep_rows_[g]));
+  }
+  return key;
+}
+
+std::vector<GroupKey> GroupIndex::Keys() const {
+  std::vector<GroupKey> keys;
+  keys.reserve(num_groups());
+  for (size_t g = 0; g < num_groups(); ++g) keys.push_back(KeyOf(g));
+  return keys;
+}
+
+std::string GroupIndex::Label(size_t g) const {
+  return KeyOf(g).Render(*table_, cols_);
+}
+
+GroupKeyInterner::GroupKeyInterner(size_t expected_keys) {
+  slots_.resize(NextPow2(std::max<size_t>(16, 2 * expected_keys)));
+}
+
+uint32_t GroupKeyInterner::Intern(const GroupKey& key) {
+  const uint64_t h = GroupKeyHash{}(key);
+  const size_t mask = slots_.size() - 1;
+  size_t idx = static_cast<size_t>(h) & mask;
+  while (slots_[idx].id != kEmptyId) {
+    if (slots_[idx].hash == h && keys_[slots_[idx].id] == key) {
+      return slots_[idx].id;
+    }
+    idx = (idx + 1) & mask;
+  }
+  const uint32_t id = static_cast<uint32_t>(keys_.size());
+  slots_[idx] = {h, id};
+  keys_.push_back(key);
+  if (keys_.size() * 10 >= slots_.size() * 7) Grow();
+  return id;
+}
+
+void GroupKeyInterner::Grow() {
+  std::vector<Slot> fresh(slots_.size() * 2);
+  const size_t mask = fresh.size() - 1;
+  for (const Slot& s : slots_) {
+    if (s.id == kEmptyId) continue;
+    size_t idx = static_cast<size_t>(s.hash) & mask;
+    while (fresh[idx].id != kEmptyId) idx = (idx + 1) & mask;
+    fresh[idx] = s;
+  }
+  slots_.swap(fresh);
+}
+
+}  // namespace cvopt

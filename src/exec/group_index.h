@@ -1,0 +1,124 @@
+// GroupIndex: the shared vectorized group-id pipeline. It maps every row of
+// a Table (or a caller-chosen subset of rows, e.g. a sample) to a dense
+// uint32 group id — one id per distinct combination of the grouping
+// attributes, assigned in first-seen row order. The exact executor, the
+// approximate executor, stratification, and workload deduction all consume
+// the row->group mapping and accumulate into flat arrays indexed by group id
+// instead of probing a node-based unordered_map<GroupKey, ...> per row.
+#ifndef CVOPT_EXEC_GROUP_INDEX_H_
+#define CVOPT_EXEC_GROUP_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/stats/group_key.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Dense row -> group-id mapping for a set of grouping attributes.
+///
+/// Build tiers, chosen per key shape:
+///   kDirect — a single dictionary-encoded string column, a single
+///             small-domain int column, or a multi-column key whose packed
+///             code domain is small: ids come from a dense remap array
+///             indexed by the (packed) code, no hashing at all.
+///   kPacked — keys whose per-column code domains bit-pack into one uint64:
+///             flat open-addressing table (power-of-two capacity, linear
+///             probing), no per-key heap allocation.
+///   kWide   — everything else (e.g. several full-range int columns): rows
+///             hash via HashCombine over their codes into the same flat
+///             table layout, with a full key comparison against each
+///             group's representative row on probe.
+class GroupIndex {
+ public:
+  enum class Tier { kDirect, kPacked, kWide };
+
+  /// Resolves grouping attribute names to column indices. Doubles are not
+  /// groupable. This is the single source of group-by column validation
+  /// (previously copy-pasted in the exact executor, the approximate
+  /// executor, and stratification).
+  static Result<std::vector<size_t>> Resolve(const Table& table,
+                                             const std::vector<std::string>& attrs);
+
+  /// Builds the index over every table row. Empty `attrs` yields a single
+  /// group covering the whole table.
+  static Result<GroupIndex> Build(const Table& table,
+                                  const std::vector<std::string>& attrs);
+
+  /// Builds over a subset of rows (sample positions): group_of(i) is the
+  /// group of table row rows[i]. Ids are dense over the groups that occur
+  /// in `rows`, in first-seen position order.
+  static Result<GroupIndex> BuildForRows(const Table& table,
+                                         const std::vector<std::string>& attrs,
+                                         const std::vector<uint32_t>& rows);
+
+  size_t num_groups() const { return rep_rows_.size(); }
+  /// Number of mapped positions (table rows for Build, sample positions for
+  /// BuildForRows).
+  size_t num_rows() const { return row_groups_.size(); }
+
+  const std::vector<uint32_t>& row_groups() const { return row_groups_; }
+  uint32_t group_of(size_t i) const { return row_groups_[i]; }
+
+  /// Rows mapped to each group (the stratification's n_c).
+  const std::vector<uint64_t>& sizes() const { return sizes_; }
+
+  const std::vector<size_t>& column_indices() const { return cols_; }
+  Tier tier() const { return tier_; }
+
+  /// Materializes the composite key of group g from its representative row.
+  GroupKey KeyOf(size_t g) const;
+  std::vector<GroupKey> Keys() const;
+
+  /// Human-readable label of group g, e.g. "US|pm25".
+  std::string Label(size_t g) const;
+
+  /// Move-out accessors for callers that keep the mapping (Stratification).
+  std::vector<uint32_t> TakeRowGroups() { return std::move(row_groups_); }
+  std::vector<uint64_t> TakeSizes() { return std::move(sizes_); }
+
+ private:
+  GroupIndex() = default;
+
+  const Table* table_ = nullptr;
+  std::vector<size_t> cols_;
+  Tier tier_ = Tier::kDirect;
+  std::vector<uint32_t> row_groups_;  // position -> group id
+  std::vector<uint32_t> rep_rows_;    // group id -> representative table row
+  std::vector<uint64_t> sizes_;       // group id -> occurrence count
+};
+
+/// Assigns dense ids to GroupKeys via a flat open-addressing table (hash +
+/// full-key compare, linear probing). For per-stratum-scale key sets where
+/// the keys already exist as GroupKey objects: stratification projections,
+/// streaming reservoir routing. Ids are assigned sequentially from 0 in
+/// first-Intern order, so `Intern(k) == size()-before` detects a new key.
+class GroupKeyInterner {
+ public:
+  explicit GroupKeyInterner(size_t expected_keys = 0);
+
+  /// Id of `key`, assigning the next dense id on first sight.
+  uint32_t Intern(const GroupKey& key);
+
+  size_t size() const { return keys_.size(); }
+  const std::vector<GroupKey>& keys() const { return keys_; }
+  std::vector<GroupKey> TakeKeys() { return std::move(keys_); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = UINT32_MAX;  // UINT32_MAX marks an empty slot
+  };
+
+  void Grow();
+
+  std::vector<Slot> slots_;  // power-of-two size
+  std::vector<GroupKey> keys_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXEC_GROUP_INDEX_H_

@@ -20,14 +20,12 @@ StreamingCvoptBuilder::StreamingCvoptBuilder(const Table* table,
       rng_(rng) {}
 
 void StreamingCvoptBuilder::Offer(uint32_t row) {
-  GroupKey key;
-  key.codes.reserve(group_columns_.size());
+  scratch_key_.codes.clear();
   for (size_t col : group_columns_) {
-    key.codes.push_back(table_->column(col).GroupCode(row));
+    scratch_key_.codes.push_back(table_->column(col).GroupCode(row));
   }
-  auto [it, inserted] =
-      index_.try_emplace(key, static_cast<uint32_t>(strata_.size()));
-  if (inserted) {
+  const uint32_t stratum = index_.Intern(scratch_key_);
+  if (stratum == strata_.size()) {
     strata_.emplace_back();
     // Admit-all-then-subsample: a new stratum keeps every row until the
     // next replan shrinks it to its optimal allocation. Shrinking evicts
@@ -37,7 +35,7 @@ void StreamingCvoptBuilder::Offer(uint32_t row) {
     // overshoot is bounded by one replan interval of rows.
     strata_.back().capacity = static_cast<size_t>(budget_);
   }
-  Stratum& st = strata_[it->second];
+  Stratum& st = strata_[stratum];
   st.stats.Add(table_->column(value_column_).GetDouble(row));
   st.seen++;
 
@@ -107,14 +105,8 @@ Result<StratifiedSample> StreamingCvoptSampler::Build(
   // Stratify by the union of all group-by attribute sets, as offline.
   std::vector<std::vector<std::string>> attr_sets;
   for (const auto& q : queries) attr_sets.push_back(q.group_by);
-  std::vector<size_t> gcols;
-  for (const auto& a : UnionAttrs(attr_sets)) {
-    CVOPT_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(a));
-    if (table.column(idx).type() == DataType::kDouble) {
-      return Status::InvalidArgument("cannot group by double column '" + a + "'");
-    }
-    gcols.push_back(idx);
-  }
+  CVOPT_ASSIGN_OR_RETURN(std::vector<size_t> gcols,
+                         GroupIndex::Resolve(table, UnionAttrs(attr_sets)));
   // First numeric aggregated column drives the statistics.
   size_t vcol = table.num_columns();
   for (const auto& q : queries) {

@@ -21,10 +21,10 @@
 #define CVOPT_SAMPLE_STREAMING_CVOPT_SAMPLER_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/exec/aggregate.h"
+#include "src/exec/group_index.h"
 #include "src/sample/sampler.h"
 #include "src/stats/group_key.h"
 #include "src/stats/running_stats.h"
@@ -72,7 +72,8 @@ class StreamingCvoptBuilder {
   Rng* rng_;
 
   uint64_t rows_seen_ = 0;
-  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index_;
+  GroupKeyInterner index_;   // flat open-addressing stratum router
+  GroupKey scratch_key_;     // reused per Offer to avoid per-row allocation
   std::vector<Stratum> strata_;
 };
 

@@ -24,6 +24,29 @@ Status ValidateSources(const Stratification& strat,
   return Status::OK();
 }
 
+// One pass over rows [lo, hi) for a single source, with the value-stream
+// dispatch (constant / indicator / column type) hoisted out of the row loop.
+void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
+                      const StatSource& src, size_t j, GroupStatsTable* out) {
+  auto add_all = [&](auto value_at) {
+    for (size_t r = lo; r < hi; ++r) {
+      out->At(row_strata[r], j).Add(value_at(r));
+    }
+  };
+  if (src.constant_one) {
+    add_all([](size_t) { return 1.0; });
+  } else if (src.indicator != nullptr) {
+    const uint8_t* ind = src.indicator->data();
+    add_all([ind](size_t r) { return ind[r] ? 1.0 : 0.0; });
+  } else if (src.column->type() == DataType::kDouble) {
+    const double* vals = src.column->doubles().data();
+    add_all([vals](size_t r) { return vals[r]; });
+  } else {
+    const int64_t* vals = src.column->ints().data();
+    add_all([vals](size_t r) { return static_cast<double>(vals[r]); });
+  }
+}
+
 }  // namespace
 
 Result<GroupStatsTable> CollectGroupStats(
@@ -31,12 +54,9 @@ Result<GroupStatsTable> CollectGroupStats(
   CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
   const size_t n = strat.table().num_rows();
   GroupStatsTable stats(strat.num_strata(), sources.size());
-  const auto& row_strata = strat.row_strata();
-  for (size_t r = 0; r < n; ++r) {
-    const uint32_t s = row_strata[r];
-    for (size_t j = 0; j < sources.size(); ++j) {
-      stats.At(s, j).Add(sources[j].ValueAt(r));
-    }
+  const uint32_t* row_strata = strat.row_strata().data();
+  for (size_t j = 0; j < sources.size(); ++j) {
+    AccumulateSource(row_strata, 0, n, sources[j], j, &stats);
   }
   return stats;
 }
@@ -63,11 +83,8 @@ Result<GroupStatsTable> CollectGroupStatsParallel(
       const size_t lo = t * chunk;
       const size_t hi = std::min(n, lo + chunk);
       GroupStatsTable& local = partials[t];
-      for (size_t r = lo; r < hi; ++r) {
-        const uint32_t s = row_strata[r];
-        for (size_t j = 0; j < sources.size(); ++j) {
-          local.At(s, j).Add(sources[j].ValueAt(r));
-        }
+      for (size_t j = 0; j < sources.size(); ++j) {
+        AccumulateSource(row_strata.data(), lo, hi, sources[j], j, &local);
       }
     });
   }

@@ -84,6 +84,7 @@ Result<Table> TableFromCsv(const std::string& csv_text, const Schema& schema,
   TableBuilder builder(schema);
   std::vector<std::string> fields;
   const size_t start = options.has_header && !lines.empty() ? 1 : 0;
+  builder.Reserve(lines.size() - start);  // line count bounds the row count
   for (size_t ln = start; ln < lines.size(); ++ln) {
     if (lines[ln].empty()) continue;
     if (!SplitRecord(lines[ln], options.delimiter, &fields)) {

@@ -4,6 +4,7 @@
 // paths (mask combination, dictionary short-cuts, accumulator math).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
@@ -153,6 +154,21 @@ std::map<std::string, std::vector<double>> NaiveGroupBy(const Table& t,
           finals[j] = vs.empty() ? 0 : m2 / vs.size();
           break;
         }
+        case AggFunc::kMedian: {
+          // Straightforward sort-based median with the midpoint convention
+          // for even counts, matching the engine's contract.
+          std::vector<double> sorted = vs;
+          std::sort(sorted.begin(), sorted.end());
+          const size_t mid = sorted.size() / 2;
+          if (sorted.empty()) {
+            finals[j] = 0;
+          } else if (sorted.size() % 2 == 1) {
+            finals[j] = sorted[mid];
+          } else {
+            finals[j] = (sorted[mid - 1] + sorted[mid]) / 2.0;
+          }
+          break;
+        }
         default:
           finals[j] = sum;  // SUM, COUNT, COUNT_IF
           break;
@@ -169,14 +185,16 @@ TEST_P(GroupByFuzz, EngineMatchesNaiveReference) {
   Table t = MakeFuzzTable(4200 + GetParam(), 400);
   Rng rng(5200 + GetParam());
   const std::vector<std::vector<std::string>> groupings = {
-      {}, {"cat"}, {"sub"}, {"num"}, {"cat", "sub"}, {"cat", "num"}};
+      {},           {"cat"},        {"sub"},
+      {"num"},      {"cat", "sub"}, {"cat", "num"},
+      {"sub", "num"}, {"cat", "sub", "num"}};
   for (int trial = 0; trial < 10; ++trial) {
     QuerySpec q;
     q.group_by = groupings[rng.Uniform(groupings.size())];
     // 1-3 random aggregates.
     const size_t naggs = 1 + rng.Uniform(3);
     for (size_t j = 0; j < naggs; ++j) {
-      switch (rng.Uniform(5)) {
+      switch (rng.Uniform(6)) {
         case 0:
           q.aggregates.push_back(AggSpec::Avg("val"));
           break;
@@ -188,6 +206,9 @@ TEST_P(GroupByFuzz, EngineMatchesNaiveReference) {
           break;
         case 3:
           q.aggregates.push_back(AggSpec::CountIf(RandomPredicate(&rng, 1)));
+          break;
+        case 4:
+          q.aggregates.push_back(AggSpec::Median("val"));
           break;
         default:
           q.aggregates.push_back(AggSpec::Variance("val"));

@@ -1,0 +1,259 @@
+// Unit tests for the shared dense group-id pipeline: all three build tiers
+// (direct remap, packed flat-hash, wide-key fallback), subset builds, the
+// Resolve validation helper, and the GroupKeyInterner — plus a differential
+// test against a naive unordered_map reference over randomized tables.
+#include "src/exec/group_index.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/table/table_builder.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+// Naive reference: first-seen dense ids via a node-based key map.
+struct ReferenceIndex {
+  std::vector<uint32_t> row_groups;
+  std::vector<GroupKey> keys;
+  std::vector<uint64_t> sizes;
+};
+
+ReferenceIndex NaiveIndex(const Table& table, const std::vector<size_t>& cols,
+                          const std::vector<uint32_t>* rows) {
+  ReferenceIndex out;
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index;
+  const size_t n = rows != nullptr ? rows->size() : table.num_rows();
+  GroupKey key;
+  key.codes.resize(cols.size());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = rows != nullptr ? (*rows)[i] : i;
+    for (size_t j = 0; j < cols.size(); ++j) {
+      key.codes[j] = table.column(cols[j]).GroupCode(r);
+    }
+    auto [it, inserted] =
+        index.try_emplace(key, static_cast<uint32_t>(out.keys.size()));
+    if (inserted) {
+      out.keys.push_back(key);
+      out.sizes.push_back(0);
+    }
+    out.row_groups.push_back(it->second);
+    out.sizes[it->second]++;
+  }
+  return out;
+}
+
+void ExpectMatchesReference(const GroupIndex& gidx, const ReferenceIndex& ref) {
+  ASSERT_EQ(gidx.num_groups(), ref.keys.size());
+  ASSERT_EQ(gidx.row_groups().size(), ref.row_groups.size());
+  // First-seen id assignment must agree exactly, not just up to relabeling.
+  EXPECT_EQ(gidx.row_groups(), ref.row_groups);
+  for (size_t g = 0; g < gidx.num_groups(); ++g) {
+    EXPECT_EQ(gidx.KeyOf(g), ref.keys[g]) << "group " << g;
+    EXPECT_EQ(gidx.sizes()[g], ref.sizes[g]) << "group " << g;
+  }
+}
+
+Table MakeTypedTable(const std::vector<int64_t>& small_ints,
+                     const std::vector<int64_t>& wide_ints,
+                     const std::vector<std::string>& strings) {
+  Schema schema({{"s", DataType::kString},
+                 {"i", DataType::kInt64},
+                 {"w", DataType::kInt64},
+                 {"d", DataType::kDouble}});
+  TableBuilder b(schema);
+  for (size_t r = 0; r < strings.size(); ++r) {
+    Status st = b.AppendRow({Value(strings[r]), Value(small_ints[r]),
+                             Value(wide_ints[r]), Value(0.5)});
+    CVOPT_CHECK(st.ok(), "append failed");
+  }
+  return std::move(b).Finish();
+}
+
+TEST(GroupIndexTest, SingleStringColumnIsDirectTier) {
+  Table t = MakeTypedTable({1, 2, 3, 4, 5}, {0, 0, 0, 0, 0},
+                           {"b", "a", "b", "c", "a"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"s"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kDirect);
+  ASSERT_EQ(gidx.num_groups(), 3u);
+  // First-seen order: b, a, c.
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(gidx.sizes(), (std::vector<uint64_t>{2, 2, 1}));
+  EXPECT_EQ(gidx.Label(0), "b");
+  EXPECT_EQ(gidx.Label(1), "a");
+  EXPECT_EQ(gidx.Label(2), "c");
+}
+
+TEST(GroupIndexTest, SingleSmallIntColumnIsDirectTier) {
+  // Negative values exercise the min-rebasing of the remap array.
+  Table t = MakeTypedTable({-7, 3, -7, 100, 3}, {0, 0, 0, 0, 0},
+                           {"x", "x", "x", "x", "x"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"i"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kDirect);
+  ASSERT_EQ(gidx.num_groups(), 3u);
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(gidx.KeyOf(0), (GroupKey{{-7}}));
+  EXPECT_EQ(gidx.KeyOf(2), (GroupKey{{100}}));
+}
+
+TEST(GroupIndexTest, SingleWideIntColumnFallsToPackedHash) {
+  // Spread > 2^22 forces the flat-hash tier; a single int always packs.
+  const int64_t big = int64_t{1} << 30;
+  Table t = MakeTypedTable({0, big, 0, -big, big}, {0, 0, 0, 0, 0},
+                           {"x", "x", "x", "x", "x"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"i"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kPacked);
+  ASSERT_EQ(gidx.num_groups(), 3u);
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(gidx.sizes(), (std::vector<uint64_t>{2, 2, 1}));
+}
+
+TEST(GroupIndexTest, SmallRowCountOverMidDomainAvoidsDirectRemap) {
+  // 5 rows over a ~100k-spread int: the code domain would fit the direct
+  // tier's bit budget, but a dense remap dwarfs the mapped row count, so
+  // the flat-hash tier must take over.
+  Table t = MakeTypedTable({0, 100000, 0, 55555, 100000}, {0, 0, 0, 0, 0},
+                           {"x", "x", "x", "x", "x"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"i"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kPacked);
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(GroupIndexTest, MultiColumnSmallDomainsAreDirectTier) {
+  Table t = MakeTypedTable({0, 1, 0, 1, 0}, {0, 0, 0, 0, 0},
+                           {"a", "a", "b", "b", "a"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"s", "i"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kDirect);
+  ASSERT_EQ(gidx.num_groups(), 4u);
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 2, 3, 0}));
+  EXPECT_EQ(gidx.KeyOf(1), (GroupKey{{0, 1}}));  // code of "a", int 1
+}
+
+TEST(GroupIndexTest, MultiColumnPackableIsPackedTier) {
+  const int64_t big = int64_t{1} << 30;  // ~31 bits + string bits <= 64
+  Table t = MakeTypedTable({0, 0, 0, 0, 0}, {0, big, 0, 7, big},
+                           {"a", "a", "b", "b", "a"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"s", "w"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kPacked);
+  ExpectMatchesReference(gidx, NaiveIndex(t, {0, 2}, nullptr));
+}
+
+TEST(GroupIndexTest, UnpackableKeysFallToWideTier) {
+  // Two columns each spanning ~2^41 cannot bit-pack into 64 bits.
+  const int64_t huge = int64_t{1} << 40;
+  Table t = MakeTypedTable({0, 3 * huge, -huge, 0, 3 * huge},
+                           {-2 * huge, huge, 0, -2 * huge, huge},
+                           {"x", "x", "x", "x", "x"});
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"i", "w"}));
+  EXPECT_EQ(gidx.tier(), GroupIndex::Tier::kWide);
+  ASSERT_EQ(gidx.num_groups(), 3u);
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 2, 0, 1}));
+  EXPECT_EQ(gidx.KeyOf(0), (GroupKey{{0, -2 * huge}}));
+}
+
+TEST(GroupIndexTest, EmptyAttrsYieldSingleGroup) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {}));
+  ASSERT_EQ(gidx.num_groups(), 1u);
+  EXPECT_EQ(gidx.sizes()[0], t.num_rows());
+  EXPECT_TRUE(gidx.KeyOf(0).codes.empty());
+}
+
+TEST(GroupIndexTest, ResolveRejectsDoubleColumns) {
+  Table t = MakeStudentTable();
+  EXPECT_FALSE(GroupIndex::Build(t, {"gpa"}).ok());
+  EXPECT_FALSE(GroupIndex::Build(t, {"major", "gpa"}).ok());
+  EXPECT_FALSE(GroupIndex::Build(t, {"nope"}).ok());
+  ASSERT_OK_AND_ASSIGN(std::vector<size_t> cols,
+                       GroupIndex::Resolve(t, {"major", "age"}));
+  EXPECT_EQ(cols, (std::vector<size_t>{4, 1}));
+}
+
+TEST(GroupIndexTest, BuildForRowsMapsOnlyOccurringGroups) {
+  Table t = MakeStudentTable();  // majors: CS CS Math Math EE EE ME ME
+  const std::vector<uint32_t> rows = {6, 2, 7, 3};
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx,
+                       GroupIndex::BuildForRows(t, {"major"}, rows));
+  ASSERT_EQ(gidx.num_groups(), 2u);  // only ME and Math occur in the subset
+  EXPECT_EQ(gidx.row_groups(), (std::vector<uint32_t>{0, 1, 0, 1}));
+  EXPECT_EQ(gidx.Label(0), "ME");
+  EXPECT_EQ(gidx.Label(1), "Math");
+  EXPECT_EQ(gidx.sizes(), (std::vector<uint64_t>{2, 2}));
+}
+
+TEST(GroupIndexTest, BuildForRowsEmptySubset) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::BuildForRows(t, {"major"}, {}));
+  EXPECT_EQ(gidx.num_groups(), 0u);
+  EXPECT_TRUE(gidx.row_groups().empty());
+}
+
+// Randomized differential: every tier must reproduce the naive map exactly
+// (ids, first-seen order, sizes, keys) on tables mixing strings, small ints,
+// and wide ints, over full builds and random subsets.
+class GroupIndexFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(GroupIndexFuzz, MatchesNaiveReference) {
+  Rng rng(3100 + GetParam());
+  const size_t n = 300 + rng.Uniform(300);
+  std::vector<int64_t> small(n), wide(n);
+  std::vector<std::string> strs(n);
+  const char* names[] = {"aa", "bb", "cc", "dd", "ee", "ff", "gg"};
+  for (size_t r = 0; r < n; ++r) {
+    small[r] = static_cast<int64_t>(rng.Uniform(25)) - 12;
+    // Wide values: a few clusters scattered over +/- 2^40.
+    wide[r] = (static_cast<int64_t>(rng.Uniform(7)) - 3) * (int64_t{1} << 40) +
+              static_cast<int64_t>(rng.Uniform(3));
+    strs[r] = names[rng.Uniform(7)];
+  }
+  Table t = MakeTypedTable(small, wide, strs);
+
+  // {"w", "w"} repeats the ~43-bit column so the packed budget overflows,
+  // exercising the wide tier alongside direct and packed.
+  const std::vector<std::vector<std::string>> attr_sets = {
+      {"s"},      {"i"},      {"w"},           {"s", "i"},
+      {"s", "w"}, {"i", "w"}, {"s", "i", "w"}, {"w", "i", "s"},
+      {"w", "w"}, {"w", "w", "s"}};
+  for (const auto& attrs : attr_sets) {
+    ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, attrs));
+    ASSERT_OK_AND_ASSIGN(std::vector<size_t> cols, GroupIndex::Resolve(t, attrs));
+    ExpectMatchesReference(gidx, NaiveIndex(t, cols, nullptr));
+
+    // Random subset build (with repeats).
+    std::vector<uint32_t> rows;
+    for (size_t i = 0; i < n / 2; ++i) {
+      rows.push_back(static_cast<uint32_t>(rng.Uniform(n)));
+    }
+    ASSERT_OK_AND_ASSIGN(GroupIndex sub, GroupIndex::BuildForRows(t, attrs, rows));
+    ExpectMatchesReference(sub, NaiveIndex(t, cols, &rows));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupIndexFuzz, testing::Range(0, 5));
+
+TEST(GroupKeyInternerTest, AssignsDenseFirstSeenIds) {
+  GroupKeyInterner interner;
+  EXPECT_EQ(interner.Intern(GroupKey{{1, 2}}), 0u);
+  EXPECT_EQ(interner.Intern(GroupKey{{2, 1}}), 1u);
+  EXPECT_EQ(interner.Intern(GroupKey{{1, 2}}), 0u);
+  EXPECT_EQ(interner.Intern(GroupKey{{}}), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.keys()[1], (GroupKey{{2, 1}}));
+}
+
+TEST(GroupKeyInternerTest, SurvivesGrowth) {
+  GroupKeyInterner interner(4);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(interner.Intern(GroupKey{{i, -i}}), static_cast<uint32_t>(i));
+  }
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(interner.Intern(GroupKey{{i, -i}}), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(interner.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Builds Release and runs the execution-substrate micro benches, then
+# rewrites BENCH_groupby.json with the measured throughput (plus speedups
+# against the recorded seed baseline) so PRs track the perf trajectory.
+#
+# Usage: tools/run_benches.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-bench}
+OUT=BENCH_groupby.json
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_micro_groupby bench_micro_sampling >/dev/null
+
+tmp_groupby=$(mktemp)
+tmp_sampling=$(mktemp)
+trap 'rm -f "$tmp_groupby" "$tmp_sampling"' EXIT
+
+"$BUILD_DIR"/bench_micro_groupby \
+  --benchmark_format=json --benchmark_min_time=1 >"$tmp_groupby"
+"$BUILD_DIR"/bench_micro_sampling \
+  --benchmark_format=json >"$tmp_sampling"
+
+python3 - "$tmp_groupby" "$tmp_sampling" "$OUT" <<'PY'
+import json
+import subprocess
+import sys
+
+groupby_path, sampling_path, out_path = sys.argv[1:4]
+
+def items_per_second(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {
+        b["name"]: round(b["items_per_second"])
+        for b in report["benchmarks"]
+        if "items_per_second" in b
+    }
+
+current = {**items_per_second(groupby_path), **items_per_second(sampling_path)}
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {}
+
+baseline = doc.get("seed_baseline_items_per_second", {})
+doc["description"] = (
+    "Throughput (items/s) of the micro group-by/sampling benches, Release "
+    "build, 500k-row OpenAQ table. seed_baseline is the pre-GroupIndex "
+    "unordered_map<GroupKey, Acc> engine. Regenerate with "
+    "tools/run_benches.sh."
+)
+commit = subprocess.run(
+    ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+)
+doc["commit"] = commit.stdout.strip() or "unknown"
+doc["current_items_per_second"] = current
+if baseline:
+    doc["speedup_vs_seed"] = {
+        name: round(current[name] / baseline[name], 2)
+        for name in sorted(baseline)
+        if name in current and baseline[name]
+    }
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path}")
+for name in sorted(current):
+    base = baseline.get(name)
+    speed = f"  ({current[name] / base:.2f}x vs seed)" if base else ""
+    print(f"  {name}: {current[name]:,} items/s{speed}")
+PY
