@@ -72,6 +72,39 @@ void BM_ExactGroupByWithPredicate(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactGroupByWithPredicate);
 
+void BM_ExactGroupByComplexPredicate(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  // AND-chain refinement + dictionary code-table + OR/NOT mask path.
+  q.where = Predicate::And(
+      Predicate::Between("hour", 0, 17),
+      Predicate::Or(Predicate::In("parameter", {Value("pm25"), Value("o3")}),
+                    Predicate::Not(Predicate::Compare(
+                        "country", CompareOp::kEq, "US"))));
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByComplexPredicate);
+
+void BM_ExactGroupByManyKeysMasked(benchmark::State& state) {
+  const Table& t = BenchTable();
+  QuerySpec q;
+  q.group_by = {"country", "parameter", "unit", "year", "month", "hour"};
+  q.aggregates = {AggSpec::Avg("value")};
+  q.where = Predicate::Between("hour", 0, 11);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByManyKeysMasked);
+
 void BM_StratificationBuild(benchmark::State& state) {
   const Table& t = BenchTable();
   for (auto _ : state) {

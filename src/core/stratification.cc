@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 
 namespace cvopt {
+
+constexpr uint32_t Stratification::kNoStratum;
 
 Result<Stratification> Stratification::Build(const Table& table,
                                              std::vector<std::string> attrs) {
@@ -18,6 +21,31 @@ Result<Stratification> Stratification::Build(const Table& table,
   out.keys_ = gidx.Keys();
   out.row_strata_ = gidx.TakeRowGroups();
   out.sizes_ = gidx.TakeSizes();
+  return out;
+}
+
+Result<Stratification> Stratification::Build(const Table& table,
+                                             std::vector<std::string> attrs,
+                                             const PredicatePtr& where) {
+  if (where == nullptr) return Build(table, std::move(attrs));
+  Stratification out;
+  out.table_ = &table;
+  out.attrs_ = std::move(attrs);
+  // Vectorized predicate -> selection vector of surviving rows, then the
+  // shared dense group-id pipeline over just those rows.
+  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
+                         CompiledPredicate::Compile(table, *where));
+  const std::vector<uint32_t> rows = cp.Select();
+  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
+                         GroupIndex::BuildForRows(table, out.attrs_, rows));
+  out.column_indices_ = gidx.column_indices();
+  out.keys_ = gidx.Keys();
+  out.sizes_ = gidx.TakeSizes();
+  out.row_strata_.assign(table.num_rows(), kNoStratum);
+  const std::vector<uint32_t> pos_strata = gidx.TakeRowGroups();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out.row_strata_[rows[i]] = pos_strata[i];
+  }
   return out;
 }
 

@@ -6,9 +6,11 @@
 #ifndef CVOPT_CORE_STRATIFICATION_H_
 #define CVOPT_CORE_STRATIFICATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/expr/predicate.h"
 #include "src/stats/group_key.h"
 #include "src/table/table.h"
 #include "src/util/status.h"
@@ -23,10 +25,21 @@ namespace cvopt {
 /// outlive it.
 class Stratification {
  public:
+  /// Rows excluded by a filtered Build carry this sentinel in row_strata().
+  static constexpr uint32_t kNoStratum = UINT32_MAX;
+
   /// Builds the stratification in one pass over the table. Attributes must
   /// be int64 or string columns (doubles are not groupable).
   static Result<Stratification> Build(const Table& table,
                                       std::vector<std::string> attrs);
+
+  /// Filtered build: only rows matching `where` (evaluated through the
+  /// compiled kernel engine) are stratified; excluded rows map to
+  /// kNoStratum and contribute to no stratum's size. A null predicate is
+  /// the unfiltered build.
+  static Result<Stratification> Build(const Table& table,
+                                      std::vector<std::string> attrs,
+                                      const PredicatePtr& where);
 
   const Table& table() const { return *table_; }
   const std::vector<std::string>& attrs() const { return attrs_; }

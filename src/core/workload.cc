@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -96,19 +97,17 @@ Result<Workload::AllocationInput> Workload::Deduce(const Table& table) const {
       index_cache[qi] = std::make_unique<GroupIndex>(std::move(built));
     }
     const GroupIndex& gidx = *index_cache[qi];
-    std::vector<uint8_t> mask;
-    if (q.where != nullptr) {
-      CVOPT_ASSIGN_OR_RETURN(mask, q.where->Evaluate(table));
-    }
     std::vector<uint8_t> seen(gidx.num_groups(), 0);
-    if (mask.empty()) {
+    if (q.where != nullptr) {
+      // Vectorized predicate -> selection vector; flag only the groups that
+      // actually survive the entry's WHERE clause.
+      CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
+                             CompiledPredicate::Compile(table, *q.where));
+      const uint32_t* rg = gidx.row_groups().data();
+      for (const uint32_t r : where.Select()) seen[rg[r]] = 1;
+    } else {
       for (size_t g = 0; g < gidx.num_groups(); ++g) {
         seen[g] = gidx.sizes()[g] > 0 ? 1 : 0;
-      }
-    } else {
-      const uint32_t* rg = gidx.row_groups().data();
-      for (size_t r = 0; r < table.num_rows(); ++r) {
-        if (mask[r]) seen[rg[r]] = 1;
       }
     }
     for (size_t g = 0; g < gidx.num_groups(); ++g) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 
 namespace cvopt {
 
@@ -50,14 +51,31 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
                          GroupIndex::BuildForRows(table, query.group_by, rows));
 
-  // WHERE mask over the sampled rows only.
-  std::vector<uint8_t> where_mask;
-  if (query.where != nullptr) {
-    CVOPT_ASSIGN_OR_RETURN(where_mask, query.where->EvaluateRows(table, rows));
-  }
+  const size_t m = rows.size();
+  const size_t G = gidx.num_groups();
+  const uint32_t* rg = gidx.row_groups().data();
+  const uint32_t* row_ids = rows.data();
+  const double* w = weights.data();
 
-  // Per-aggregate value streams: numeric column, COUNT_IF mask (over the
-  // sampled rows), or constant 1.
+  // WHERE compiles to typed kernels and selects surviving sample positions
+  // directly (no per-position byte mask on the query path).
+  const bool use_sel = query.where != nullptr;
+  std::vector<uint32_t> sel;
+  if (use_sel) {
+    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
+                           CompiledPredicate::Compile(table, *query.where));
+    sel = where.SelectPositions(row_ids, m);
+  }
+  auto for_each_pos = [&](auto&& fn) {
+    if (use_sel) {
+      for (const uint32_t i : sel) fn(static_cast<size_t>(i));
+    } else {
+      for (size_t i = 0; i < m; ++i) fn(i);
+    }
+  };
+
+  // Per-aggregate value streams: numeric column, COUNT_IF indicator mask
+  // (over the sampled rows, via the compiled kernel plan), or constant 1.
   const size_t t = query.aggregates.size();
   std::vector<const Column*> agg_cols(t, nullptr);
   std::vector<std::vector<uint8_t>> agg_masks(t);
@@ -82,34 +100,14 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
         if (agg.filter == nullptr) {
           return Status::InvalidArgument("COUNT_IF requires a filter predicate");
         }
-        CVOPT_ASSIGN_OR_RETURN(agg_masks[j], agg.filter->EvaluateRows(table, rows));
+        CVOPT_ASSIGN_OR_RETURN(CompiledPredicate filter,
+                               CompiledPredicate::Compile(table, *agg.filter));
+        agg_masks[j].resize(m);
+        filter.EvalMask(row_ids, m, agg_masks[j].data());
         break;
       }
     }
   }
-
-  const size_t m = rows.size();
-  const size_t G = gidx.num_groups();
-  const uint32_t* rg = gidx.row_groups().data();
-  const uint32_t* row_ids = rows.data();
-  const double* w = weights.data();
-
-  // Selection vector of sample positions surviving the WHERE mask.
-  const bool use_sel = !where_mask.empty();
-  std::vector<uint32_t> sel;
-  if (use_sel) {
-    sel.reserve(m);
-    for (size_t i = 0; i < m; ++i) {
-      if (where_mask[i]) sel.push_back(static_cast<uint32_t>(i));
-    }
-  }
-  auto for_each_pos = [&](auto&& fn) {
-    if (use_sel) {
-      for (const uint32_t i : sel) fn(static_cast<size_t>(i));
-    } else {
-      for (size_t i = 0; i < m; ++i) fn(i);
-    }
-  };
 
   // Per-group surviving-position counts and total HT weight (identical
   // across aggregates: every aggregate sees every surviving sampled row).
@@ -175,46 +173,52 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     }
   }
 
+  // Finalize aggregate-major and bulk-ingest (flat values, batch labels,
+  // lazy key -> index map), mirroring the exact executor.
+  std::vector<double> finals(t * G, 0.0);
+  for (size_t j = 0; j < t; ++j) {
+    const double* S = wsums.data() + j * G;
+    double* F = finals.data() + j * G;
+    switch (query.aggregates[j].func) {
+      case AggFunc::kAvg:
+        for (size_t g = 0; g < G; ++g) {
+          if (wcnt[g] > 0.0) F[g] = S[g] / wcnt[g];
+        }
+        break;
+      case AggFunc::kCount:
+        std::copy(wcnt.begin(), wcnt.end(), F);
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kCountIf:
+        std::copy(S, S + G, F);
+        break;
+      case AggFunc::kVariance: {
+        // Weighted plug-in estimator of the population variance:
+        // E_w[v^2] - E_w[v]^2.
+        const double* S2 = wsums2.data() + j * G;
+        for (size_t g = 0; g < G; ++g) {
+          if (wcnt[g] <= 0.0) continue;
+          const double mean = S[g] / wcnt[g];
+          F[g] = std::max(0.0, S2[g] / wcnt[g] - mean * mean);
+        }
+        break;
+      }
+      case AggFunc::kMedian:
+        for (size_t g = 0; g < G; ++g) {
+          if (cnt[g]) F[g] = WeightedMedianOf(&median_pairs[j][g], wcnt[g]);
+        }
+        break;
+    }
+  }
+
   std::vector<std::string> agg_labels;
   agg_labels.reserve(t);
   for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
 
-  QueryResult result(std::move(agg_labels), query.group_by);
-  std::vector<double> vals(t);
   // Groups emit in first-occurrence-over-sampled-rows order; under a WHERE
   // clause this may differ from the legacy first-surviving-row order.
-  for (size_t g = 0; g < G; ++g) {
-    if (cnt[g] == 0) continue;  // no surviving sampled rows in this group
-    for (size_t j = 0; j < t; ++j) {
-      switch (query.aggregates[j].func) {
-        case AggFunc::kAvg:
-          vals[j] = wcnt[g] > 0.0 ? wsums[j * G + g] / wcnt[g] : 0.0;
-          break;
-        case AggFunc::kCount:
-          vals[j] = wcnt[g];
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kCountIf:
-          vals[j] = wsums[j * G + g];
-          break;
-        case AggFunc::kVariance: {
-          // Weighted plug-in estimator of the population variance:
-          // E_w[v^2] - E_w[v]^2.
-          if (wcnt[g] <= 0.0) {
-            vals[j] = 0.0;
-            break;
-          }
-          const double mean = wsums[j * G + g] / wcnt[g];
-          vals[j] = std::max(0.0, wsums2[j * G + g] / wcnt[g] - mean * mean);
-          break;
-        }
-        case AggFunc::kMedian:
-          vals[j] = WeightedMedianOf(&median_pairs[j][g], wcnt[g]);
-          break;
-      }
-    }
-    CVOPT_RETURN_NOT_OK(result.AddGroup(gidx.KeyOf(g), gidx.Label(g), vals));
-  }
+  QueryResult result(std::move(agg_labels), query.group_by);
+  CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, cnt, finals));
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "src/exec/aggregate.h"
 
+#include "src/expr/compiled_predicate.h"
+
 namespace cvopt {
 
 const char* AggFuncToString(AggFunc f) {
@@ -61,10 +63,13 @@ Result<BoundAggregates> BoundAggregates::Bind(const Table& table,
         if (agg.filter == nullptr) {
           return Status::InvalidArgument("COUNT_IF requires a filter predicate");
         }
-        CVOPT_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
-                               agg.filter->Evaluate(table));
-        out.indicators_.push_back(
-            std::make_unique<std::vector<uint8_t>>(std::move(mask)));
+        // Indicator materializes through the compiled kernel plan; the
+        // stats collector and executors then stream it as a value source.
+        CVOPT_ASSIGN_OR_RETURN(CompiledPredicate filter,
+                               CompiledPredicate::Compile(table, *agg.filter));
+        auto mask = std::make_unique<std::vector<uint8_t>>(table.num_rows());
+        filter.EvalMask(nullptr, mask->size(), mask->data());
+        out.indicators_.push_back(std::move(mask));
         src.indicator = out.indicators_.back().get();
         break;
       }

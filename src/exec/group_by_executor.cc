@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 
 namespace cvopt {
 
@@ -31,25 +32,20 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
                          GroupIndex::Build(table, query.group_by));
 
-  std::vector<uint8_t> mask;
-  if (query.where != nullptr) {
-    CVOPT_ASSIGN_OR_RETURN(mask, query.where->Evaluate(table));
-  }
-
   const size_t n = table.num_rows();
   const size_t t = query.aggregates.size();
   const size_t G = gidx.num_groups();
   const uint32_t* rg = gidx.row_groups().data();
 
-  // Selection vector of rows surviving the WHERE mask; hoists the mask
-  // branch out of every accumulation loop.
-  const bool use_sel = !mask.empty();
+  // WHERE evaluates through the compiled kernel plan straight to a
+  // selection vector of surviving rows; no byte mask is materialized and
+  // the mask branch is hoisted out of every accumulation loop.
+  const bool use_sel = query.where != nullptr;
   std::vector<uint32_t> sel;
   if (use_sel) {
-    sel.reserve(n);
-    for (size_t r = 0; r < n; ++r) {
-      if (mask[r]) sel.push_back(static_cast<uint32_t>(r));
-    }
+    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
+                           CompiledPredicate::Compile(table, *query.where));
+    sel = where.Select();
   }
   auto for_each_row = [&](auto&& fn) {
     if (use_sel) {
@@ -119,42 +115,53 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
     }
   }
 
+  // Finalize into an aggregate-major finals array and bulk-ingest: the
+  // result is materialized flat, with batch-rendered labels and a lazy
+  // key -> index map instead of a per-group AddGroup insert loop.
+  std::vector<double> finals(t * G, 0.0);
+  for (size_t j = 0; j < t; ++j) {
+    const double* S = sums.data() + j * G;
+    double* F = finals.data() + j * G;
+    switch (query.aggregates[j].func) {
+      case AggFunc::kAvg:
+        for (size_t g = 0; g < G; ++g) {
+          if (cnt[g]) F[g] = S[g] / static_cast<double>(cnt[g]);
+        }
+        break;
+      case AggFunc::kCount:
+        for (size_t g = 0; g < G; ++g) F[g] = static_cast<double>(cnt[g]);
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kCountIf:
+        std::copy(S, S + G, F);
+        break;
+      case AggFunc::kVariance: {
+        const double* S2 = sums2.data() + j * G;
+        for (size_t g = 0; g < G; ++g) {
+          if (!cnt[g]) continue;
+          const double ng = static_cast<double>(cnt[g]);
+          const double mean = S[g] / ng;
+          F[g] = std::max(0.0, S2[g] / ng - mean * mean);
+        }
+        break;
+      }
+      case AggFunc::kMedian:
+        for (size_t g = 0; g < G; ++g) {
+          if (cnt[g]) F[g] = MedianOf(&median_values[j][g]);
+        }
+        break;
+    }
+  }
+
   std::vector<std::string> agg_labels;
   agg_labels.reserve(t);
   for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
 
-  QueryResult result(std::move(agg_labels), query.group_by);
-  std::vector<double> vals(t);
   // Groups emit in first-occurrence-over-all-rows order (the GroupIndex is
   // built unmasked); under a WHERE clause this may differ from the legacy
   // first-surviving-row order. The group set and values are identical.
-  for (size_t g = 0; g < G; ++g) {
-    if (cnt[g] == 0) continue;  // no surviving rows: group absent from result
-    const double ng = static_cast<double>(cnt[g]);
-    for (size_t j = 0; j < t; ++j) {
-      switch (query.aggregates[j].func) {
-        case AggFunc::kAvg:
-          vals[j] = sums[j * G + g] / ng;
-          break;
-        case AggFunc::kCount:
-          vals[j] = ng;
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kCountIf:
-          vals[j] = sums[j * G + g];
-          break;
-        case AggFunc::kVariance: {
-          const double mean = sums[j * G + g] / ng;
-          vals[j] = std::max(0.0, sums2[j * G + g] / ng - mean * mean);
-          break;
-        }
-        case AggFunc::kMedian:
-          vals[j] = MedianOf(&median_values[j][g]);
-          break;
-      }
-    }
-    CVOPT_RETURN_NOT_OK(result.AddGroup(gidx.KeyOf(g), gidx.Label(g), vals));
-  }
+  QueryResult result(std::move(agg_labels), query.group_by);
+  CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, cnt, finals));
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "src/exec/group_index.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "src/util/hash.h"
@@ -300,7 +301,29 @@ std::vector<GroupKey> GroupIndex::Keys() const {
 }
 
 std::string GroupIndex::Label(size_t g) const {
-  return KeyOf(g).Render(*table_, cols_);
+  std::string out;
+  AppendLabel(g, &out);
+  return out;
+}
+
+void GroupIndex::AppendLabel(size_t g, std::string* out) const {
+  // Renders identically to GroupKey::Render ("v1|v2|...") but straight from
+  // the representative row, with no GroupKey or parts-vector allocation.
+  const uint32_t row = rep_rows_[g];
+  bool first = true;
+  for (size_t c : cols_) {
+    if (!first) out->push_back('|');
+    first = false;
+    const Column& col = table_->column(c);
+    if (col.type() == DataType::kString) {
+      out->append(col.GetString(row));
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(col.GetInt(row)));
+      out->append(buf);
+    }
+  }
 }
 
 GroupKeyInterner::GroupKeyInterner(size_t expected_keys) {

@@ -76,6 +76,10 @@ class GroupIndex {
   /// Human-readable label of group g, e.g. "US|pm25".
   std::string Label(size_t g) const;
 
+  /// Appends group g's label to *out without materializing a GroupKey —
+  /// the batch-rendering path of QueryResult::IngestDense.
+  void AppendLabel(size_t g, std::string* out) const;
+
   /// Move-out accessors for callers that keep the mapping (Stratification).
   std::vector<uint32_t> TakeRowGroups() { return std::move(row_groups_); }
   std::vector<uint64_t> TakeSizes() { return std::move(sizes_); }

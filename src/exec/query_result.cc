@@ -4,6 +4,14 @@
 
 namespace cvopt {
 
+void QueryResult::EnsureIndex() const {
+  if (!index_stale_) return;  // AddGroup maintains the index incrementally
+  index_.clear();
+  index_.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) index_.emplace(keys_[i], i);
+  index_stale_ = false;
+}
+
 Status QueryResult::AddGroup(GroupKey key, std::string label,
                              std::vector<double> values) {
   if (values.size() != agg_labels_.size()) {
@@ -11,17 +19,59 @@ Status QueryResult::AddGroup(GroupKey key, std::string label,
         StrFormat("group has %zu values, expected %zu aggregates",
                   values.size(), agg_labels_.size()));
   }
+  EnsureIndex();
   auto [it, inserted] = index_.try_emplace(key, keys_.size());
   if (!inserted) {
     return Status::AlreadyExists("duplicate group key '" + label + "'");
   }
   keys_.push_back(std::move(key));
   labels_.push_back(std::move(label));
-  values_.push_back(std::move(values));
+  values_.insert(values_.end(), values.begin(), values.end());
+  return Status::OK();
+}
+
+Status QueryResult::IngestDense(const GroupIndex& gidx,
+                                const std::vector<uint64_t>& counts,
+                                const std::vector<double>& finals) {
+  const size_t t = agg_labels_.size();
+  const size_t G = gidx.num_groups();
+  if (counts.size() != G || finals.size() != t * G) {
+    return Status::InvalidArgument(
+        StrFormat("IngestDense: %zu groups, %zu counts, %zu finals for %zu "
+                  "aggregates",
+                  G, counts.size(), finals.size(), t));
+  }
+  // Into a non-empty result, reject key collisions up front (the executors
+  // always ingest into a fresh result, where gidx ids are unique).
+  if (!keys_.empty()) {
+    EnsureIndex();
+    for (size_t g = 0; g < G; ++g) {
+      if (counts[g] > 0 && index_.count(gidx.KeyOf(g)) > 0) {
+        return Status::AlreadyExists("duplicate group key '" +
+                                     gidx.Label(g) + "'");
+      }
+    }
+  }
+  size_t live = 0;
+  for (size_t g = 0; g < G; ++g) live += counts[g] > 0 ? 1 : 0;
+  keys_.reserve(keys_.size() + live);
+  labels_.reserve(labels_.size() + live);
+  values_.reserve(values_.size() + live * t);
+  for (size_t g = 0; g < G; ++g) {
+    if (counts[g] == 0) continue;  // no surviving rows: group absent
+    keys_.push_back(gidx.KeyOf(g));
+    labels_.emplace_back();
+    gidx.AppendLabel(g, &labels_.back());
+    for (size_t j = 0; j < t; ++j) values_.push_back(finals[j * G + g]);
+  }
+  // The index is stale now; the first Find() rebuilds it once.
+  index_.clear();
+  index_stale_ = true;
   return Status::OK();
 }
 
 std::optional<size_t> QueryResult::Find(const GroupKey& key) const {
+  EnsureIndex();
   auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   return it->second;
@@ -38,10 +88,11 @@ std::string QueryResult::ToString(size_t max_groups) const {
   std::string out =
       "group(" + Join(group_attrs_, ",") + ") -> [" + Join(agg_labels_, ", ") + "]\n";
   const size_t n = std::min(max_groups, keys_.size());
+  const size_t t = agg_labels_.size();
   for (size_t i = 0; i < n; ++i) {
     std::vector<std::string> vals;
-    vals.reserve(values_[i].size());
-    for (double v : values_[i]) vals.push_back(FormatDouble(v, 4));
+    vals.reserve(t);
+    for (size_t j = 0; j < t; ++j) vals.push_back(FormatDouble(value(i, j), 4));
     out += "  " + labels_[i] + ": [" + Join(vals, ", ") + "]\n";
   }
   if (n < keys_.size()) out += StrFormat("  ... (%zu more)\n", keys_.size() - n);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/exec/group_index.h"
 #include "src/stats/group_key.h"
 #include "src/util/status.h"
 
@@ -15,6 +16,11 @@ namespace cvopt {
 
 /// Answer of one group-by query: an ordered list of groups, each with one
 /// value per aggregate.
+///
+/// Values live in one flat row-major array (stride = number of aggregates)
+/// and the key -> index map is built lazily on first Find(), so the bulk
+/// ingest path below appends many-group results without per-group heap
+/// allocation or hash inserts.
 class QueryResult {
  public:
   QueryResult() = default;
@@ -26,13 +32,33 @@ class QueryResult {
   /// Adds a group; key must be new. `label` is the rendered group key.
   Status AddGroup(GroupKey key, std::string label, std::vector<double> values);
 
+  /// Bulk-ingests the dense-id pipeline's output: one result group per
+  /// index g with counts[g] > 0, keys and labels rendered in batch from
+  /// `gidx`, and values gathered from the aggregate-major accumulator array
+  /// finals[j * G + g] (G = gidx.num_groups(), j < num_aggregates()).
+  /// Into an empty result (the executors' path) the GroupIndex's ids are
+  /// distinct by construction, so no per-group map insert happens and the
+  /// index stays lazy until the first Find(); into a non-empty result the
+  /// incoming keys are checked against the existing ones first
+  /// (AlreadyExists on collision, nothing ingested).
+  Status IngestDense(const GroupIndex& gidx,
+                     const std::vector<uint64_t>& counts,
+                     const std::vector<double>& finals);
+
   size_t num_groups() const { return keys_.size(); }
   size_t num_aggregates() const { return agg_labels_.size(); }
 
   const GroupKey& key(size_t i) const { return keys_[i]; }
   const std::string& label(size_t i) const { return labels_[i]; }
-  const std::vector<double>& values(size_t i) const { return values_[i]; }
-  double value(size_t i, size_t agg) const { return values_[i][agg]; }
+  /// Copy of group i's aggregate values (row slice of the flat array).
+  std::vector<double> values(size_t i) const {
+    const size_t t = agg_labels_.size();
+    return std::vector<double>(values_.begin() + i * t,
+                               values_.begin() + (i + 1) * t);
+  }
+  double value(size_t i, size_t agg) const {
+    return values_[i * agg_labels_.size() + agg];
+  }
 
   const std::vector<std::string>& agg_labels() const { return agg_labels_; }
   const std::vector<std::string>& group_attrs() const { return group_attrs_; }
@@ -46,12 +72,16 @@ class QueryResult {
   std::string ToString(size_t max_groups = 20) const;
 
  private:
+  // Builds the key -> index map if it is stale (lazy after IngestDense).
+  void EnsureIndex() const;
+
   std::vector<std::string> agg_labels_;
   std::vector<std::string> group_attrs_;
   std::vector<GroupKey> keys_;
   std::vector<std::string> labels_;
-  std::vector<std::vector<double>> values_;
-  std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
+  std::vector<double> values_;  // row-major, stride = agg_labels_.size()
+  mutable std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
+  mutable bool index_stale_ = false;  // set by IngestDense, cleared on rebuild
 };
 
 }  // namespace cvopt

@@ -1,0 +1,140 @@
+// Shared comparison semantics for predicate evaluation. Both the compiled
+// kernel engine (compiled_predicate.cc) and the scalar evaluator
+// (Predicate::Matches) normalize numeric literals through these helpers so
+// the two paths agree bit-for-bit on the edge cases the differential tests
+// pin down: fractional literals against int64 columns, literals outside the
+// int64 range (including ±inf), NaN literals and NaN column values, and
+// int64 magnitudes where routing the comparison through double would round.
+#ifndef CVOPT_EXPR_COMPARE_PLAN_H_
+#define CVOPT_EXPR_COMPARE_PLAN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/expr/predicate.h"
+#include "src/table/value.h"
+
+namespace cvopt {
+
+/// Applies `op` to (a, b) with the type's natural ordering.
+template <typename T>
+inline bool ApplyCompare(CompareOp op, const T& a, const T& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Double comparison with deterministic NaN handling: a NaN value or NaN
+/// literal matches nothing, including `!=`.
+inline bool ApplyCompareDouble(CompareOp op, double v, double lit) {
+  if (op == CompareOp::kNe) return v == v && lit == lit && v != lit;
+  return ApplyCompare(op, v, lit);  // IEEE comparisons are false for NaN
+}
+
+// 2^63 as a double; the smallest double strictly above every int64.
+inline constexpr double kInt64BoundAsDouble = 9223372036854775808.0;
+
+/// Normalized plan for `int64_column <op> numeric_literal`: either a
+/// constant answer or an exact int64 comparison. Fractional literals are
+/// rewritten into the int domain (v < 2.5 ⇔ v <= 2), out-of-range literals
+/// (|lit| beyond int64, ±inf) fold to constants, NaN matches nothing.
+struct Int64ComparePlan {
+  enum class Kind { kConstFalse, kConstTrue, kCompare };
+  Kind kind = Kind::kConstFalse;
+  CompareOp op = CompareOp::kEq;
+  int64_t lit = 0;
+};
+
+inline Int64ComparePlan PlanInt64Compare(CompareOp op, const Value& literal) {
+  constexpr auto kFalse = Int64ComparePlan::Kind::kConstFalse;
+  constexpr auto kTrue = Int64ComparePlan::Kind::kConstTrue;
+  constexpr auto kCmp = Int64ComparePlan::Kind::kCompare;
+  if (literal.is_int()) return {kCmp, op, literal.AsInt()};
+  const double d = literal.AsDouble();
+  if (std::isnan(d)) return {kFalse, op, 0};
+  if (std::floor(d) == d && d >= -kInt64BoundAsDouble &&
+      d < kInt64BoundAsDouble) {
+    // Exactly representable as int64; doubles this large are integral, so
+    // the cast is exact.
+    return {kCmp, op, static_cast<int64_t>(d)};
+  }
+  // Fractional, or outside the int64 range (including ±inf): no int64
+  // equals d, and the orderings collapse to floor-based comparisons.
+  switch (op) {
+    case CompareOp::kEq:
+      return {kFalse, op, 0};
+    case CompareOp::kNe:
+      return {kTrue, op, 0};
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      if (d >= kInt64BoundAsDouble) return {kTrue, op, 0};
+      if (d < -kInt64BoundAsDouble) return {kFalse, op, 0};
+      // v < d ⇔ v <= d ⇔ v <= floor(d) for non-integral d.
+      return {kCmp, CompareOp::kLe, static_cast<int64_t>(std::floor(d))};
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      if (d >= kInt64BoundAsDouble) return {kFalse, op, 0};
+      if (d < -kInt64BoundAsDouble) return {kTrue, op, 0};
+      // v > d ⇔ v >= d ⇔ v >= floor(d) + 1 for non-integral d. floor(d) is
+      // fractional-capable only below 2^52, so the +1 cannot overflow.
+      return {kCmp, CompareOp::kGe,
+              static_cast<int64_t>(std::floor(d)) + 1};
+  }
+  return {kFalse, op, 0};
+}
+
+/// Exact int64 view of a numeric IN-list literal, if one exists: NaN,
+/// fractional, and out-of-int64-range doubles can never equal an int64 and
+/// return false. Shared by the kernel compiler and the scalar evaluator.
+inline bool TryInt64FromValue(const Value& v, int64_t* out) {
+  if (v.is_int()) {
+    *out = v.AsInt();
+    return true;
+  }
+  const double d = v.AsDouble();
+  if (std::isnan(d) || std::floor(d) != d || d < -kInt64BoundAsDouble ||
+      d >= kInt64BoundAsDouble) {
+    return false;
+  }
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+/// Normalized plan for `int64_column BETWEEN lo AND hi`: either empty or an
+/// inclusive int64 interval [lo, hi]. NaN bounds make the range empty.
+struct Int64RangePlan {
+  bool empty = true;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+inline Int64RangePlan PlanInt64Range(double lo, double hi) {
+  if (std::isnan(lo) || std::isnan(hi)) return {true, 0, 0};
+  if (lo >= kInt64BoundAsDouble) return {true, 0, 0};
+  if (hi < -kInt64BoundAsDouble) return {true, 0, 0};
+  const int64_t lo_i = lo < -kInt64BoundAsDouble
+                           ? std::numeric_limits<int64_t>::min()
+                           : static_cast<int64_t>(std::ceil(lo));
+  const int64_t hi_i = hi >= kInt64BoundAsDouble
+                           ? std::numeric_limits<int64_t>::max()
+                           : static_cast<int64_t>(std::floor(hi));
+  if (lo_i > hi_i) return {true, 0, 0};
+  return {false, lo_i, hi_i};
+}
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXPR_COMPARE_PLAN_H_

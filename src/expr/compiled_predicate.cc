@@ -1,0 +1,752 @@
+#include "src/expr/compiled_predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/expr/compare_plan.h"
+
+namespace cvopt {
+
+namespace {
+
+// ---------------------------------------------------------------- kernels
+// Each kernel is a tiny POD with an inline Test(row) over raw storage; the
+// driver loops below are templated on the kernel so the per-row work
+// compiles to a typed, branch-light inner loop.
+
+struct OpEq {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a == b; }
+};
+struct OpNe {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a != b; }
+};
+struct OpLt {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a < b; }
+};
+struct OpLe {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a <= b; }
+};
+struct OpGt {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a > b; }
+};
+struct OpGe {
+  template <class T>
+  static bool Apply(const T& a, const T& b) { return a >= b; }
+};
+
+template <class Op>
+struct IntCmpK {
+  const int64_t* v;
+  int64_t lit;
+  bool Test(size_t r) const { return Op::Apply(v[r], lit); }
+};
+
+template <class Op>
+struct DblCmpK {
+  const double* v;
+  double lit;
+  bool Test(size_t r) const { return Op::Apply(v[r], lit); }
+};
+
+// `!=` on doubles with the deterministic-NaN contract: NaN matches nothing.
+struct DblNeK {
+  const double* v;
+  double lit;
+  bool Test(size_t r) const {
+    const double x = v[r];
+    return x == x && x != lit;
+  }
+};
+
+struct IntBetweenK {
+  const int64_t* v;
+  int64_t lo;
+  uint64_t span;  // hi - lo, two's-complement
+  bool Test(size_t r) const {
+    return static_cast<uint64_t>(v[r]) - static_cast<uint64_t>(lo) <= span;
+  }
+};
+
+struct DblBetweenK {
+  const double* v;
+  double lo, hi;
+  bool Test(size_t r) const {
+    const double x = v[r];
+    return x >= lo && x <= hi;  // false for NaN x
+  }
+};
+
+struct CodeTableK {
+  const int32_t* codes;
+  const uint8_t* match;
+  bool Test(size_t r) const { return match[codes[r]] != 0; }
+};
+
+struct IntInBitsetK {
+  const int64_t* v;
+  int64_t base;
+  uint64_t span;  // bits.size() * 64 - 1
+  const uint64_t* bits;
+  bool Test(size_t r) const {
+    const uint64_t d =
+        static_cast<uint64_t>(v[r]) - static_cast<uint64_t>(base);
+    return d <= span && ((bits[d >> 6] >> (d & 63)) & 1) != 0;
+  }
+};
+
+struct IntInSortedK {
+  const int64_t* v;
+  const int64_t* first;
+  const int64_t* last;
+  bool Test(size_t r) const { return std::binary_search(first, last, v[r]); }
+};
+
+struct DblInSortedK {
+  const double* v;
+  const double* first;
+  const double* last;
+  bool Test(size_t r) const {
+    const double x = v[r];
+    // The x == x guard keeps NaN out of binary_search: with NaN all
+    // comparisons are false, so the search would report a bogus match.
+    return x == x && std::binary_search(first, last, x);
+  }
+};
+
+template <class K>
+struct NotK {
+  K k;
+  bool Test(size_t r) const { return !k.Test(r); }
+};
+
+// ----------------------------------------------------------- loop drivers
+
+template <class K>
+void MaskLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* out) {
+  if (rows != nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = k.Test(rows[i]) ? 1 : 0;
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = k.Test(i) ? 1 : 0;
+  }
+}
+
+template <class K>
+void AndLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* inout) {
+  if (rows != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (inout[i]) inout[i] = k.Test(rows[i]) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (inout[i]) inout[i] = k.Test(i) ? 1 : 0;
+    }
+  }
+}
+
+template <class K>
+void OrLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* inout) {
+  if (rows != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!inout[i]) inout[i] = k.Test(rows[i]) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (!inout[i]) inout[i] = k.Test(i) ? 1 : 0;
+    }
+  }
+}
+
+// In-place selection refinement; branch-free compaction keeps throughput
+// flat across selectivities.
+template <class K>
+void RefineLoop(const K& k, const uint32_t* rows,
+                std::vector<uint32_t>* sel) {
+  uint32_t* s = sel->data();
+  const size_t n = sel->size();
+  size_t w = 0;
+  if (rows != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = s[i];
+      s[w] = p;
+      w += k.Test(rows[p]) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = s[i];
+      s[w] = p;
+      w += k.Test(p) ? 1 : 0;
+    }
+  }
+  sel->resize(w);
+}
+
+template <class K>
+void SelectLoop(const K& k, const uint32_t* rows, size_t n,
+                std::vector<uint32_t>* out) {
+  out->resize(n);
+  uint32_t* o = out->data();
+  size_t w = 0;
+  if (rows != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      o[w] = static_cast<uint32_t>(i);
+      w += k.Test(rows[i]) ? 1 : 0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      o[w] = static_cast<uint32_t>(i);
+      w += k.Test(i) ? 1 : 0;
+    }
+  }
+  out->resize(w);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- dispatch
+
+template <class Fn>
+void CompiledPredicate::VisitLeaf(const Leaf& L, Fn&& fn) {
+  switch (L.kind) {
+    case LeafKind::kIntCmp:
+      switch (L.op) {
+        case CompareOp::kEq: return fn(IntCmpK<OpEq>{L.i64, L.ilit});
+        case CompareOp::kNe: return fn(IntCmpK<OpNe>{L.i64, L.ilit});
+        case CompareOp::kLt: return fn(IntCmpK<OpLt>{L.i64, L.ilit});
+        case CompareOp::kLe: return fn(IntCmpK<OpLe>{L.i64, L.ilit});
+        case CompareOp::kGt: return fn(IntCmpK<OpGt>{L.i64, L.ilit});
+        case CompareOp::kGe: return fn(IntCmpK<OpGe>{L.i64, L.ilit});
+      }
+      break;
+    case LeafKind::kDblCmp:
+      switch (L.op) {
+        case CompareOp::kEq: return fn(DblCmpK<OpEq>{L.f64, L.dlit});
+        case CompareOp::kNe: return fn(DblNeK{L.f64, L.dlit});
+        case CompareOp::kLt: return fn(DblCmpK<OpLt>{L.f64, L.dlit});
+        case CompareOp::kLe: return fn(DblCmpK<OpLe>{L.f64, L.dlit});
+        case CompareOp::kGt: return fn(DblCmpK<OpGt>{L.f64, L.dlit});
+        case CompareOp::kGe: return fn(DblCmpK<OpGe>{L.f64, L.dlit});
+      }
+      break;
+    case LeafKind::kIntBetween:
+      return fn(IntBetweenK{
+          L.i64, L.ilo,
+          static_cast<uint64_t>(L.ihi) - static_cast<uint64_t>(L.ilo)});
+    case LeafKind::kDblBetween:
+      return fn(DblBetweenK{L.f64, L.dlo, L.dhi});
+    case LeafKind::kCodeTable:
+      return fn(CodeTableK{L.codes, L.match_table.data()});
+    case LeafKind::kIntInBitset:
+      return fn(IntInBitsetK{L.i64, L.base,
+                             static_cast<uint64_t>(L.bits.size()) * 64 - 1,
+                             L.bits.data()});
+    case LeafKind::kIntInSorted:
+      return fn(IntInSortedK{L.i64, L.ivals.data(),
+                             L.ivals.data() + L.ivals.size()});
+    case LeafKind::kDblInSorted:
+      return fn(DblInSortedK{L.f64, L.dvals.data(),
+                             L.dvals.data() + L.dvals.size()});
+  }
+  std::abort();  // unreachable: all kinds handled above
+}
+
+template <class Fn>
+bool CompiledPredicate::VisitSimple(uint32_t node, Fn&& fn) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kLeaf) {
+    VisitLeaf(leaves_[nd.leaf], fn);
+    return true;
+  }
+  if (nd.kind == NodeKind::kNot) {
+    const Node& child = nodes_[child_ids_[nd.child_begin]];
+    if (child.kind == NodeKind::kLeaf) {
+      VisitLeaf(leaves_[child.leaf],
+                [&](auto k) { fn(NotK<decltype(k)>{k}); });
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- evaluation
+
+void CompiledPredicate::EvalMaskNode(uint32_t node, const uint32_t* rows,
+                                     size_t n, uint8_t* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    std::fill_n(out, n, nd.value ? 1 : 0);
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { MaskLoop(k, rows, n, out); })) return;
+  switch (nd.kind) {
+    case NodeKind::kAnd:
+      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      for (uint32_t c = 1; c < nd.child_count; ++c) {
+        AndIntoNode(child_ids_[nd.child_begin + c], rows, n, out);
+      }
+      return;
+    case NodeKind::kOr:
+      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      for (uint32_t c = 1; c < nd.child_count; ++c) {
+        OrIntoNode(child_ids_[nd.child_begin + c], rows, n, out);
+      }
+      return;
+    case NodeKind::kNot:
+      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      for (size_t i = 0; i < n; ++i) out[i] = out[i] ? 0 : 1;
+      return;
+    default:
+      return;  // kConst / kLeaf handled above
+  }
+}
+
+void CompiledPredicate::AndIntoNode(uint32_t node, const uint32_t* rows,
+                                    size_t n, uint8_t* inout) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    if (!nd.value) std::fill_n(inout, n, 0);
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { AndLoop(k, rows, n, inout); })) return;
+  if (nd.kind == NodeKind::kAnd) {
+    for (uint32_t c = 0; c < nd.child_count; ++c) {
+      AndIntoNode(child_ids_[nd.child_begin + c], rows, n, inout);
+    }
+    return;
+  }
+  std::vector<uint8_t> scratch(n);
+  EvalMaskNode(node, rows, n, scratch.data());
+  for (size_t i = 0; i < n; ++i) inout[i] &= scratch[i];
+}
+
+void CompiledPredicate::OrIntoNode(uint32_t node, const uint32_t* rows,
+                                   size_t n, uint8_t* inout) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    if (nd.value) std::fill_n(inout, n, 1);
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { OrLoop(k, rows, n, inout); })) return;
+  if (nd.kind == NodeKind::kOr) {
+    for (uint32_t c = 0; c < nd.child_count; ++c) {
+      OrIntoNode(child_ids_[nd.child_begin + c], rows, n, inout);
+    }
+    return;
+  }
+  std::vector<uint8_t> scratch(n);
+  EvalMaskNode(node, rows, n, scratch.data());
+  for (size_t i = 0; i < n; ++i) inout[i] |= scratch[i];
+}
+
+void CompiledPredicate::RefineNode(uint32_t node, const uint32_t* rows,
+                                   std::vector<uint32_t>* sel) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    if (!nd.value) sel->clear();
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { RefineLoop(k, rows, sel); })) return;
+  if (nd.kind == NodeKind::kAnd) {
+    for (uint32_t c = 0; c < nd.child_count; ++c) {
+      RefineNode(child_ids_[nd.child_begin + c], rows, sel);
+    }
+    return;
+  }
+  // OR / NOT subtree: mask evaluation over the surviving candidates only.
+  const size_t m = sel->size();
+  if (m == 0) return;
+  std::vector<uint32_t> gathered;
+  const uint32_t* eval_rows;
+  if (rows == nullptr) {
+    eval_rows = sel->data();  // positions already are table rows
+  } else {
+    gathered.resize(m);
+    for (size_t i = 0; i < m; ++i) gathered[i] = rows[(*sel)[i]];
+    eval_rows = gathered.data();
+  }
+  std::vector<uint8_t> mask(m);
+  EvalMaskNode(node, eval_rows, m, mask.data());
+  uint32_t* s = sel->data();
+  size_t w = 0;
+  for (size_t i = 0; i < m; ++i) {
+    s[w] = s[i];
+    w += mask[i];
+  }
+  sel->resize(w);
+}
+
+void CompiledPredicate::SeedSelect(uint32_t node, const uint32_t* rows,
+                                   size_t n,
+                                   std::vector<uint32_t>* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    out->clear();
+    if (nd.value) {
+      out->resize(n);
+      std::iota(out->begin(), out->end(), 0u);
+    }
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { SelectLoop(k, rows, n, out); })) return;
+  if (nd.kind == NodeKind::kAnd) {
+    SeedSelect(child_ids_[nd.child_begin], rows, n, out);
+    for (uint32_t c = 1; c < nd.child_count; ++c) {
+      RefineNode(child_ids_[nd.child_begin + c], rows, out);
+    }
+    return;
+  }
+  // OR / NOT root: one mask pass over all candidates, then compact.
+  std::vector<uint8_t> mask(n);
+  EvalMaskNode(node, rows, n, mask.data());
+  out->resize(n);
+  uint32_t* o = out->data();
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    o[w] = static_cast<uint32_t>(i);
+    w += mask[i];
+  }
+  out->resize(w);
+}
+
+bool CompiledPredicate::TestNode(uint32_t node, size_t row) const {
+  const Node& nd = nodes_[node];
+  switch (nd.kind) {
+    case NodeKind::kConst:
+      return nd.value;
+    case NodeKind::kLeaf: {
+      bool r = false;
+      VisitLeaf(leaves_[nd.leaf], [&](auto k) { r = k.Test(row); });
+      return r;
+    }
+    case NodeKind::kAnd:
+      for (uint32_t c = 0; c < nd.child_count; ++c) {
+        if (!TestNode(child_ids_[nd.child_begin + c], row)) return false;
+      }
+      return true;
+    case NodeKind::kOr:
+      for (uint32_t c = 0; c < nd.child_count; ++c) {
+        if (TestNode(child_ids_[nd.child_begin + c], row)) return true;
+      }
+      return false;
+    case NodeKind::kNot:
+      return !TestNode(child_ids_[nd.child_begin], row);
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- public API
+
+std::vector<uint32_t> CompiledPredicate::Select() const {
+  return SelectPositions(nullptr, n_);
+}
+
+std::vector<uint32_t> CompiledPredicate::SelectPositions(
+    const uint32_t* base_rows, size_t n) const {
+  std::vector<uint32_t> out;
+  SeedSelect(root_, base_rows, n, &out);
+  return out;
+}
+
+void CompiledPredicate::Refine(const uint32_t* base_rows,
+                               std::vector<uint32_t>* sel) const {
+  RefineNode(root_, base_rows, sel);
+}
+
+void CompiledPredicate::EvalMask(const uint32_t* base_rows, size_t n,
+                                 uint8_t* out) const {
+  EvalMaskNode(root_, base_rows, n, out);
+}
+
+bool CompiledPredicate::MatchesRow(size_t row) const {
+  return TestNode(root_, row);
+}
+
+// ------------------------------------------------------------ compilation
+
+uint32_t CompiledPredicate::AddConst(bool value) {
+  Node nd;
+  nd.kind = NodeKind::kConst;
+  nd.value = value;
+  nodes_.push_back(nd);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t CompiledPredicate::AddLeaf(Leaf leaf) {
+  leaves_.push_back(std::move(leaf));
+  Node nd;
+  nd.kind = NodeKind::kLeaf;
+  nd.leaf = static_cast<uint32_t>(leaves_.size() - 1);
+  nodes_.push_back(nd);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t CompiledPredicate::AddBoolNode(NodeKind kind, uint32_t a,
+                                        uint32_t b) {
+  auto is_const = [&](uint32_t id, bool v) {
+    return nodes_[id].kind == NodeKind::kConst && nodes_[id].value == v;
+  };
+  if (kind == NodeKind::kAnd) {
+    if (is_const(a, false) || is_const(b, false)) return AddConst(false);
+    if (is_const(a, true)) return b;
+    if (is_const(b, true)) return a;
+  } else {
+    if (is_const(a, true) || is_const(b, true)) return AddConst(true);
+    if (is_const(a, false)) return b;
+    if (is_const(b, false)) return a;
+  }
+  // Flatten same-kind children into one n-ary node so an AND chain refines
+  // one shared selection and an OR chain folds into one mask.
+  std::vector<uint32_t> kids;
+  for (uint32_t id : {a, b}) {
+    const Node& nd = nodes_[id];
+    if (nd.kind == kind) {
+      for (uint32_t c = 0; c < nd.child_count; ++c) {
+        kids.push_back(child_ids_[nd.child_begin + c]);
+      }
+    } else {
+      kids.push_back(id);
+    }
+  }
+  Node nd;
+  nd.kind = kind;
+  nd.child_begin = static_cast<uint32_t>(child_ids_.size());
+  nd.child_count = static_cast<uint32_t>(kids.size());
+  child_ids_.insert(child_ids_.end(), kids.begin(), kids.end());
+  nodes_.push_back(nd);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t CompiledPredicate::AddNotNode(uint32_t child) {
+  const Node& cn = nodes_[child];
+  if (cn.kind == NodeKind::kConst) return AddConst(!cn.value);
+  if (cn.kind == NodeKind::kNot) return child_ids_[cn.child_begin];
+  Node nd;
+  nd.kind = NodeKind::kNot;
+  nd.child_begin = static_cast<uint32_t>(child_ids_.size());
+  nd.child_count = 1;
+  child_ids_.push_back(child);
+  nodes_.push_back(nd);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
+                                                   const Predicate& pred) {
+  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  if (col->type() == DataType::kString) {
+    if (!pred.literal_.is_string()) {
+      return Status::InvalidArgument("string column '" + pred.column_ +
+                                     "' compared to non-string literal");
+    }
+    // Pre-resolve to a per-dictionary-code match table; evaluation is one
+    // byte lookup per row for every operator, ordered compares included.
+    const auto& dict = col->dictionary();
+    Leaf L;
+    L.kind = LeafKind::kCodeTable;
+    L.codes = col->codes().data();
+    L.match_table.resize(dict.size());
+    if (pred.op_ == CompareOp::kEq || pred.op_ == CompareOp::kNe) {
+      const int32_t code = col->LookupCode(pred.literal_.AsString());
+      const bool want_eq = pred.op_ == CompareOp::kEq;
+      for (size_t c = 0; c < dict.size(); ++c) {
+        L.match_table[c] =
+            ((static_cast<int32_t>(c) == code) == want_eq) ? 1 : 0;
+      }
+    } else {
+      const std::string& lit = pred.literal_.AsString();
+      for (size_t c = 0; c < dict.size(); ++c) {
+        L.match_table[c] = ApplyCompare(pred.op_, dict[c], lit) ? 1 : 0;
+      }
+    }
+    if (L.match_table.empty()) return AddConst(false);  // empty dictionary
+    return AddLeaf(std::move(L));
+  }
+  if (pred.literal_.is_string()) {
+    return Status::InvalidArgument("numeric column '" + pred.column_ +
+                                   "' compared to string literal");
+  }
+  if (col->type() == DataType::kInt64) {
+    const Int64ComparePlan plan = PlanInt64Compare(pred.op_, pred.literal_);
+    switch (plan.kind) {
+      case Int64ComparePlan::Kind::kConstFalse:
+        return AddConst(false);
+      case Int64ComparePlan::Kind::kConstTrue:
+        return AddConst(true);
+      case Int64ComparePlan::Kind::kCompare:
+        break;
+    }
+    Leaf L;
+    L.kind = LeafKind::kIntCmp;
+    L.i64 = col->ints().data();
+    L.op = plan.op;
+    L.ilit = plan.lit;
+    return AddLeaf(std::move(L));
+  }
+  const double d = pred.literal_.AsDouble();
+  if (std::isnan(d)) return AddConst(false);  // NaN literal matches nothing
+  Leaf L;
+  L.kind = LeafKind::kDblCmp;
+  L.f64 = col->doubles().data();
+  L.op = pred.op_;
+  L.dlit = d;
+  return AddLeaf(std::move(L));
+}
+
+Result<uint32_t> CompiledPredicate::CompileBetween(const Table& table,
+                                                   const Predicate& pred) {
+  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  if (col->type() == DataType::kString) {
+    return Status::InvalidArgument("BETWEEN is not supported on strings");
+  }
+  if (pred.literal_.is_string() || pred.hi_.is_string()) {
+    return Status::InvalidArgument("BETWEEN bounds must be numeric");
+  }
+  const double lo = pred.literal_.AsDouble(), hi = pred.hi_.AsDouble();
+  if (col->type() == DataType::kInt64) {
+    const Int64RangePlan plan = PlanInt64Range(lo, hi);
+    if (plan.empty) return AddConst(false);
+    Leaf L;
+    L.kind = LeafKind::kIntBetween;
+    L.i64 = col->ints().data();
+    L.ilo = plan.lo;
+    L.ihi = plan.hi;
+    return AddLeaf(std::move(L));
+  }
+  if (std::isnan(lo) || std::isnan(hi) || lo > hi) return AddConst(false);
+  Leaf L;
+  L.kind = LeafKind::kDblBetween;
+  L.f64 = col->doubles().data();
+  L.dlo = lo;
+  L.dhi = hi;
+  return AddLeaf(std::move(L));
+}
+
+Result<uint32_t> CompiledPredicate::CompileIn(const Table& table,
+                                              const Predicate& pred) {
+  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  if (col->type() == DataType::kString) {
+    Leaf L;
+    L.kind = LeafKind::kCodeTable;
+    L.codes = col->codes().data();
+    L.match_table.resize(col->dictionary().size());
+    for (const auto& v : pred.values_) {
+      if (!v.is_string()) {
+        return Status::InvalidArgument("IN list type mismatch on " +
+                                       pred.column_);
+      }
+      const int32_t c = col->LookupCode(v.AsString());
+      if (c >= 0) L.match_table[c] = 1;
+    }
+    if (L.match_table.empty()) return AddConst(false);
+    return AddLeaf(std::move(L));
+  }
+  if (col->type() == DataType::kInt64) {
+    std::vector<int64_t> vals;
+    for (const auto& v : pred.values_) {
+      if (v.is_string()) {
+        return Status::InvalidArgument("IN list type mismatch on " +
+                                       pred.column_);
+      }
+      int64_t iv;
+      if (TryInt64FromValue(v, &iv)) vals.push_back(iv);
+    }
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    if (vals.empty()) return AddConst(false);
+    const uint64_t span = static_cast<uint64_t>(vals.back()) -
+                          static_cast<uint64_t>(vals.front());
+    if (span <= 65535) {
+      Leaf L;
+      L.kind = LeafKind::kIntInBitset;
+      L.i64 = col->ints().data();
+      L.base = vals.front();
+      L.bits.assign((span >> 6) + 1, 0);
+      for (int64_t v : vals) {
+        const uint64_t d =
+            static_cast<uint64_t>(v) - static_cast<uint64_t>(L.base);
+        L.bits[d >> 6] |= uint64_t{1} << (d & 63);
+      }
+      return AddLeaf(std::move(L));
+    }
+    Leaf L;
+    L.kind = LeafKind::kIntInSorted;
+    L.i64 = col->ints().data();
+    L.ivals = std::move(vals);
+    return AddLeaf(std::move(L));
+  }
+  std::vector<double> vals;
+  for (const auto& v : pred.values_) {
+    if (v.is_string()) {
+      return Status::InvalidArgument("IN list type mismatch on " +
+                                     pred.column_);
+    }
+    const double d = v.AsDouble();
+    if (std::isnan(d)) continue;  // NaN matches nothing; also keeps the
+                                  // sort a strict weak ordering
+    vals.push_back(d);
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  if (vals.empty()) return AddConst(false);
+  Leaf L;
+  L.kind = LeafKind::kDblInSorted;
+  L.f64 = col->doubles().data();
+  L.dvals = std::move(vals);
+  return AddLeaf(std::move(L));
+}
+
+Result<uint32_t> CompiledPredicate::CompileNode(const Table& table,
+                                                const Predicate& pred) {
+  switch (pred.kind_) {
+    case Predicate::Kind::kTrue:
+      return AddConst(true);
+    case Predicate::Kind::kCompare:
+      return CompileCompare(table, pred);
+    case Predicate::Kind::kBetween:
+      return CompileBetween(table, pred);
+    case Predicate::Kind::kIn:
+      return CompileIn(table, pred);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      // Both children compile (and validate) before folding, matching the
+      // old evaluator's error behavior.
+      CVOPT_ASSIGN_OR_RETURN(uint32_t a, CompileNode(table, *pred.left_));
+      CVOPT_ASSIGN_OR_RETURN(uint32_t b, CompileNode(table, *pred.right_));
+      return AddBoolNode(pred.kind_ == Predicate::Kind::kAnd
+                             ? NodeKind::kAnd
+                             : NodeKind::kOr,
+                         a, b);
+    }
+    case Predicate::Kind::kNot: {
+      CVOPT_ASSIGN_OR_RETURN(uint32_t a, CompileNode(table, *pred.left_));
+      return AddNotNode(a);
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Result<CompiledPredicate> CompiledPredicate::Compile(const Table& table,
+                                                     const Predicate& pred) {
+  CompiledPredicate cp;
+  cp.n_ = table.num_rows();
+  CVOPT_ASSIGN_OR_RETURN(cp.root_, cp.CompileNode(table, pred));
+  return cp;
+}
+
+Result<CompiledPredicate> CompiledPredicate::Compile(const Table& table,
+                                                     const PredicatePtr& pred) {
+  if (pred == nullptr) {
+    CompiledPredicate cp;
+    cp.n_ = table.num_rows();
+    cp.root_ = cp.AddConst(true);
+    return cp;
+  }
+  return Compile(table, *pred);
+}
+
+}  // namespace cvopt

@@ -1,0 +1,159 @@
+// CompiledPredicate: the vectorized predicate engine. Compiles a Predicate
+// tree into a flat plan of typed columnar kernels that run directly over raw
+// Column storage (int64 / double spans, dictionary codes) and produce or
+// refine *selection vectors* instead of per-row dynamically-typed masks:
+//
+//   * comparisons against string columns are pre-resolved to per-dictionary-
+//     code match tables (this covers =, !=, ordered compares, and IN), so
+//     every string predicate is a byte-table lookup on the row's code;
+//   * numeric IN lists become dense bitsets (small int spans) or sorted,
+//     NaN-stripped literal arrays probed by branch-free binary search;
+//   * comparisons of int64 columns against double literals are rewritten
+//     into the int domain (ceil/floor with saturation), so the int kernels
+//     never round through double;
+//   * AND nodes short-circuit by refining the current selection vector in
+//     place — later conjuncts only inspect surviving rows — instead of
+//     materializing both child masks;
+//   * OR / NOT subtrees evaluate compact uint8 masks over the surviving
+//     candidate set only.
+//
+// NaN semantics (mirrored by Predicate::Matches and pinned by the
+// differential tests): a NaN column value matches no Compare / BETWEEN / IN
+// predicate — including `!=` — and a NaN literal or bound matches nothing.
+//
+// The compiled plan borrows raw pointers into the Table's column storage;
+// the Table must outlive the CompiledPredicate and must not be appended to
+// while the plan is in use.
+#ifndef CVOPT_EXPR_COMPILED_PREDICATE_H_
+#define CVOPT_EXPR_COMPILED_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/expr/predicate.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+class CompiledPredicate {
+ public:
+  /// Compiles `pred` against `table`, resolving columns, validating types,
+  /// and pre-computing code tables / literal sets. All type errors the old
+  /// row-at-a-time evaluator reported per evaluation surface here instead.
+  static Result<CompiledPredicate> Compile(const Table& table,
+                                           const Predicate& pred);
+
+  /// Convenience overload: a null predicate compiles to constant-true.
+  static Result<CompiledPredicate> Compile(const Table& table,
+                                           const PredicatePtr& pred);
+
+  /// Number of table rows the plan was compiled for.
+  size_t table_rows() const { return n_; }
+
+  /// Selection vector of all matching table rows, ascending.
+  std::vector<uint32_t> Select() const;
+
+  /// Selection of positions p in [0, n) such that base_rows[p] matches.
+  /// With base_rows == nullptr, positions are table rows (== Select()).
+  std::vector<uint32_t> SelectPositions(const uint32_t* base_rows,
+                                        size_t n) const;
+
+  /// Refines an existing selection in place, keeping matching entries in
+  /// order. Entries are positions into base_rows (table rows if nullptr).
+  void Refine(const uint32_t* base_rows, std::vector<uint32_t>* sel) const;
+
+  /// Byte mask aligned with positions [0, n): out[p] = 1 iff the row at
+  /// position p (base_rows[p], or p itself if base_rows == nullptr) matches.
+  void EvalMask(const uint32_t* base_rows, size_t n, uint8_t* out) const;
+
+  /// Allocation-free scalar evaluation of one table row.
+  bool MatchesRow(size_t row) const;
+
+ private:
+  enum class LeafKind {
+    kIntCmp,       // int64 column <op> int64 literal
+    kDblCmp,       // double column <op> double literal (NaN never matches)
+    kIntBetween,   // int64 column in [ilo, ihi]
+    kDblBetween,   // double column in [dlo, dhi]
+    kCodeTable,    // string column: match_table[code] (compare + IN)
+    kIntInBitset,  // int64 column: bitset over [base, base + span]
+    kIntInSorted,  // int64 column: sorted literal array
+    kDblInSorted,  // double column: sorted NaN-free literal array
+  };
+
+  struct Leaf {
+    LeafKind kind = LeafKind::kIntCmp;
+    CompareOp op = CompareOp::kEq;
+    const int64_t* i64 = nullptr;
+    const double* f64 = nullptr;
+    const int32_t* codes = nullptr;
+    int64_t ilit = 0;
+    int64_t ilo = 0, ihi = 0;
+    double dlit = 0.0;
+    double dlo = 0.0, dhi = 0.0;
+    int64_t base = 0;                  // kIntInBitset
+    std::vector<uint64_t> bits;        // kIntInBitset
+    std::vector<uint8_t> match_table;  // kCodeTable, indexed by code
+    std::vector<int64_t> ivals;        // kIntInSorted
+    std::vector<double> dvals;         // kDblInSorted
+  };
+
+  enum class NodeKind { kConst, kLeaf, kAnd, kOr, kNot };
+
+  // Flat plan node. kAnd/kOr children live in child_ids_[child_begin ..
+  // child_begin + child_count); kNot uses the same span with one entry.
+  struct Node {
+    NodeKind kind = NodeKind::kConst;
+    bool value = false;    // kConst
+    uint32_t leaf = 0;     // kLeaf: index into leaves_
+    uint32_t child_begin = 0;
+    uint32_t child_count = 0;
+  };
+
+  CompiledPredicate() = default;
+
+  Result<uint32_t> CompileNode(const Table& table, const Predicate& pred);
+  uint32_t AddConst(bool value);
+  uint32_t AddLeaf(Leaf leaf);
+  uint32_t AddBoolNode(NodeKind kind, uint32_t a, uint32_t b);
+  uint32_t AddNotNode(uint32_t child);
+
+  // Dispatches `fn` with a fully-typed kernel object for `leaf`; the switch
+  // on kind/op happens once per call, so the driver loops inline the typed
+  // Test. Defined in the .cc (all instantiations are internal).
+  template <class Fn>
+  static void VisitLeaf(const Leaf& leaf, Fn&& fn);
+  // Invokes `fn` with a typed kernel if `node` is a leaf or NOT(leaf);
+  // returns false for other shapes.
+  template <class Fn>
+  bool VisitSimple(uint32_t node, Fn&& fn) const;
+
+  Result<uint32_t> CompileCompare(const Table& table, const Predicate& pred);
+  Result<uint32_t> CompileBetween(const Table& table, const Predicate& pred);
+  Result<uint32_t> CompileIn(const Table& table, const Predicate& pred);
+
+  // Evaluation over the flat plan. `rows` maps positions to table rows
+  // (nullptr = identity); selection vectors hold positions.
+  void EvalMaskNode(uint32_t node, const uint32_t* rows, size_t n,
+                    uint8_t* out) const;
+  void AndIntoNode(uint32_t node, const uint32_t* rows, size_t n,
+                   uint8_t* inout) const;
+  void OrIntoNode(uint32_t node, const uint32_t* rows, size_t n,
+                  uint8_t* inout) const;
+  void RefineNode(uint32_t node, const uint32_t* rows,
+                  std::vector<uint32_t>* sel) const;
+  void SeedSelect(uint32_t node, const uint32_t* rows, size_t n,
+                  std::vector<uint32_t>* out) const;
+  bool TestNode(uint32_t node, size_t row) const;
+
+  std::vector<Leaf> leaves_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> child_ids_;
+  uint32_t root_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXPR_COMPILED_PREDICATE_H_

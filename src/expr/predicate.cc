@@ -1,8 +1,9 @@
 #include "src/expr/predicate.h"
 
-#include <algorithm>
 #include <cmath>
 
+#include "src/expr/compare_plan.h"
+#include "src/expr/compiled_predicate.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -24,29 +25,6 @@ const char* CompareOpToString(CompareOp op) {
   }
   return "?";
 }
-
-namespace {
-
-template <typename T>
-bool ApplyOp(CompareOp op, const T& a, const T& b) {
-  switch (op) {
-    case CompareOp::kEq:
-      return a == b;
-    case CompareOp::kNe:
-      return a != b;
-    case CompareOp::kLt:
-      return a < b;
-    case CompareOp::kLe:
-      return a <= b;
-    case CompareOp::kGt:
-      return a > b;
-    case CompareOp::kGe:
-      return a >= b;
-  }
-  return false;
-}
-
-}  // namespace
 
 PredicatePtr Predicate::Compare(std::string column, CompareOp op, Value literal) {
   auto p = std::shared_ptr<Predicate>(new Predicate());
@@ -102,120 +80,17 @@ PredicatePtr Predicate::True() {
   return singleton;
 }
 
+// Thin compatibility shim: compile to the vectorized kernel plan and emit a
+// byte mask. Callers that evaluate repeatedly or want selection vectors
+// should use CompiledPredicate directly.
 Status Predicate::EvalInto(const Table& table, const std::vector<uint32_t>* rows,
                            std::vector<uint8_t>* mask) const {
+  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
+                         CompiledPredicate::Compile(table, *this));
   const size_t n = rows ? rows->size() : table.num_rows();
-  auto row_at = [&](size_t i) -> size_t { return rows ? (*rows)[i] : i; };
-  mask->assign(n, 0);
-
-  switch (kind_) {
-    case Kind::kTrue: {
-      std::fill(mask->begin(), mask->end(), 1);
-      return Status::OK();
-    }
-    case Kind::kCompare: {
-      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
-      if (col->type() == DataType::kString) {
-        if (!literal_.is_string()) {
-          return Status::InvalidArgument("string column '" + column_ +
-                                         "' compared to non-string literal");
-        }
-        if (op_ == CompareOp::kEq || op_ == CompareOp::kNe) {
-          const int32_t code = col->LookupCode(literal_.AsString());
-          const bool want_eq = (op_ == CompareOp::kEq);
-          for (size_t i = 0; i < n; ++i) {
-            const bool eq = (code >= 0 && col->GetCode(row_at(i)) == code);
-            (*mask)[i] = (eq == want_eq) ? 1 : 0;
-          }
-        } else {
-          const std::string& lit = literal_.AsString();
-          for (size_t i = 0; i < n; ++i) {
-            (*mask)[i] = ApplyOp(op_, col->GetString(row_at(i)), lit) ? 1 : 0;
-          }
-        }
-        return Status::OK();
-      }
-      if (literal_.is_string()) {
-        return Status::InvalidArgument("numeric column '" + column_ +
-                                       "' compared to string literal");
-      }
-      const double lit = literal_.AsDouble();
-      for (size_t i = 0; i < n; ++i) {
-        (*mask)[i] = ApplyOp(op_, col->GetDouble(row_at(i)), lit) ? 1 : 0;
-      }
-      return Status::OK();
-    }
-    case Kind::kBetween: {
-      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
-      if (col->type() == DataType::kString) {
-        return Status::InvalidArgument("BETWEEN is not supported on strings");
-      }
-      if (literal_.is_string() || hi_.is_string()) {
-        return Status::InvalidArgument("BETWEEN bounds must be numeric");
-      }
-      const double lo = literal_.AsDouble(), hi = hi_.AsDouble();
-      for (size_t i = 0; i < n; ++i) {
-        const double v = col->GetDouble(row_at(i));
-        (*mask)[i] = (v >= lo && v <= hi) ? 1 : 0;
-      }
-      return Status::OK();
-    }
-    case Kind::kIn: {
-      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
-      if (col->type() == DataType::kString) {
-        std::vector<int32_t> codes;
-        for (const auto& v : values_) {
-          if (!v.is_string()) {
-            return Status::InvalidArgument("IN list type mismatch on " + column_);
-          }
-          const int32_t c = col->LookupCode(v.AsString());
-          if (c >= 0) codes.push_back(c);
-        }
-        std::sort(codes.begin(), codes.end());
-        for (size_t i = 0; i < n; ++i) {
-          (*mask)[i] = std::binary_search(codes.begin(), codes.end(),
-                                          col->GetCode(row_at(i)))
-                           ? 1
-                           : 0;
-        }
-        return Status::OK();
-      }
-      std::vector<double> vals;
-      for (const auto& v : values_) {
-        if (v.is_string()) {
-          return Status::InvalidArgument("IN list type mismatch on " + column_);
-        }
-        vals.push_back(v.AsDouble());
-      }
-      std::sort(vals.begin(), vals.end());
-      for (size_t i = 0; i < n; ++i) {
-        (*mask)[i] = std::binary_search(vals.begin(), vals.end(),
-                                        col->GetDouble(row_at(i)))
-                         ? 1
-                         : 0;
-      }
-      return Status::OK();
-    }
-    case Kind::kAnd:
-    case Kind::kOr: {
-      std::vector<uint8_t> lhs, rhs;
-      CVOPT_RETURN_NOT_OK(left_->EvalInto(table, rows, &lhs));
-      CVOPT_RETURN_NOT_OK(right_->EvalInto(table, rows, &rhs));
-      if (kind_ == Kind::kAnd) {
-        for (size_t i = 0; i < n; ++i) (*mask)[i] = lhs[i] & rhs[i];
-      } else {
-        for (size_t i = 0; i < n; ++i) (*mask)[i] = lhs[i] | rhs[i];
-      }
-      return Status::OK();
-    }
-    case Kind::kNot: {
-      std::vector<uint8_t> inner;
-      CVOPT_RETURN_NOT_OK(left_->EvalInto(table, rows, &inner));
-      for (size_t i = 0; i < n; ++i) (*mask)[i] = inner[i] ? 0 : 1;
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unknown predicate kind");
+  mask->resize(n);
+  cp.EvalMask(rows ? rows->data() : nullptr, n, mask->data());
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> Predicate::Evaluate(const Table& table) const {
@@ -231,10 +106,111 @@ Result<std::vector<uint8_t>> Predicate::EvaluateRows(
   return mask;
 }
 
+// Scalar evaluation, allocation-free. Mirrors the compiled kernels exactly
+// (compare_plan.h holds the shared numeric-literal normalization); the
+// differential fuzz tests pin the two paths together.
 Result<bool> Predicate::Matches(const Table& table, size_t row) const {
-  std::vector<uint32_t> one{static_cast<uint32_t>(row)};
-  CVOPT_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, EvaluateRows(table, one));
-  return mask[0] != 0;
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        if (!literal_.is_string()) {
+          return Status::InvalidArgument("string column '" + column_ +
+                                         "' compared to non-string literal");
+        }
+        if (op_ == CompareOp::kEq || op_ == CompareOp::kNe) {
+          const int32_t code = col->LookupCode(literal_.AsString());
+          return (col->GetCode(row) == code) == (op_ == CompareOp::kEq);
+        }
+        return ApplyCompare(op_, col->GetString(row), literal_.AsString());
+      }
+      if (literal_.is_string()) {
+        return Status::InvalidArgument("numeric column '" + column_ +
+                                       "' compared to string literal");
+      }
+      if (col->type() == DataType::kInt64) {
+        const Int64ComparePlan plan = PlanInt64Compare(op_, literal_);
+        switch (plan.kind) {
+          case Int64ComparePlan::Kind::kConstFalse:
+            return false;
+          case Int64ComparePlan::Kind::kConstTrue:
+            return true;
+          case Int64ComparePlan::Kind::kCompare:
+            return ApplyCompare(plan.op, col->GetInt(row), plan.lit);
+        }
+      }
+      return ApplyCompareDouble(op_, col->GetDouble(row), literal_.AsDouble());
+    }
+    case Kind::kBetween: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        return Status::InvalidArgument("BETWEEN is not supported on strings");
+      }
+      if (literal_.is_string() || hi_.is_string()) {
+        return Status::InvalidArgument("BETWEEN bounds must be numeric");
+      }
+      const double lo = literal_.AsDouble(), hi = hi_.AsDouble();
+      if (col->type() == DataType::kInt64) {
+        const Int64RangePlan plan = PlanInt64Range(lo, hi);
+        if (plan.empty) return false;
+        const int64_t v = col->GetInt(row);
+        return v >= plan.lo && v <= plan.hi;
+      }
+      const double v = col->GetDouble(row);
+      return v >= lo && v <= hi;  // false for NaN value or NaN bounds
+    }
+    case Kind::kIn: {
+      CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column_));
+      if (col->type() == DataType::kString) {
+        for (const auto& v : values_) {
+          if (!v.is_string()) {
+            return Status::InvalidArgument("IN list type mismatch on " +
+                                           column_);
+          }
+        }
+        const int32_t code = col->GetCode(row);
+        for (const auto& v : values_) {
+          if (col->LookupCode(v.AsString()) == code) return true;
+        }
+        return false;
+      }
+      for (const auto& v : values_) {
+        if (v.is_string()) {
+          return Status::InvalidArgument("IN list type mismatch on " +
+                                         column_);
+        }
+      }
+      if (col->type() == DataType::kInt64) {
+        const int64_t x = col->GetInt(row);
+        for (const auto& v : values_) {
+          int64_t iv;
+          if (TryInt64FromValue(v, &iv) && iv == x) return true;
+        }
+        return false;
+      }
+      const double x = col->GetDouble(row);
+      if (x != x) return false;  // NaN matches nothing
+      for (const auto& v : values_) {
+        if (v.AsDouble() == x) return true;
+      }
+      return false;
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      // Both sides evaluate so type errors surface regardless of the other
+      // side's value, matching the vectorized compiler.
+      CVOPT_ASSIGN_OR_RETURN(bool a, left_->Matches(table, row));
+      CVOPT_ASSIGN_OR_RETURN(bool b, right_->Matches(table, row));
+      return kind_ == Kind::kAnd ? (a && b) : (a || b);
+    }
+    case Kind::kNot: {
+      CVOPT_ASSIGN_OR_RETURN(bool a, left_->Matches(table, row));
+      return !a;
+    }
+  }
+  return Status::Internal("unknown predicate kind");
 }
 
 std::string Predicate::ToString() const {
@@ -263,10 +239,10 @@ std::string Predicate::ToString() const {
 
 Result<double> Predicate::Selectivity(const Table& table) const {
   if (table.num_rows() == 0) return 0.0;
-  CVOPT_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, Evaluate(table));
-  size_t count = 0;
-  for (uint8_t b : mask) count += b;
-  return static_cast<double>(count) / static_cast<double>(table.num_rows());
+  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
+                         CompiledPredicate::Compile(table, *this));
+  return static_cast<double>(cp.Select().size()) /
+         static_cast<double>(table.num_rows());
 }
 
 }  // namespace cvopt

@@ -1,6 +1,14 @@
 // Predicate: a small expression AST for WHERE clauses, evaluated to selection
 // masks over a Table. Supports the predicate forms used by the paper's
 // workload: comparisons against literals, BETWEEN, IN, and AND/OR/NOT.
+//
+// Evaluation is vectorized: Evaluate/EvaluateRows compile the tree into
+// typed columnar kernels (see compiled_predicate.h) and run them over raw
+// column storage. Hot paths that evaluate the same predicate repeatedly
+// should compile once via CompiledPredicate and reuse the plan.
+//
+// NaN semantics: a NaN column value matches no Compare / BETWEEN / IN
+// predicate — including `!=` — and a NaN literal or bound matches nothing.
 #ifndef CVOPT_EXPR_PREDICATE_H_
 #define CVOPT_EXPR_PREDICATE_H_
 
@@ -48,7 +56,9 @@ class Predicate {
   Result<std::vector<uint8_t>> EvaluateRows(
       const Table& table, const std::vector<uint32_t>& rows) const;
 
-  /// Scalar evaluation of a single row (slow path; used by COUNT_IF).
+  /// Scalar evaluation of a single row. Allocation-free; resolves columns
+  /// by name per call, so per-row hot loops should prefer
+  /// CompiledPredicate::MatchesRow on a pre-compiled plan.
   Result<bool> Matches(const Table& table, size_t row) const;
 
   /// SQL-ish rendering for logs and test diagnostics.
@@ -58,10 +68,14 @@ class Predicate {
   Result<double> Selectivity(const Table& table) const;
 
  private:
+  // The kernel compiler walks the tree directly.
+  friend class CompiledPredicate;
+
   enum class Kind { kTrue, kCompare, kBetween, kIn, kAnd, kOr, kNot };
 
   Predicate() = default;
 
+  // Compatibility shim over the compiled kernel engine.
   Status EvalInto(const Table& table, const std::vector<uint32_t>* rows,
                   std::vector<uint8_t>* mask) const;
 

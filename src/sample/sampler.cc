@@ -29,7 +29,11 @@ Result<StratifiedSample> DrawStratified(
   }
   const auto& row_strata = strat->row_strata();
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    reservoirs[row_strata[r]].Offer(static_cast<uint32_t>(r));
+    const uint32_t s = row_strata[r];
+    // Rows excluded by a filtered stratification carry kNoStratum and are
+    // never offered to any reservoir.
+    if (s == Stratification::kNoStratum) continue;
+    reservoirs[s].Offer(static_cast<uint32_t>(r));
   }
 
   std::vector<uint32_t> rows;

@@ -1,6 +1,7 @@
 #include "src/sample/streaming_cvopt_sampler.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/core/lemma1.h"
 #include "src/core/stratification.h"
@@ -20,6 +21,8 @@ StreamingCvoptBuilder::StreamingCvoptBuilder(const Table* table,
       rng_(rng) {}
 
 void StreamingCvoptBuilder::Offer(uint32_t row) {
+  // Filter path: one scalar kernel test per offered row, no allocation.
+  if (filter_ != nullptr && !filter_->MatchesRow(row)) return;
   scratch_key_.codes.clear();
   for (size_t col : group_columns_) {
     scratch_key_.codes.push_back(table_->column(col).GroupCode(row));
@@ -127,6 +130,24 @@ Result<StratifiedSample> StreamingCvoptSampler::Build(
 
   StreamingCvoptBuilder builder(&table, gcols, vcol, budget, replan_interval_,
                                 rng);
+  // When every query carries the same WHERE predicate, rows failing it can
+  // never contribute to any answer; compile it once and let the builder
+  // skip them. Distinct (or partially absent) predicates keep the stream
+  // unfiltered — a row failing one query's filter may still serve another.
+  PredicatePtr shared_where = queries[0].where;
+  for (const auto& q : queries) {
+    if (q.where != shared_where) {
+      shared_where = nullptr;
+      break;
+    }
+  }
+  std::optional<CompiledPredicate> filter;
+  if (shared_where != nullptr) {
+    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                           CompiledPredicate::Compile(table, *shared_where));
+    filter.emplace(std::move(compiled));
+    builder.set_filter(&*filter);
+  }
   for (size_t row = 0; row < table.num_rows(); ++row) {
     builder.Offer(static_cast<uint32_t>(row));
   }

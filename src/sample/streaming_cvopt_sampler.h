@@ -25,6 +25,7 @@
 
 #include "src/exec/aggregate.h"
 #include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 #include "src/sample/sampler.h"
 #include "src/stats/group_key.h"
 #include "src/stats/running_stats.h"
@@ -43,6 +44,12 @@ class StreamingCvoptBuilder {
   StreamingCvoptBuilder(const Table* table, std::vector<size_t> group_columns,
                         size_t value_column, uint64_t budget,
                         uint64_t replan_interval, Rng* rng);
+
+  /// Optional row filter: offered rows failing the compiled predicate are
+  /// skipped via the allocation-free scalar kernel path. The plan must
+  /// outlive the builder. Only sound when every query the sample will
+  /// answer carries the same predicate.
+  void set_filter(const CompiledPredicate* filter) { filter_ = filter; }
 
   /// Offers the next stream row (by base-table row id).
   void Offer(uint32_t row);
@@ -70,6 +77,7 @@ class StreamingCvoptBuilder {
   uint64_t budget_;
   uint64_t replan_interval_;
   Rng* rng_;
+  const CompiledPredicate* filter_ = nullptr;
 
   uint64_t rows_seen_ = 0;
   GroupKeyInterner index_;   // flat open-addressing stratum router

@@ -30,7 +30,11 @@ void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
                       const StatSource& src, size_t j, GroupStatsTable* out) {
   auto add_all = [&](auto value_at) {
     for (size_t r = lo; r < hi; ++r) {
-      out->At(row_strata[r], j).Add(value_at(r));
+      const uint32_t s = row_strata[r];
+      // Filtered stratifications mark excluded rows with kNoStratum; the
+      // branch is never taken (and predicted away) on unfiltered builds.
+      if (s == Stratification::kNoStratum) continue;
+      out->At(s, j).Add(value_at(r));
     }
   };
   if (src.constant_one) {

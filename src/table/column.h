@@ -3,6 +3,7 @@
 #ifndef CVOPT_TABLE_COLUMN_H_
 #define CVOPT_TABLE_COLUMN_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -32,13 +33,22 @@ class Column {
   /// Appends a string by its existing dictionary code (must be valid).
   void AppendCode(int32_t code) { codes_.push_back(code); }
 
-  /// Numeric view of row i. Valid for int64 and double columns.
+  /// Numeric view of row i. Valid for int64 and double columns only; on a
+  /// string column the int buffer is empty, so indexing it would read out
+  /// of bounds — callers must check type() first (asserted in debug and
+  /// sanitizer builds).
   double GetDouble(size_t i) const {
+    assert(type_ != DataType::kString &&
+           "Column::GetDouble called on a string column");
     return type_ == DataType::kDouble ? doubles_[i]
                                       : static_cast<double>(ints_[i]);
   }
 
-  int64_t GetInt(size_t i) const { return ints_[i]; }
+  int64_t GetInt(size_t i) const {
+    assert(type_ == DataType::kInt64 &&
+           "Column::GetInt called on a non-int column");
+    return ints_[i];
+  }
 
   /// Dictionary code of row i (string columns only).
   int32_t GetCode(size_t i) const { return codes_[i]; }

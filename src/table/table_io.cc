@@ -27,6 +27,7 @@ class FileCloser {
 };
 
 Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (n == 0) return Status::OK();  // empty spans may carry a null data()
   if (std::fwrite(data, 1, n, f) != n) {
     return Status::Internal("short write");
   }
@@ -44,6 +45,7 @@ Status WriteString(std::FILE* f, const std::string& s) {
 }
 
 Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (n == 0) return Status::OK();  // empty spans may carry a null data()
   if (std::fread(data, 1, n, f) != n) {
     return Status::Internal("short read / truncated file");
   }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the ASan+UBSan configuration and runs the full ctest suite under
+# it. This is the guard rail for the predicate engine's contracts: NaN-free
+# strict weak orderings in IN-list sorting, in-bounds raw-span column
+# access (Column::GetDouble type guard), and overflow-free int64 range
+# kernels. Run before merging changes to src/expr/ or src/table/.
+#
+# Usage: tools/run_sanitizers.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCVOPT_SANITIZE=ON >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
+  ctest --output-on-failure -j"$(nproc)"
