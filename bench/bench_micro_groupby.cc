@@ -1,7 +1,11 @@
 // Micro-benchmarks for the execution substrate: exact group-by throughput,
-// stratification, and single-pass statistics collection.
+// stratification, and single-pass statistics collection — plus
+// thread-scaling variants (<bench>/<threads>) that drive the same paths
+// through the morsel scheduler, so scaling efficiency is tracked alongside
+// single-thread throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threading.h"
 #include "src/core/stratification.h"
 #include "src/datagen/openaq_gen.h"
 #include "src/exec/group_by_executor.h"
@@ -129,6 +133,81 @@ void BM_CollectGroupStats(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.num_rows());
 }
 BENCHMARK(BM_CollectGroupStats);
+
+// ----------------------------------------------------- thread scaling
+
+void BM_ExactGroupByParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByParallel)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_ExactGroupByMaskedParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  q.where = Predicate::Between("hour", 0, 11);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByMaskedParallel)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_ExactGroupByManyKeysParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  QuerySpec q;
+  q.group_by = {"country", "parameter", "unit", "year", "month", "hour"};
+  q.aggregates = {AggSpec::Avg("value")};
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByManyKeysParallel)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_StratificationBuildParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto strat = Stratification::Build(t, {"country", "parameter", "unit"});
+    benchmark::DoNotOptimize(strat);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_StratificationBuildParallel)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_CollectGroupStatsParallelScaling(benchmark::State& state) {
+  const Table& t = BenchTable();
+  auto strat = std::move(Stratification::Build(t, {"country", "parameter"}))
+                   .ValueOrDie();
+  auto value = std::move(t.ColumnByName("value")).ValueOrDie();
+  StatSource src;
+  src.column = value;
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto stats = CollectGroupStats(strat, {src});
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_CollectGroupStatsParallelScaling)
+    ->Name("BM_CollectGroupStatsParallel")
+    ->Apply(ThreadArgs)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace cvopt

@@ -2,6 +2,7 @@
 // method at a 1% rate, and approximate query answering.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_threading.h"
 #include "src/datagen/openaq_gen.h"
 #include "src/estimate/approx_executor.h"
 #include "src/sample/congress_sampler.h"
@@ -60,6 +61,39 @@ void BM_ApproxQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sample.size());
 }
 BENCHMARK(BM_ApproxQuery);
+
+// ----------------------------------------------------- thread scaling
+
+void BM_ApproxQueryParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  CvoptSampler sampler;
+  Rng rng(17);
+  auto sample =
+      std::move(sampler.Build(t, {TargetQuery()}, t.num_rows() / 100, &rng))
+          .ValueOrDie();
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  const QuerySpec q = TargetQuery();
+  for (auto _ : state) {
+    auto result = ExecuteApprox(sample, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * sample.size());
+}
+BENCHMARK(BM_ApproxQueryParallel)->Apply(ThreadArgs)->UseRealTime();
+
+void BM_BuildCvoptParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  CvoptSampler sampler;
+  Rng rng(13);
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  const uint64_t budget = t.num_rows() / 100;
+  for (auto _ : state) {
+    auto sample = sampler.Build(t, {TargetQuery()}, budget, &rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_BuildCvoptParallel)->Name("BM_Build_CVOPTParallel")->Apply(ThreadArgs)->UseRealTime();
 
 }  // namespace
 }  // namespace cvopt

@@ -1,0 +1,37 @@
+// Shared helpers for the thread-scaling micro-bench variants.
+#ifndef CVOPT_BENCH_BENCH_THREADING_H_
+#define CVOPT_BENCH_BENCH_THREADING_H_
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "src/exec/parallel.h"
+
+namespace cvopt {
+
+/// Pins the morsel scheduler to the benchmark's thread argument for one run.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) : saved_(GetExecOptions()) {
+    ExecOptions o = saved_;
+    o.num_threads = threads;
+    SetExecOptions(o);
+  }
+  ~ScopedThreads() { SetExecOptions(saved_); }
+
+ private:
+  ExecOptions saved_;
+};
+
+/// Thread counts for the scaling variants: 1 (serial baseline), the usual
+/// powers of two, and the machine's hardware concurrency if distinct.
+inline void ThreadArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 1 && hw != 2 && hw != 4 && hw != 8) b->Arg(hw);
+}
+
+}  // namespace cvopt
+
+#endif  // CVOPT_BENCH_BENCH_THREADING_H_

@@ -4,6 +4,7 @@
 
 #include "src/core/cvopt_inf.h"
 #include "src/core/lp_norm.h"
+#include "src/exec/parallel.h"
 #include "src/stats/stats_collector.h"
 
 namespace cvopt {
@@ -102,26 +103,40 @@ Result<AllocationPlan> PlanCvoptAllocation(const Table& table,
       }
     }
 
-    for (size_t c = 0; c < r; ++c) {
-      const uint32_t a = proj.stratum_to_parent[c];
-      const double n_c = static_cast<double>(S.sizes()[c]);
-      const double n_a = static_cast<double>(proj.parent_sizes[a]);
-      if (n_a == 0) continue;
-      double inner = 0.0;
-      for (size_t j = 0; j < t; ++j) {
-        const double sigma_c = stats.At(c, j).stddev_population();
-        if (sigma_c == 0.0) continue;
-        const double mu_a = parent_stats.At(a, j).mean();
-        const double sigma_a = parent_stats.At(a, j).stddev_population();
-        double w = q.weight * q.aggregates[j].weight;
-        if (options.group_weight_fn) {
-          w *= options.group_weight_fn(qi, proj.parent_keys[a], j);
-        }
-        if (w <= 0.0) continue;
-        inner += w * sigma_c * sigma_c / SquaredMeanFloored(mu_a, sigma_a);
-      }
-      plan.betas[c] += n_c * n_c * inner / (n_a * n_a);
-    }
+    // Per-stratum beta accumulation: every stratum's contribution is
+    // independent (reads shared stats, writes only betas[c]), so the loop
+    // morsels through the shared pool. Per-stratum work is several
+    // aggregate lookups, hence the small grain. A user-supplied weight
+    // callback keeps the pre-parallel serial contract (callers may have
+    // stateful callbacks that were never written for concurrent
+    // invocation), so its presence pins the loop to one thread.
+    const int beta_threads = options.group_weight_fn ? 1 : 0;
+    double* betas = plan.betas.data();
+    ParallelFor(
+        r,
+        [&](size_t, size_t lo, size_t hi) {
+          for (size_t c = lo; c < hi; ++c) {
+            const uint32_t a = proj.stratum_to_parent[c];
+            const double n_c = static_cast<double>(S.sizes()[c]);
+            const double n_a = static_cast<double>(proj.parent_sizes[a]);
+            if (n_a == 0) continue;
+            double inner = 0.0;
+            for (size_t j = 0; j < t; ++j) {
+              const double sigma_c = stats.At(c, j).stddev_population();
+              if (sigma_c == 0.0) continue;
+              const double mu_a = parent_stats.At(a, j).mean();
+              const double sigma_a = parent_stats.At(a, j).stddev_population();
+              double w = q.weight * q.aggregates[j].weight;
+              if (options.group_weight_fn) {
+                w *= options.group_weight_fn(qi, proj.parent_keys[a], j);
+              }
+              if (w <= 0.0) continue;
+              inner += w * sigma_c * sigma_c / SquaredMeanFloored(mu_a, sigma_a);
+            }
+            betas[c] += n_c * n_c * inner / (n_a * n_a);
+          }
+        },
+        beta_threads, 512);
   }
 
   if (options.norm == CvNorm::kLp) {

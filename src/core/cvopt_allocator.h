@@ -33,7 +33,9 @@ enum class CvNorm { kL2, kLinf, kLp };
 
 /// Per-(query, group, aggregate) weight override; returning 1.0 everywhere
 /// reproduces the unweighted objective. Used to prioritize groups or to
-/// plug in workload-deduced frequencies (Section 4.3).
+/// plug in workload-deduced frequencies (Section 4.3). Invoked serially:
+/// the allocator's beta loop morsels through the execution pool only when
+/// no callback is installed, so stateful callbacks keep working unchanged.
 using GroupWeightFn = std::function<double(
     size_t query_index, const GroupKey& group_key, size_t agg_index)>;
 

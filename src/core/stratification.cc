@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/expr/plan_cache.h"
 
 namespace cvopt {
 
@@ -31,11 +33,12 @@ Result<Stratification> Stratification::Build(const Table& table,
   Stratification out;
   out.table_ = &table;
   out.attrs_ = std::move(attrs);
-  // Vectorized predicate -> selection vector of surviving rows, then the
-  // shared dense group-id pipeline over just those rows.
-  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
-                         CompiledPredicate::Compile(table, *where));
-  const std::vector<uint32_t> rows = cp.Select();
+  // Vectorized predicate (cached per table + clause) -> morsel-parallel
+  // selection vector of surviving rows, then the shared dense group-id
+  // pipeline over just those rows.
+  CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> cp,
+                         CompilePredicateCached(table, where));
+  const std::vector<uint32_t> rows = ParallelSelect(*cp);
   CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
                          GroupIndex::BuildForRows(table, out.attrs_, rows));
   out.column_indices_ = gidx.column_indices();
@@ -43,9 +46,14 @@ Result<Stratification> Stratification::Build(const Table& table,
   out.sizes_ = gidx.TakeSizes();
   out.row_strata_.assign(table.num_rows(), kNoStratum);
   const std::vector<uint32_t> pos_strata = gidx.TakeRowGroups();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out.row_strata_[rows[i]] = pos_strata[i];
-  }
+  // Scatter surviving positions to their table rows; `rows` entries are
+  // distinct, so chunks write disjoint slots.
+  uint32_t* row_strata = out.row_strata_.data();
+  const uint32_t* rowp = rows.data();
+  const uint32_t* posp = pos_strata.data();
+  ParallelFor(rows.size(), [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) row_strata[rowp[i]] = posp[i];
+  });
   return out;
 }
 

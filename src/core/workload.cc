@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "src/exec/group_index.h"
+#include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/expr/plan_cache.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -100,11 +102,13 @@ Result<Workload::AllocationInput> Workload::Deduce(const Table& table) const {
     std::vector<uint8_t> seen(gidx.num_groups(), 0);
     if (q.where != nullptr) {
       // Vectorized predicate -> selection vector; flag only the groups that
-      // actually survive the entry's WHERE clause.
-      CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
-                             CompiledPredicate::Compile(table, *q.where));
+      // actually survive the entry's WHERE clause. Replayed workloads (and
+      // entries repeating a clause) hit the compiled-plan cache instead of
+      // recompiling.
+      CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
+                             CompilePredicateCached(table, q.where));
       const uint32_t* rg = gidx.row_groups().data();
-      for (const uint32_t r : where.Select()) seen[rg[r]] = 1;
+      for (const uint32_t r : ParallelSelect(*where)) seen[rg[r]] = 1;
     } else {
       for (size_t g = 0; g < gidx.num_groups(); ++g) {
         seen[g] = gidx.sizes()[g] > 0 ? 1 : 0;

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/expr/plan_cache.h"
 
 namespace cvopt {
 
@@ -57,20 +59,28 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   const uint32_t* row_ids = rows.data();
   const double* w = weights.data();
 
-  // WHERE compiles to typed kernels and selects surviving sample positions
-  // directly (no per-position byte mask on the query path).
+  // WHERE compiles to typed kernels (cached per table + predicate) and
+  // selects surviving sample positions directly (no per-position byte mask
+  // on the query path).
   const bool use_sel = query.where != nullptr;
   std::vector<uint32_t> sel;
   if (use_sel) {
-    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
-                           CompiledPredicate::Compile(table, *query.where));
-    sel = where.SelectPositions(row_ids, m);
+    CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
+                           CompilePredicateCached(table, query.where));
+    sel = where->SelectPositions(row_ids, m);
   }
-  auto for_each_pos = [&](auto&& fn) {
+  const uint32_t* selp = sel.data();
+  // Accumulation iterates indices [0, k): surviving positions under a
+  // WHERE clause, all sample positions otherwise. Parallel passes run the
+  // same body over chunk-order index ranges and merge per-chunk
+  // accumulators in chunk order; one chunk is the exact serial loop.
+  const size_t k = use_sel ? sel.size() : m;
+  const size_t chunks = AggregationChunks(k, G);
+  auto for_range = [&](size_t lo, size_t hi, auto&& fn) {
     if (use_sel) {
-      for (const uint32_t i : sel) fn(static_cast<size_t>(i));
+      for (size_t i = lo; i < hi; ++i) fn(static_cast<size_t>(selp[i]));
     } else {
-      for (size_t i = 0; i < m; ++i) fn(i);
+      for (size_t i = lo; i < hi; ++i) fn(i);
     }
   };
 
@@ -100,10 +110,10 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
         if (agg.filter == nullptr) {
           return Status::InvalidArgument("COUNT_IF requires a filter predicate");
         }
-        CVOPT_ASSIGN_OR_RETURN(CompiledPredicate filter,
-                               CompiledPredicate::Compile(table, *agg.filter));
+        CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> filter,
+                               CompilePredicateCached(table, agg.filter));
         agg_masks[j].resize(m);
-        filter.EvalMask(row_ids, m, agg_masks[j].data());
+        ParallelEvalMask(*filter, row_ids, m, agg_masks[j].data());
         break;
       }
     }
@@ -111,12 +121,35 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
 
   // Per-group surviving-position counts and total HT weight (identical
   // across aggregates: every aggregate sees every surviving sampled row).
+  // Counts merge bit-exactly; weights merge in chunk order (the documented
+  // float-summation tolerance).
   std::vector<uint64_t> cnt(G, 0);
   std::vector<double> wcnt(G, 0.0);
-  for_each_pos([&](size_t i) {
-    cnt[rg[i]]++;
-    wcnt[rg[i]] += w[i];
-  });
+  if (chunks == 1) {
+    for_range(0, k, [&](size_t i) {
+      cnt[rg[i]]++;
+      wcnt[rg[i]] += w[i];
+    });
+  } else {
+    std::vector<std::vector<uint64_t>> pcnt(chunks);
+    std::vector<std::vector<double>> pwcnt(chunks);
+    ParallelForChunks(k, chunks, [&](size_t c, size_t lo, size_t hi) {
+      pcnt[c].assign(G, 0);
+      pwcnt[c].assign(G, 0.0);
+      uint64_t* pc = pcnt[c].data();
+      double* pw = pwcnt[c].data();
+      for_range(lo, hi, [&](size_t i) {
+        pc[rg[i]]++;
+        pw[rg[i]] += w[i];
+      });
+    });
+    for (size_t c = 0; c < chunks; ++c) {
+      for (size_t g = 0; g < G; ++g) {
+        cnt[g] += pcnt[c][g];
+        wcnt[g] += pwcnt[c][g];
+      }
+    }
+  }
 
   // Struct-of-arrays weighted accumulators, aggregate-major: wsums[j*G+g].
   bool any_var = false;
@@ -136,23 +169,34 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     auto accumulate = [&](auto value_at) {
       switch (f) {
         case AggFunc::kVariance:
-          for_each_pos([&](size_t i) {
-            const double v = value_at(i);
-            S[rg[i]] += w[i] * v;
-            S2[rg[i]] += w[i] * v * v;
-          });
+          AccumulateChunked(
+              k, chunks, G, S, S2,
+              [&](double* s, double* s2, size_t lo, size_t hi) {
+                for_range(lo, hi, [&](size_t i) {
+                  const double v = value_at(i);
+                  s[rg[i]] += w[i] * v;
+                  s2[rg[i]] += w[i] * v * v;
+                });
+              });
           break;
-        case AggFunc::kMedian: {
+        case AggFunc::kMedian:
           // Finalization reads only the (value, weight) buffers and wcnt.
-          auto& bufs = median_pairs[j];
-          bufs.resize(G);
-          for_each_pos([&](size_t i) {
-            bufs[rg[i]].emplace_back(value_at(i), w[i]);
-          });
+          CollectChunked<std::pair<double, double>>(
+              k, chunks, G, &median_pairs[j],
+              [&](std::vector<std::pair<double, double>>* bufs, size_t lo,
+                  size_t hi) {
+                for_range(lo, hi, [&](size_t i) {
+                  bufs[rg[i]].emplace_back(value_at(i), w[i]);
+                });
+              });
           break;
-        }
         default:
-          for_each_pos([&](size_t i) { S[rg[i]] += w[i] * value_at(i); });
+          AccumulateChunked(
+              k, chunks, G, S, nullptr,
+              [&](double* s, double*, size_t lo, size_t hi) {
+                for_range(lo, hi,
+                          [&](size_t i) { s[rg[i]] += w[i] * value_at(i); });
+              });
           break;
       }
     };

@@ -1,6 +1,8 @@
 #include "src/exec/aggregate.h"
 
+#include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/expr/plan_cache.h"
 
 namespace cvopt {
 
@@ -63,12 +65,14 @@ Result<BoundAggregates> BoundAggregates::Bind(const Table& table,
         if (agg.filter == nullptr) {
           return Status::InvalidArgument("COUNT_IF requires a filter predicate");
         }
-        // Indicator materializes through the compiled kernel plan; the
-        // stats collector and executors then stream it as a value source.
-        CVOPT_ASSIGN_OR_RETURN(CompiledPredicate filter,
-                               CompiledPredicate::Compile(table, *agg.filter));
+        // Indicator materializes through the compiled kernel plan (cached
+        // per table + filter, morsel-parallel over disjoint mask ranges);
+        // the stats collector and executors then stream it as a value
+        // source.
+        CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> filter,
+                               CompilePredicateCached(table, agg.filter));
         auto mask = std::make_unique<std::vector<uint8_t>>(table.num_rows());
-        filter.EvalMask(nullptr, mask->size(), mask->data());
+        ParallelEvalMask(*filter, nullptr, mask->size(), mask->data());
         out.indicators_.push_back(std::move(mask));
         src.indicator = out.indicators_.back().get();
         break;

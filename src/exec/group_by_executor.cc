@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "src/exec/group_index.h"
+#include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/expr/plan_cache.h"
 
 namespace cvopt {
 
@@ -37,29 +39,50 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   const size_t G = gidx.num_groups();
   const uint32_t* rg = gidx.row_groups().data();
 
-  // WHERE evaluates through the compiled kernel plan straight to a
+  // WHERE compiles through the shared plan cache (workload replays reuse
+  // the plan) and evaluates per-morsel through the pool straight to a
   // selection vector of surviving rows; no byte mask is materialized and
   // the mask branch is hoisted out of every accumulation loop.
   const bool use_sel = query.where != nullptr;
   std::vector<uint32_t> sel;
   if (use_sel) {
-    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate where,
-                           CompiledPredicate::Compile(table, *query.where));
-    sel = where.Select();
+    CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
+                           CompilePredicateCached(table, query.where));
+    sel = ParallelSelect(*where);
   }
-  auto for_each_row = [&](auto&& fn) {
+  const uint32_t* selp = sel.data();
+  // Accumulation iterates positions [0, m): surviving rows under a WHERE
+  // clause, all rows otherwise. Parallel passes run the same body over
+  // chunk-order position ranges and merge per-chunk accumulators in chunk
+  // order; one chunk is the exact serial loop.
+  const size_t m = use_sel ? sel.size() : n;
+  const size_t chunks = AggregationChunks(m, G);
+  auto for_range = [&](size_t lo, size_t hi, auto&& fn) {
     if (use_sel) {
-      for (const uint32_t r : sel) fn(static_cast<size_t>(r));
+      for (size_t i = lo; i < hi; ++i) fn(static_cast<size_t>(selp[i]));
     } else {
-      for (size_t r = 0; r < n; ++r) fn(r);
+      for (size_t r = lo; r < hi; ++r) fn(r);
     }
   };
 
-  // Per-group surviving-row counts (identical across aggregates).
+  // Per-group surviving-row counts (identical across aggregates; integer,
+  // so parallel merge is bit-exact).
   std::vector<uint64_t> cnt;
   if (use_sel) {
     cnt.assign(G, 0);
-    for (const uint32_t r : sel) cnt[rg[r]]++;
+    if (chunks == 1) {
+      for (const uint32_t r : sel) cnt[rg[r]]++;
+    } else {
+      std::vector<std::vector<uint64_t>> part(chunks);
+      ParallelForChunks(m, chunks, [&](size_t c, size_t lo, size_t hi) {
+        part[c].assign(G, 0);
+        uint64_t* p = part[c].data();
+        for (size_t i = lo; i < hi; ++i) p[rg[selp[i]]]++;
+      });
+      for (const auto& p : part) {
+        for (size_t g = 0; g < G; ++g) cnt[g] += p[g];
+      }
+    }
   } else {
     cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
   }
@@ -83,21 +106,31 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
     auto accumulate = [&](auto value_at) {
       switch (f) {
         case AggFunc::kVariance:
-          for_each_row([&](size_t r) {
-            const double v = value_at(r);
-            S[rg[r]] += v;
-            S2[rg[r]] += v * v;
-          });
+          AccumulateChunked(
+              m, chunks, G, S, S2,
+              [&](double* s, double* s2, size_t lo, size_t hi) {
+                for_range(lo, hi, [&](size_t r) {
+                  const double v = value_at(r);
+                  s[rg[r]] += v;
+                  s2[rg[r]] += v * v;
+                });
+              });
           break;
-        case AggFunc::kMedian: {
+        case AggFunc::kMedian:
           // Finalization reads only the value buffers, not the sums slab.
-          auto& bufs = median_values[j];
-          bufs.resize(G);
-          for_each_row([&](size_t r) { bufs[rg[r]].push_back(value_at(r)); });
+          CollectChunked<double>(
+              m, chunks, G, &median_values[j],
+              [&](std::vector<double>* bufs, size_t lo, size_t hi) {
+                for_range(lo, hi,
+                          [&](size_t r) { bufs[rg[r]].push_back(value_at(r)); });
+              });
           break;
-        }
         default:
-          for_each_row([&](size_t r) { S[rg[r]] += value_at(r); });
+          AccumulateChunked(
+              m, chunks, G, S, nullptr,
+              [&](double* s, double*, size_t lo, size_t hi) {
+                for_range(lo, hi, [&](size_t r) { s[rg[r]] += value_at(r); });
+              });
           break;
       }
     };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
+#include "src/exec/parallel.h"
 #include "src/util/hash.h"
 
 namespace cvopt {
@@ -56,8 +58,118 @@ struct BuildOutput {
   std::vector<uint64_t> sizes;
 };
 
-// Core build loop, shared by Build (row_at = identity) and BuildForRows
-// (row_at = sample row lookup). `n` is the number of mapped positions.
+// Per-chunk group discovery output: groups in first-seen order within the
+// chunk's position range. Keys are not stored — the merge phase recomputes
+// the packed key / hash from each group's representative row.
+struct LocalGroups {
+  std::vector<uint32_t> rep_rows;  // local id -> representative table row
+  std::vector<uint64_t> sizes;     // local id -> occurrence count in chunk
+};
+
+// Chunk-order merge + parallel id rewrite, shared by every tier. Walks the
+// chunks in order and interns each local group's representative row into
+// the global output via `intern` (tier-specific: dense-remap lookup, exact
+// packed-key probe, or hash + representative-row compare; appends
+// rep_rows/sizes for new groups and returns the global id), accumulating
+// per-group sizes, then rewrites row_groups from local to global ids over
+// the same chunk boundaries. Interning in chunk order is what makes the
+// global ids land in serial first-seen-position order. With one chunk the
+// local output IS the global output — the exact serial path, no remap.
+template <class Intern>
+void MergeChunks(size_t n, size_t chunks, std::vector<LocalGroups>* locals,
+                 BuildOutput* out, uint32_t* rg, Intern&& intern) {
+  if (chunks == 1) {
+    out->rep_rows = std::move((*locals)[0].rep_rows);
+    out->sizes = std::move((*locals)[0].sizes);
+    return;
+  }
+  std::vector<std::vector<uint32_t>> to_global(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const LocalGroups& lg = (*locals)[c];
+    to_global[c].resize(lg.rep_rows.size());
+    for (size_t li = 0; li < lg.rep_rows.size(); ++li) {
+      const uint32_t gid = intern(lg.rep_rows[li]);
+      to_global[c][li] = gid;
+      out->sizes[gid] += lg.sizes[li];
+    }
+  }
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    const uint32_t* map = to_global[c].data();
+    for (size_t i = lo; i < hi; ++i) rg[i] = map[rg[i]];
+  });
+}
+
+// Flat open-addressing group table shared by the packed and wide tiers:
+// power-of-two capacity, linear probing, no per-key allocation.
+struct FlatGroupTable {
+  struct Slot {
+    uint64_t key = 0;  // packed key (kPacked) or composite hash (kWide)
+    uint32_t id = kEmptyId;
+  };
+
+  explicit FlatGroupTable(uint64_t expected) {
+    capacity = NextPow2(static_cast<size_t>(std::max<uint64_t>(64, 2 * expected)));
+    slots.assign(capacity, Slot{});
+    mask = capacity - 1;
+  }
+
+  void Grow() {
+    capacity <<= 1;
+    mask = capacity - 1;
+    std::vector<Slot> fresh(capacity);
+    for (const Slot& s : slots) {
+      if (s.id == kEmptyId) continue;
+      size_t idx = HashMix64(s.key) & mask;
+      while (fresh[idx].id != kEmptyId) idx = (idx + 1) & mask;
+      fresh[idx] = s;
+    }
+    slots.swap(fresh);
+  }
+
+  bool NeedsGrow(size_t live) const { return live * 10 >= capacity * 7; }
+
+  // Linear-probe find-or-insert, the one probing sequence every tier and
+  // merge pass shares. A slot matches when its key equals `key` AND
+  // `matches(slot_id)` holds (the exact-key tier passes a trivial matcher;
+  // the wide tier compares representative rows). On a miss, `on_insert`
+  // appends the new group and returns {new id, live group count} for the
+  // load-factor check. Returns the slot's id either way.
+  template <class Matches, class OnInsert>
+  uint32_t FindOrInsert(uint64_t key, Matches&& matches, OnInsert&& on_insert) {
+    size_t idx = HashMix64(key) & mask;
+    while (slots[idx].id != kEmptyId) {
+      if (slots[idx].key == key && matches(slots[idx].id)) {
+        return slots[idx].id;
+      }
+      idx = (idx + 1) & mask;
+    }
+    const std::pair<uint32_t, size_t> inserted = on_insert();
+    slots[idx] = {key, inserted.first};
+    if (NeedsGrow(inserted.second)) Grow();
+    return inserted.first;
+  }
+
+  std::vector<Slot> slots;
+  size_t capacity = 0;
+  size_t mask = 0;
+};
+
+// Core build, shared by Build (row_at = identity) and BuildForRows (row_at =
+// sample row lookup). `n` is the number of mapped positions.
+//
+// Parallel shape (morsel-driven, static chunking through the shared pool):
+//   1. each chunk discovers its groups locally, assigning chunk-local ids in
+//      first-seen order and writing them into row_groups;
+//   2. a serial merge walks the chunks in order and interns each local
+//      group into the global table, so global ids land in exactly the
+//      serial first-seen-position order (a key's earliest chunk is merged
+//      first, and within a chunk local ids are first-seen ordered) — the
+//      output is bit-identical to the single-chunk build for every thread
+//      count;
+//   3. a parallel rewrite pass over the same chunk boundaries maps local
+//      ids to global ids.
+// With one chunk (threads == 1 or a small input) step 1 runs inline over
+// the whole range and steps 2–3 collapse to moves: the exact serial path.
 template <class RowAt>
 BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
                       size_t n, RowAt row_at) {
@@ -73,8 +185,12 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
   }
   if (n == 0) return out;
 
+  const size_t chunks = ParallelChunkCount(n, ResolveThreads());
+
   // Column access plans and code domains: dictionary size for strings, the
-  // observed [min, max] for ints (one cheap scan over contiguous storage).
+  // observed [min, max] for ints (one cheap scan over contiguous storage,
+  // chunked through the pool; min/max merge associatively, so the result is
+  // identical to the serial scan).
   std::vector<ColAccess> acc(cols.size());
   int total_bits = 0;
   uint64_t domain_product = 1;
@@ -87,13 +203,20 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
       a.domain = std::max<uint64_t>(1, col.dictionary().size());
     } else {
       a.ints = col.ints().data();
-      int64_t lo = a.ints[row_at(0)];
-      int64_t hi = lo;
-      for (size_t i = 1; i < n; ++i) {
-        const int64_t v = a.ints[row_at(i)];
-        lo = std::min(lo, v);
-        hi = std::max(hi, v);
-      }
+      std::vector<int64_t> chunk_lo(chunks), chunk_hi(chunks);
+      ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+        int64_t vlo = a.ints[row_at(lo)];
+        int64_t vhi = vlo;
+        for (size_t i = lo + 1; i < hi; ++i) {
+          const int64_t v = a.ints[row_at(i)];
+          vlo = std::min(vlo, v);
+          vhi = std::max(vhi, v);
+        }
+        chunk_lo[c] = vlo;
+        chunk_hi[c] = vhi;
+      });
+      const int64_t lo = *std::min_element(chunk_lo.begin(), chunk_lo.end());
+      const int64_t hi = *std::max_element(chunk_hi.begin(), chunk_hi.end());
       a.base = static_cast<uint64_t>(lo);
       const uint64_t spread =
           static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
@@ -116,6 +239,21 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
     for (const ColAccess& a : acc) key |= a.PackedCode(r) << a.shift;
     return key;
   };
+  auto wide_hash = [&acc](size_t r) {
+    uint64_t h = 0x2545F4914F6CDD1DULL;
+    for (const ColAccess& a : acc) {
+      h = HashCombine(h, static_cast<uint64_t>(a.RawCode(r)));
+    }
+    return h;
+  };
+  auto rows_equal = [&acc](size_t r1, size_t r2) {
+    for (const ColAccess& a : acc) {
+      if (a.RawCode(r1) != a.RawCode(r2)) return false;
+    }
+    return true;
+  };
+
+  uint32_t* rg = out.row_groups.data();
 
   // The direct tier must also be worth its remap: bounded bits alone would
   // let a 1k-row sample over a ~4M-spread int column allocate and clear a
@@ -129,109 +267,134 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
   if (direct_worthwhile) {
     // Tier kDirect: dense remap indexed by the packed code — dictionary
     // codes / small int domains map straight to ids with no hashing.
-    std::vector<uint32_t> remap(size_t{1} << total_bits, kEmptyId);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t r = row_at(i);
-      const uint64_t key = pack(r);
-      uint32_t id = remap[key];
-      if (id == kEmptyId) {
-        id = static_cast<uint32_t>(out.rep_rows.size());
-        remap[key] = id;
-        out.rep_rows.push_back(static_cast<uint32_t>(r));
+    // Every chunk allocates and zero-fills its own remap, so apply the
+    // worthwhile criterion per chunk too: cap the fan-out where a chunk's
+    // row share would undershoot it (otherwise clear traffic and memory
+    // scale with the thread count instead of the data).
+    const uint64_t remap_entries = uint64_t{1} << total_bits;
+    size_t dchunks = chunks;
+    if (remap_entries > 1024) {
+      dchunks = std::min<size_t>(
+          chunks, std::max<uint64_t>(
+                      1, static_cast<uint64_t>(n) / (remap_entries / 8)));
+    }
+    const size_t chunks = dchunks;  // shadow: all passes below use the cap
+    std::vector<LocalGroups> locals(chunks);
+    ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+      LocalGroups& lg = locals[c];
+      std::vector<uint32_t> remap(size_t{1} << total_bits, kEmptyId);
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t r = row_at(i);
+        const uint64_t key = pack(r);
+        uint32_t id = remap[key];
+        if (id == kEmptyId) {
+          id = static_cast<uint32_t>(lg.rep_rows.size());
+          remap[key] = id;
+          lg.rep_rows.push_back(static_cast<uint32_t>(r));
+          lg.sizes.push_back(0);
+        }
+        rg[i] = id;
+        lg.sizes[id]++;
+      }
+    });
+    out.tier = GroupIndex::Tier::kDirect;
+    std::vector<uint32_t> global_remap;
+    if (chunks > 1) global_remap.assign(size_t{1} << total_bits, kEmptyId);
+    MergeChunks(n, chunks, &locals, &out, rg, [&](uint32_t rep) {
+      const uint64_t key = pack(rep);
+      uint32_t gid = global_remap[key];
+      if (gid == kEmptyId) {
+        gid = static_cast<uint32_t>(out.rep_rows.size());
+        global_remap[key] = gid;
+        out.rep_rows.push_back(rep);
         out.sizes.push_back(0);
       }
-      out.row_groups[i] = id;
-      out.sizes[id]++;
-    }
-    out.tier = GroupIndex::Tier::kDirect;
+      return gid;
+    });
     return out;
   }
 
-  // Flat open-addressing table shared by the packed and wide tiers:
-  // power-of-two capacity, linear probing, no per-key allocation. Pre-sized
-  // from the cardinality hint min(rows, product of per-column domains).
-  struct Slot {
-    uint64_t key = 0;  // packed key (kPacked) or composite hash (kWide)
-    uint32_t id = kEmptyId;
-  };
   const uint64_t expected = std::min<uint64_t>(
       {static_cast<uint64_t>(n), domain_product, uint64_t{1} << 20});
-  size_t capacity = NextPow2(static_cast<size_t>(
-      std::max<uint64_t>(64, 2 * expected)));
-  std::vector<Slot> slots(capacity);
-  size_t mask = capacity - 1;
-  auto grow = [&]() {
-    capacity <<= 1;
-    mask = capacity - 1;
-    std::vector<Slot> fresh(capacity);
-    for (const Slot& s : slots) {
-      if (s.id == kEmptyId) continue;
-      size_t idx = HashMix64(s.key) & mask;
-      while (fresh[idx].id != kEmptyId) idx = (idx + 1) & mask;
-      fresh[idx] = s;
-    }
-    slots.swap(fresh);
-  };
 
   if (total_bits <= 64) {
     // Tier kPacked: per-column codes bit-pack into one uint64; probe on the
     // exact packed key, so no key comparison beyond one integer.
-    for (size_t i = 0; i < n; ++i) {
-      const size_t r = row_at(i);
-      const uint64_t key = pack(r);
-      size_t idx = HashMix64(key) & mask;
-      while (slots[idx].id != kEmptyId && slots[idx].key != key) {
-        idx = (idx + 1) & mask;
+    std::vector<LocalGroups> locals(chunks);
+    ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+      LocalGroups& lg = locals[c];
+      FlatGroupTable t(std::min<uint64_t>(expected, hi - lo));
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t r = row_at(i);
+        const uint32_t id = t.FindOrInsert(
+            pack(r), [](uint32_t) { return true; },
+            [&] {
+              const uint32_t fresh = static_cast<uint32_t>(lg.rep_rows.size());
+              lg.rep_rows.push_back(static_cast<uint32_t>(r));
+              lg.sizes.push_back(0);
+              return std::make_pair(fresh, lg.rep_rows.size());
+            });
+        rg[i] = id;
+        lg.sizes[id]++;
       }
-      uint32_t id = slots[idx].id;
-      if (id == kEmptyId) {
-        id = static_cast<uint32_t>(out.rep_rows.size());
-        slots[idx] = {key, id};
-        out.rep_rows.push_back(static_cast<uint32_t>(r));
-        out.sizes.push_back(0);
-        if (out.rep_rows.size() * 10 >= capacity * 7) grow();
-      }
-      out.row_groups[i] = id;
-      out.sizes[id]++;
-    }
+    });
     out.tier = GroupIndex::Tier::kPacked;
+    size_t local_total = 0;
+    if (chunks > 1) {
+      for (const auto& lg : locals) local_total += lg.rep_rows.size();
+    }
+    FlatGroupTable t(local_total);  // minimal when the merge is a no-op
+    MergeChunks(n, chunks, &locals, &out, rg, [&](uint32_t rep) {
+      return t.FindOrInsert(
+          pack(rep), [](uint32_t) { return true; },
+          [&] {
+            const uint32_t fresh = static_cast<uint32_t>(out.rep_rows.size());
+            out.rep_rows.push_back(rep);
+            out.sizes.push_back(0);
+            return std::make_pair(fresh, out.rep_rows.size());
+          });
+    });
     return out;
   }
 
   // Tier kWide: codes do not fit one word. Hash the composite key and
   // verify candidates against each group's representative row.
-  auto rows_equal = [&acc](size_t r1, size_t r2) {
-    for (const ColAccess& a : acc) {
-      if (a.RawCode(r1) != a.RawCode(r2)) return false;
+  std::vector<LocalGroups> locals(chunks);
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    LocalGroups& lg = locals[c];
+    FlatGroupTable t(std::min<uint64_t>(expected, hi - lo));
+    for (size_t i = lo; i < hi; ++i) {
+      const size_t r = row_at(i);
+      const uint32_t id = t.FindOrInsert(
+          wide_hash(r),
+          [&](uint32_t cand) { return rows_equal(r, lg.rep_rows[cand]); },
+          [&] {
+            const uint32_t fresh = static_cast<uint32_t>(lg.rep_rows.size());
+            lg.rep_rows.push_back(static_cast<uint32_t>(r));
+            lg.sizes.push_back(0);
+            return std::make_pair(fresh, lg.rep_rows.size());
+          });
+      rg[i] = id;
+      lg.sizes[id]++;
     }
-    return true;
-  };
-  for (size_t i = 0; i < n; ++i) {
-    const size_t r = row_at(i);
-    uint64_t h = 0x2545F4914F6CDD1DULL;
-    for (const ColAccess& a : acc) {
-      h = HashCombine(h, static_cast<uint64_t>(a.RawCode(r)));
-    }
-    size_t idx = HashMix64(h) & mask;
-    uint32_t id = kEmptyId;
-    while (slots[idx].id != kEmptyId) {
-      if (slots[idx].key == h && rows_equal(r, out.rep_rows[slots[idx].id])) {
-        id = slots[idx].id;
-        break;
-      }
-      idx = (idx + 1) & mask;
-    }
-    if (id == kEmptyId) {
-      id = static_cast<uint32_t>(out.rep_rows.size());
-      slots[idx] = {h, id};
-      out.rep_rows.push_back(static_cast<uint32_t>(r));
-      out.sizes.push_back(0);
-      if (out.rep_rows.size() * 10 >= capacity * 7) grow();
-    }
-    out.row_groups[i] = id;
-    out.sizes[id]++;
-  }
+  });
   out.tier = GroupIndex::Tier::kWide;
+  size_t local_total = 0;
+  if (chunks > 1) {
+    for (const auto& lg : locals) local_total += lg.rep_rows.size();
+  }
+  FlatGroupTable t(local_total);  // minimal when the merge is a no-op
+  MergeChunks(n, chunks, &locals, &out, rg, [&](uint32_t rep) {
+    return t.FindOrInsert(
+        wide_hash(rep),
+        [&](uint32_t cand) { return rows_equal(rep, out.rep_rows[cand]); },
+        [&] {
+          const uint32_t fresh = static_cast<uint32_t>(out.rep_rows.size());
+          out.rep_rows.push_back(rep);
+          out.sizes.push_back(0);
+          return std::make_pair(fresh, out.rep_rows.size());
+        });
+  });
   return out;
 }
 
@@ -291,6 +454,13 @@ GroupKey GroupIndex::KeyOf(size_t g) const {
     key.codes.push_back(table_->column(c).GroupCode(rep_rows_[g]));
   }
   return key;
+}
+
+void GroupIndex::AppendKeyCodes(size_t g, std::vector<int64_t>* out) const {
+  const uint32_t row = rep_rows_[g];
+  for (size_t c : cols_) {
+    out->push_back(table_->column(c).GroupCode(row));
+  }
 }
 
 std::vector<GroupKey> GroupIndex::Keys() const {

@@ -73,6 +73,12 @@ class GroupIndex {
   GroupKey KeyOf(size_t g) const;
   std::vector<GroupKey> Keys() const;
 
+  /// Appends group g's key codes (one int64 per grouping column, matching
+  /// KeyOf(g).codes) to *out — the flat-key-store path of
+  /// QueryResult::IngestDense, no per-group GroupKey allocation.
+  void AppendKeyCodes(size_t g, std::vector<int64_t>* out) const;
+  size_t key_arity() const { return cols_.size(); }
+
   /// Human-readable label of group g, e.g. "US|pm25".
   std::string Label(size_t g) const;
 

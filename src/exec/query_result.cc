@@ -4,8 +4,22 @@
 
 namespace cvopt {
 
+void QueryResult::EnsureKeys() const {
+  if (!keys_stale_) return;  // AddGroup keeps the shim current itself
+  keys_.clear();
+  keys_.reserve(num_groups());
+  for (size_t i = 0; i < num_groups(); ++i) {
+    GroupKey k;
+    k.codes.assign(key_codes_.begin() + key_offsets_[i],
+                   key_codes_.begin() + key_offsets_[i + 1]);
+    keys_.push_back(std::move(k));
+  }
+  keys_stale_ = false;
+}
+
 void QueryResult::EnsureIndex() const {
   if (!index_stale_) return;  // AddGroup maintains the index incrementally
+  EnsureKeys();
   index_.clear();
   index_.reserve(keys_.size());
   for (size_t i = 0; i < keys_.size(); ++i) index_.emplace(keys_[i], i);
@@ -20,11 +34,13 @@ Status QueryResult::AddGroup(GroupKey key, std::string label,
                   values.size(), agg_labels_.size()));
   }
   EnsureIndex();
-  auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  auto [it, inserted] = index_.try_emplace(key, num_groups());
   if (!inserted) {
     return Status::AlreadyExists("duplicate group key '" + label + "'");
   }
-  keys_.push_back(std::move(key));
+  key_codes_.insert(key_codes_.end(), key.codes.begin(), key.codes.end());
+  key_offsets_.push_back(key_codes_.size());
+  keys_.push_back(std::move(key));  // EnsureIndex left the shim current
   labels_.push_back(std::move(label));
   values_.insert(values_.end(), values.begin(), values.end());
   return Status::OK();
@@ -43,7 +59,7 @@ Status QueryResult::IngestDense(const GroupIndex& gidx,
   }
   // Into a non-empty result, reject key collisions up front (the executors
   // always ingest into a fresh result, where gidx ids are unique).
-  if (!keys_.empty()) {
+  if (num_groups() > 0) {
     EnsureIndex();
     for (size_t g = 0; g < G; ++g) {
       if (counts[g] > 0 && index_.count(gidx.KeyOf(g)) > 0) {
@@ -54,17 +70,23 @@ Status QueryResult::IngestDense(const GroupIndex& gidx,
   }
   size_t live = 0;
   for (size_t g = 0; g < G; ++g) live += counts[g] > 0 ? 1 : 0;
-  keys_.reserve(keys_.size() + live);
+  const size_t arity = gidx.key_arity();
+  key_codes_.reserve(key_codes_.size() + live * arity);
+  key_offsets_.reserve(key_offsets_.size() + live);
   labels_.reserve(labels_.size() + live);
   values_.reserve(values_.size() + live * t);
   for (size_t g = 0; g < G; ++g) {
     if (counts[g] == 0) continue;  // no surviving rows: group absent
-    keys_.push_back(gidx.KeyOf(g));
+    gidx.AppendKeyCodes(g, &key_codes_);
+    key_offsets_.push_back(key_codes_.size());
     labels_.emplace_back();
     gidx.AppendLabel(g, &labels_.back());
     for (size_t j = 0; j < t; ++j) values_.push_back(finals[j * G + g]);
   }
-  // The index is stale now; the first Find() rebuilds it once.
+  // The key shim and index are stale now; the first key()/keys()/Find()
+  // rebuilds them once.
+  keys_.clear();
+  keys_stale_ = true;
   index_.clear();
   index_stale_ = true;
   return Status::OK();
@@ -87,7 +109,7 @@ std::optional<size_t> QueryResult::FindByLabel(const std::string& label) const {
 std::string QueryResult::ToString(size_t max_groups) const {
   std::string out =
       "group(" + Join(group_attrs_, ",") + ") -> [" + Join(agg_labels_, ", ") + "]\n";
-  const size_t n = std::min(max_groups, keys_.size());
+  const size_t n = std::min(max_groups, num_groups());
   const size_t t = agg_labels_.size();
   for (size_t i = 0; i < n; ++i) {
     std::vector<std::string> vals;
@@ -95,7 +117,9 @@ std::string QueryResult::ToString(size_t max_groups) const {
     for (size_t j = 0; j < t; ++j) vals.push_back(FormatDouble(value(i, j), 4));
     out += "  " + labels_[i] + ": [" + Join(vals, ", ") + "]\n";
   }
-  if (n < keys_.size()) out += StrFormat("  ... (%zu more)\n", keys_.size() - n);
+  if (n < num_groups()) {
+    out += StrFormat("  ... (%zu more)\n", num_groups() - n);
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #ifndef CVOPT_EXEC_QUERY_RESULT_H_
 #define CVOPT_EXEC_QUERY_RESULT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,9 +19,18 @@ namespace cvopt {
 /// value per aggregate.
 ///
 /// Values live in one flat row-major array (stride = number of aggregates)
-/// and the key -> index map is built lazily on first Find(), so the bulk
-/// ingest path below appends many-group results without per-group heap
-/// allocation or hash inserts.
+/// and group keys live in a flat SoA code store (one int64 per key column,
+/// ragged offsets), so the bulk ingest path appends many-group results with
+/// no per-group heap allocation at all. GroupKey objects and the
+/// key -> index map are compatibility shims materialized lazily on first
+/// key() / keys() / Find().
+///
+/// Thread-safety: the lazy shims mutate internal state on first access, so
+/// even the const accessors are NOT safe for concurrent first reads. A
+/// QueryResult is a per-query value object; to share one across threads
+/// read-only, call keys() (or Find()) once beforehand to force
+/// materialization, or use label()/value()/key_codes(), which never
+/// mutate.
 class QueryResult {
  public:
   QueryResult() = default;
@@ -33,22 +43,41 @@ class QueryResult {
   Status AddGroup(GroupKey key, std::string label, std::vector<double> values);
 
   /// Bulk-ingests the dense-id pipeline's output: one result group per
-  /// index g with counts[g] > 0, keys and labels rendered in batch from
-  /// `gidx`, and values gathered from the aggregate-major accumulator array
-  /// finals[j * G + g] (G = gidx.num_groups(), j < num_aggregates()).
+  /// index g with counts[g] > 0, labels rendered in batch and key codes
+  /// copied flat from `gidx` (no GroupKey materialization), and values
+  /// gathered from the aggregate-major accumulator array finals[j * G + g]
+  /// (G = gidx.num_groups(), j < num_aggregates()).
   /// Into an empty result (the executors' path) the GroupIndex's ids are
-  /// distinct by construction, so no per-group map insert happens and the
-  /// index stays lazy until the first Find(); into a non-empty result the
-  /// incoming keys are checked against the existing ones first
-  /// (AlreadyExists on collision, nothing ingested).
+  /// distinct by construction, so nothing is hashed and both the GroupKey
+  /// vector and the index stay lazy; into a non-empty result the incoming
+  /// keys are checked against the existing ones first (AlreadyExists on
+  /// collision, nothing ingested).
   Status IngestDense(const GroupIndex& gidx,
                      const std::vector<uint64_t>& counts,
                      const std::vector<double>& finals);
 
-  size_t num_groups() const { return keys_.size(); }
+  size_t num_groups() const { return labels_.size(); }
   size_t num_aggregates() const { return agg_labels_.size(); }
 
-  const GroupKey& key(size_t i) const { return keys_[i]; }
+  /// Group i's key, materialized lazily from the flat code store (the
+  /// compatibility shim over the SoA representation).
+  const GroupKey& key(size_t i) const {
+    EnsureKeys();
+    return keys_[i];
+  }
+  /// All keys, materialized lazily (compatibility shim).
+  const std::vector<GroupKey>& keys() const {
+    EnsureKeys();
+    return keys_;
+  }
+  /// Group i's raw key codes — the allocation-free view of the flat store.
+  const int64_t* key_codes(size_t i) const {
+    return key_codes_.data() + key_offsets_[i];
+  }
+  size_t key_arity(size_t i) const {
+    return key_offsets_[i + 1] - key_offsets_[i];
+  }
+
   const std::string& label(size_t i) const { return labels_[i]; }
   /// Copy of group i's aggregate values (row slice of the flat array).
   std::vector<double> values(size_t i) const {
@@ -72,14 +101,24 @@ class QueryResult {
   std::string ToString(size_t max_groups = 20) const;
 
  private:
+  // Materializes the GroupKey vector from the flat code store if stale.
+  void EnsureKeys() const;
   // Builds the key -> index map if it is stale (lazy after IngestDense).
   void EnsureIndex() const;
 
   std::vector<std::string> agg_labels_;
   std::vector<std::string> group_attrs_;
-  std::vector<GroupKey> keys_;
   std::vector<std::string> labels_;
   std::vector<double> values_;  // row-major, stride = agg_labels_.size()
+
+  // Flat SoA key store: group i's codes are
+  // key_codes_[key_offsets_[i] .. key_offsets_[i + 1]).
+  std::vector<int64_t> key_codes_;
+  std::vector<size_t> key_offsets_{0};
+
+  // Lazy compatibility shims over the flat store.
+  mutable std::vector<GroupKey> keys_;
+  mutable bool keys_stale_ = false;  // set by IngestDense, cleared on rebuild
   mutable std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
   mutable bool index_stale_ = false;  // set by IngestDense, cleared on rebuild
 };

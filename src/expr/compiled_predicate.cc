@@ -129,36 +129,39 @@ struct NotK {
 // ----------------------------------------------------------- loop drivers
 
 template <class K>
-void MaskLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* out) {
+void MaskLoop(const K& k, const uint32_t* rows, size_t base, size_t n,
+              uint8_t* out) {
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) out[i] = k.Test(rows[i]) ? 1 : 0;
   } else {
-    for (size_t i = 0; i < n; ++i) out[i] = k.Test(i) ? 1 : 0;
+    for (size_t i = 0; i < n; ++i) out[i] = k.Test(base + i) ? 1 : 0;
   }
 }
 
 template <class K>
-void AndLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* inout) {
+void AndLoop(const K& k, const uint32_t* rows, size_t base, size_t n,
+             uint8_t* inout) {
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) {
       if (inout[i]) inout[i] = k.Test(rows[i]) ? 1 : 0;
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
-      if (inout[i]) inout[i] = k.Test(i) ? 1 : 0;
+      if (inout[i]) inout[i] = k.Test(base + i) ? 1 : 0;
     }
   }
 }
 
 template <class K>
-void OrLoop(const K& k, const uint32_t* rows, size_t n, uint8_t* inout) {
+void OrLoop(const K& k, const uint32_t* rows, size_t base, size_t n,
+            uint8_t* inout) {
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) {
       if (!inout[i]) inout[i] = k.Test(rows[i]) ? 1 : 0;
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
-      if (!inout[i]) inout[i] = k.Test(i) ? 1 : 0;
+      if (!inout[i]) inout[i] = k.Test(base + i) ? 1 : 0;
     }
   }
 }
@@ -203,6 +206,21 @@ void SelectLoop(const K& k, const uint32_t* rows, size_t n,
       o[w] = static_cast<uint32_t>(i);
       w += k.Test(i) ? 1 : 0;
     }
+  }
+  out->resize(w);
+}
+
+// Seeds a selection of table rows (not positions) from the range [lo, hi) —
+// the morsel-local variant of SelectLoop.
+template <class K>
+void SelectRangeLoop(const K& k, size_t lo, size_t hi,
+                     std::vector<uint32_t>* out) {
+  out->resize(hi - lo);
+  uint32_t* o = out->data();
+  size_t w = 0;
+  for (size_t r = lo; r < hi; ++r) {
+    o[w] = static_cast<uint32_t>(r);
+    w += k.Test(r) ? 1 : 0;
   }
   out->resize(w);
 }
@@ -277,28 +295,31 @@ bool CompiledPredicate::VisitSimple(uint32_t node, Fn&& fn) const {
 // ------------------------------------------------------------- evaluation
 
 void CompiledPredicate::EvalMaskNode(uint32_t node, const uint32_t* rows,
-                                     size_t n, uint8_t* out) const {
+                                     size_t base, size_t n,
+                                     uint8_t* out) const {
   const Node& nd = nodes_[node];
   if (nd.kind == NodeKind::kConst) {
     std::fill_n(out, n, nd.value ? 1 : 0);
     return;
   }
-  if (VisitSimple(node, [&](auto k) { MaskLoop(k, rows, n, out); })) return;
+  if (VisitSimple(node, [&](auto k) { MaskLoop(k, rows, base, n, out); })) {
+    return;
+  }
   switch (nd.kind) {
     case NodeKind::kAnd:
-      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      EvalMaskNode(child_ids_[nd.child_begin], rows, base, n, out);
       for (uint32_t c = 1; c < nd.child_count; ++c) {
-        AndIntoNode(child_ids_[nd.child_begin + c], rows, n, out);
+        AndIntoNode(child_ids_[nd.child_begin + c], rows, base, n, out);
       }
       return;
     case NodeKind::kOr:
-      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      EvalMaskNode(child_ids_[nd.child_begin], rows, base, n, out);
       for (uint32_t c = 1; c < nd.child_count; ++c) {
-        OrIntoNode(child_ids_[nd.child_begin + c], rows, n, out);
+        OrIntoNode(child_ids_[nd.child_begin + c], rows, base, n, out);
       }
       return;
     case NodeKind::kNot:
-      EvalMaskNode(child_ids_[nd.child_begin], rows, n, out);
+      EvalMaskNode(child_ids_[nd.child_begin], rows, base, n, out);
       for (size_t i = 0; i < n; ++i) out[i] = out[i] ? 0 : 1;
       return;
     default:
@@ -307,40 +328,46 @@ void CompiledPredicate::EvalMaskNode(uint32_t node, const uint32_t* rows,
 }
 
 void CompiledPredicate::AndIntoNode(uint32_t node, const uint32_t* rows,
-                                    size_t n, uint8_t* inout) const {
+                                    size_t base, size_t n,
+                                    uint8_t* inout) const {
   const Node& nd = nodes_[node];
   if (nd.kind == NodeKind::kConst) {
     if (!nd.value) std::fill_n(inout, n, 0);
     return;
   }
-  if (VisitSimple(node, [&](auto k) { AndLoop(k, rows, n, inout); })) return;
+  if (VisitSimple(node, [&](auto k) { AndLoop(k, rows, base, n, inout); })) {
+    return;
+  }
   if (nd.kind == NodeKind::kAnd) {
     for (uint32_t c = 0; c < nd.child_count; ++c) {
-      AndIntoNode(child_ids_[nd.child_begin + c], rows, n, inout);
+      AndIntoNode(child_ids_[nd.child_begin + c], rows, base, n, inout);
     }
     return;
   }
   std::vector<uint8_t> scratch(n);
-  EvalMaskNode(node, rows, n, scratch.data());
+  EvalMaskNode(node, rows, base, n, scratch.data());
   for (size_t i = 0; i < n; ++i) inout[i] &= scratch[i];
 }
 
 void CompiledPredicate::OrIntoNode(uint32_t node, const uint32_t* rows,
-                                   size_t n, uint8_t* inout) const {
+                                   size_t base, size_t n,
+                                   uint8_t* inout) const {
   const Node& nd = nodes_[node];
   if (nd.kind == NodeKind::kConst) {
     if (nd.value) std::fill_n(inout, n, 1);
     return;
   }
-  if (VisitSimple(node, [&](auto k) { OrLoop(k, rows, n, inout); })) return;
+  if (VisitSimple(node, [&](auto k) { OrLoop(k, rows, base, n, inout); })) {
+    return;
+  }
   if (nd.kind == NodeKind::kOr) {
     for (uint32_t c = 0; c < nd.child_count; ++c) {
-      OrIntoNode(child_ids_[nd.child_begin + c], rows, n, inout);
+      OrIntoNode(child_ids_[nd.child_begin + c], rows, base, n, inout);
     }
     return;
   }
   std::vector<uint8_t> scratch(n);
-  EvalMaskNode(node, rows, n, scratch.data());
+  EvalMaskNode(node, rows, base, n, scratch.data());
   for (size_t i = 0; i < n; ++i) inout[i] |= scratch[i];
 }
 
@@ -371,7 +398,7 @@ void CompiledPredicate::RefineNode(uint32_t node, const uint32_t* rows,
     eval_rows = gathered.data();
   }
   std::vector<uint8_t> mask(m);
-  EvalMaskNode(node, eval_rows, m, mask.data());
+  EvalMaskNode(node, eval_rows, 0, m, mask.data());
   uint32_t* s = sel->data();
   size_t w = 0;
   for (size_t i = 0; i < m; ++i) {
@@ -403,7 +430,7 @@ void CompiledPredicate::SeedSelect(uint32_t node, const uint32_t* rows,
   }
   // OR / NOT root: one mask pass over all candidates, then compact.
   std::vector<uint8_t> mask(n);
-  EvalMaskNode(node, rows, n, mask.data());
+  EvalMaskNode(node, rows, 0, n, mask.data());
   out->resize(n);
   uint32_t* o = out->data();
   size_t w = 0;
@@ -412,6 +439,35 @@ void CompiledPredicate::SeedSelect(uint32_t node, const uint32_t* rows,
     w += mask[i];
   }
   out->resize(w);
+}
+
+void CompiledPredicate::SeedSelectRange(uint32_t node, size_t lo, size_t hi,
+                                        std::vector<uint32_t>* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.kind == NodeKind::kConst) {
+    out->clear();
+    if (nd.value) {
+      out->resize(hi - lo);
+      std::iota(out->begin(), out->end(), static_cast<uint32_t>(lo));
+    }
+    return;
+  }
+  if (VisitSimple(node, [&](auto k) { SelectRangeLoop(k, lo, hi, out); })) {
+    return;
+  }
+  if (nd.kind == NodeKind::kAnd) {
+    SeedSelectRange(child_ids_[nd.child_begin], lo, hi, out);
+    for (uint32_t c = 1; c < nd.child_count; ++c) {
+      // The seeded selection holds table rows, which is exactly what
+      // RefineNode consumes with a null row mapping.
+      RefineNode(child_ids_[nd.child_begin + c], nullptr, out);
+    }
+    return;
+  }
+  // OR / NOT root: seed every row of the range, refine by mask.
+  out->resize(hi - lo);
+  std::iota(out->begin(), out->end(), static_cast<uint32_t>(lo));
+  RefineNode(node, nullptr, out);
 }
 
 bool CompiledPredicate::TestNode(uint32_t node, size_t row) const {
@@ -446,6 +502,18 @@ std::vector<uint32_t> CompiledPredicate::Select() const {
   return SelectPositions(nullptr, n_);
 }
 
+std::vector<uint32_t> CompiledPredicate::SelectRange(size_t lo,
+                                                     size_t hi) const {
+  std::vector<uint32_t> out;
+  SeedSelectRange(root_, lo, hi, &out);
+  return out;
+}
+
+void CompiledPredicate::EvalMaskRange(size_t lo, size_t hi,
+                                      uint8_t* out) const {
+  EvalMaskNode(root_, nullptr, lo, hi - lo, out);
+}
+
 std::vector<uint32_t> CompiledPredicate::SelectPositions(
     const uint32_t* base_rows, size_t n) const {
   std::vector<uint32_t> out;
@@ -460,7 +528,7 @@ void CompiledPredicate::Refine(const uint32_t* base_rows,
 
 void CompiledPredicate::EvalMask(const uint32_t* base_rows, size_t n,
                                  uint8_t* out) const {
-  EvalMaskNode(root_, base_rows, n, out);
+  EvalMaskNode(root_, base_rows, 0, n, out);
 }
 
 bool CompiledPredicate::MatchesRow(size_t row) const {

@@ -54,6 +54,15 @@ class CompiledPredicate {
   /// Selection vector of all matching table rows, ascending.
   std::vector<uint32_t> Select() const;
 
+  /// Selection vector of the matching table rows in [lo, hi), ascending —
+  /// the per-morsel unit of parallel selection: concatenating the results
+  /// of consecutive ranges reproduces Select() exactly.
+  std::vector<uint32_t> SelectRange(size_t lo, size_t hi) const;
+
+  /// Byte mask over table rows [lo, hi): out[i] = 1 iff row lo + i matches.
+  /// EvalMaskRange(0, n, out) == EvalMask(nullptr, n, out).
+  void EvalMaskRange(size_t lo, size_t hi, uint8_t* out) const;
+
   /// Selection of positions p in [0, n) such that base_rows[p] matches.
   /// With base_rows == nullptr, positions are table rows (== Select()).
   std::vector<uint32_t> SelectPositions(const uint32_t* base_rows,
@@ -133,18 +142,22 @@ class CompiledPredicate {
   Result<uint32_t> CompileBetween(const Table& table, const Predicate& pred);
   Result<uint32_t> CompileIn(const Table& table, const Predicate& pred);
 
-  // Evaluation over the flat plan. `rows` maps positions to table rows
-  // (nullptr = identity); selection vectors hold positions.
-  void EvalMaskNode(uint32_t node, const uint32_t* rows, size_t n,
-                    uint8_t* out) const;
-  void AndIntoNode(uint32_t node, const uint32_t* rows, size_t n,
+  // Evaluation over the flat plan. `rows` maps positions to table rows;
+  // with rows == nullptr, position i is table row base + i (base lets the
+  // morsel scheduler evaluate a row range with no gathered row vector).
+  // Selection vectors hold positions.
+  void EvalMaskNode(uint32_t node, const uint32_t* rows, size_t base,
+                    size_t n, uint8_t* out) const;
+  void AndIntoNode(uint32_t node, const uint32_t* rows, size_t base, size_t n,
                    uint8_t* inout) const;
-  void OrIntoNode(uint32_t node, const uint32_t* rows, size_t n,
+  void OrIntoNode(uint32_t node, const uint32_t* rows, size_t base, size_t n,
                   uint8_t* inout) const;
   void RefineNode(uint32_t node, const uint32_t* rows,
                   std::vector<uint32_t>* sel) const;
   void SeedSelect(uint32_t node, const uint32_t* rows, size_t n,
                   std::vector<uint32_t>* out) const;
+  void SeedSelectRange(uint32_t node, size_t lo, size_t hi,
+                       std::vector<uint32_t>* out) const;
   bool TestNode(uint32_t node, size_t row) const;
 
   std::vector<Leaf> leaves_;

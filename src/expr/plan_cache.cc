@@ -1,0 +1,146 @@
+#include "src/expr/plan_cache.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace cvopt {
+
+namespace {
+
+// Bounds total cached plans (and, transitively, the memory pinned by plans
+// whose tables have died). Eviction is least-recently-used.
+constexpr size_t kMaxEntries = 256;
+
+struct Entry {
+  uint64_t table_id = 0;
+  size_t table_rows = 0;
+  uint64_t fingerprint = 0;
+  std::string repr;  // rendered predicate: fingerprint collision guard
+  std::shared_ptr<const CompiledPredicate> plan;
+  uint64_t last_used = 0;
+};
+
+struct Cache {
+  std::mutex mutex;
+  // Bucketed by the combined (table id, fingerprint) hash; each bucket is a
+  // tiny vector so colliding keys coexist.
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  size_t entries = 0;
+  uint64_t tick = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+Cache& GlobalCache() {
+  static Cache* cache = new Cache();  // leaked: lives for the process
+  return *cache;
+}
+
+void EvictLruLocked(Cache& cache) {
+  uint64_t oldest = UINT64_MAX;
+  uint64_t oldest_key = 0;
+  size_t oldest_idx = 0;
+  for (const auto& [key, bucket] : cache.buckets) {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].last_used < oldest) {
+        oldest = bucket[i].last_used;
+        oldest_key = key;
+        oldest_idx = i;
+      }
+    }
+  }
+  auto it = cache.buckets.find(oldest_key);
+  if (it == cache.buckets.end()) return;
+  it->second.erase(it->second.begin() + oldest_idx);
+  if (it->second.empty()) cache.buckets.erase(it);
+  --cache.entries;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CompiledPredicate>> CompilePredicateCached(
+    const Table& table, const PredicatePtr& pred) {
+  const uint64_t fingerprint = pred == nullptr ? 0 : pred->Fingerprint();
+  std::string repr = pred == nullptr ? std::string() : pred->ToString();
+  const uint64_t key = HashCombine(HashCombine(table.id(), table.num_rows()),
+                                   fingerprint);
+
+  Cache& cache = GlobalCache();
+  {
+    std::lock_guard<std::mutex> l(cache.mutex);
+    auto it = cache.buckets.find(key);
+    if (it != cache.buckets.end()) {
+      for (Entry& e : it->second) {
+        if (e.table_id == table.id() && e.table_rows == table.num_rows() &&
+            e.fingerprint == fingerprint && e.repr == repr) {
+          e.last_used = ++cache.tick;
+          ++cache.hits;
+          return e.plan;
+        }
+      }
+    }
+    ++cache.misses;
+  }
+
+  // Compile outside the lock: compilation can be slow and error paths must
+  // not poison the cache.
+  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                         CompiledPredicate::Compile(table, pred));
+  auto plan =
+      std::make_shared<const CompiledPredicate>(std::move(compiled));
+
+  std::lock_guard<std::mutex> l(cache.mutex);
+  // A concurrent caller may have inserted the same key meanwhile; reuse its
+  // plan so the cache never holds duplicates (and count the serve as a hit
+  // — the earlier miss tally reflected only the lookup, not the outcome).
+  auto it = cache.buckets.find(key);
+  if (it != cache.buckets.end()) {
+    for (Entry& e : it->second) {
+      if (e.table_id == table.id() && e.table_rows == table.num_rows() &&
+          e.fingerprint == fingerprint && e.repr == repr) {
+        e.last_used = ++cache.tick;
+        ++cache.hits;
+        return e.plan;
+      }
+    }
+  }
+  // Evict before touching the target bucket: eviction may erase an
+  // emptied bucket, which would invalidate a held reference.
+  if (cache.entries >= kMaxEntries) EvictLruLocked(cache);
+  Entry e;
+  e.table_id = table.id();
+  e.table_rows = table.num_rows();
+  e.fingerprint = fingerprint;
+  e.repr = std::move(repr);
+  e.plan = plan;
+  e.last_used = ++cache.tick;
+  cache.buckets[key].push_back(std::move(e));
+  ++cache.entries;
+  return plan;
+}
+
+PlanCacheStats GetPlanCacheStats() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> l(cache.mutex);
+  PlanCacheStats out;
+  out.hits = cache.hits;
+  out.misses = cache.misses;
+  out.entries = cache.entries;
+  return out;
+}
+
+void ClearPlanCache() {
+  Cache& cache = GlobalCache();
+  std::lock_guard<std::mutex> l(cache.mutex);
+  cache.buckets.clear();
+  cache.entries = 0;
+  cache.tick = 0;
+  cache.hits = 0;
+  cache.misses = 0;
+}
+
+}  // namespace cvopt

@@ -1,0 +1,51 @@
+// Process-wide cache of compiled predicate plans, keyed by table identity
+// and predicate fingerprint. Workload replays — Workload::Deduce, repeated
+// executor calls over the same table, sampler rebuilds — compile each
+// distinct WHERE clause once instead of once per call.
+//
+// Keying and safety:
+//   * Table::id() is process-unique and travels with the column storage, so
+//     a cached plan's raw column pointers are valid exactly while the table
+//     that produced them is alive; a destroyed table's entries can never be
+//     matched by a later table (ids are not reused) and age out of the
+//     bounded cache.
+//   * Predicate::Fingerprint() is a structural hash; the rendered
+//     ToString() form is stored alongside as the collision guard, so a
+//     fingerprint collision falls back to a recompile instead of returning
+//     the wrong plan.
+//   * Entries are shared_ptr<const CompiledPredicate>: evaluation of a
+//     compiled plan is const and thread-safe, so concurrent queries can
+//     share one plan.
+#ifndef CVOPT_EXPR_PLAN_CACHE_H_
+#define CVOPT_EXPR_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/expr/compiled_predicate.h"
+#include "src/expr/predicate.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Compiles `pred` against `table` through the global plan cache. A null
+/// predicate compiles (and caches) the constant-true plan. Compilation
+/// errors are not cached.
+Result<std::shared_ptr<const CompiledPredicate>> CompilePredicateCached(
+    const Table& table, const PredicatePtr& pred);
+
+/// Cache observability (tests, diagnostics).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;
+};
+PlanCacheStats GetPlanCacheStats();
+
+/// Drops every cached plan and resets the hit/miss counters.
+void ClearPlanCache();
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXPR_PLAN_CACHE_H_

@@ -1,9 +1,11 @@
 #include "src/expr/predicate.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "src/expr/compare_plan.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/util/hash.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -235,6 +237,58 @@ std::string Predicate::ToString() const {
       return "NOT (" + left_->ToString() + ")";
   }
   return "?";
+}
+
+namespace {
+
+uint64_t HashString(uint64_t seed, const std::string& s) {
+  uint64_t h = HashCombine(seed, s.size());
+  for (char c : s) h = HashCombine(h, static_cast<uint8_t>(c));
+  return h;
+}
+
+uint64_t HashValue(uint64_t seed, const Value& v) {
+  uint64_t h = HashCombine(seed, static_cast<uint64_t>(v.type()));
+  if (v.is_string()) return HashString(h, v.AsString());
+  if (v.is_double()) {
+    double d = v.AsDouble();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d), "double is not 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    return HashCombine(h, bits);
+  }
+  return HashCombine(h, static_cast<uint64_t>(v.AsInt()));
+}
+
+}  // namespace
+
+uint64_t Predicate::Fingerprint() const {
+  uint64_t h = HashCombine(0x9E3779B97F4A7C15ULL,
+                           static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case Kind::kTrue:
+      return h;
+    case Kind::kCompare:
+      h = HashString(h, column_);
+      h = HashCombine(h, static_cast<uint64_t>(op_));
+      return HashValue(h, literal_);
+    case Kind::kBetween:
+      h = HashString(h, column_);
+      h = HashValue(h, literal_);
+      return HashValue(h, hi_);
+    case Kind::kIn:
+      h = HashString(h, column_);
+      h = HashCombine(h, values_.size());
+      for (const auto& v : values_) h = HashValue(h, v);
+      return h;
+    case Kind::kAnd:
+    case Kind::kOr:
+      h = HashCombine(h, left_->Fingerprint());
+      return HashCombine(h, right_->Fingerprint());
+    case Kind::kNot:
+      return HashCombine(h, left_->Fingerprint());
+  }
+  return h;
 }
 
 Result<double> Predicate::Selectivity(const Table& table) const {

@@ -12,6 +12,7 @@
 #ifndef CVOPT_EXPR_PREDICATE_H_
 #define CVOPT_EXPR_PREDICATE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,12 @@ class Predicate {
 
   /// SQL-ish rendering for logs and test diagnostics.
   std::string ToString() const;
+
+  /// Structural 64-bit fingerprint: structurally identical trees (same
+  /// node kinds, columns, operators, and literals) fingerprint equal. The
+  /// compiled-plan cache keys on it, using the rendered ToString() form as
+  /// the collision guard.
+  uint64_t Fingerprint() const;
 
   /// Fraction of rows selected (for experiment reporting).
   Result<double> Selectivity(const Table& table) const;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/exec/parallel.h"
+
 namespace cvopt {
 
 Result<StratifiedSample> CongressSampler::Build(
@@ -18,23 +20,31 @@ Result<StratifiedSample> CongressSampler::Build(
   const double n_total = static_cast<double>(table.num_rows());
   const double m = static_cast<double>(budget);
 
-  // Per-stratum congressional score: max over grouping sets.
+  // Per-stratum congressional score: max over grouping sets. Each
+  // stratum's score is independent, so the loop morsels through the shared
+  // execution pool (pure reads of the projection, one write per stratum).
   std::vector<double> score(r, 0.0);
   for (const auto& q : queries) {
     CVOPT_ASSIGN_OR_RETURN(Stratification::Projection proj,
                            shared->Project(q.group_by));
     const double num_groups = static_cast<double>(proj.num_parents());
-    for (size_t c = 0; c < r; ++c) {
-      const uint32_t g = proj.stratum_to_parent[c];
-      const double n_g = static_cast<double>(proj.parent_sizes[g]);
-      if (n_g == 0) continue;
-      const double house = m * n_g / n_total;
-      const double senate = m / num_groups;
-      const double congress = std::max(house, senate);
-      // Subdivide the group's allocation among its strata by frequency.
-      const double n_c = static_cast<double>(shared->sizes()[c]);
-      score[c] = std::max(score[c], congress * n_c / n_g);
-    }
+    double* scores = score.data();
+    ParallelFor(
+        r,
+        [&](size_t, size_t lo, size_t hi) {
+          for (size_t c = lo; c < hi; ++c) {
+            const uint32_t g = proj.stratum_to_parent[c];
+            const double n_g = static_cast<double>(proj.parent_sizes[g]);
+            if (n_g == 0) continue;
+            const double house = m * n_g / n_total;
+            const double senate = m / num_groups;
+            const double congress = std::max(house, senate);
+            // Subdivide the group's allocation among its strata by frequency.
+            const double n_c = static_cast<double>(shared->sizes()[c]);
+            scores[c] = std::max(scores[c], congress * n_c / n_g);
+          }
+        },
+        0, 512);
   }
 
   // Scale to the budget, cap at stratum sizes, round by largest remainder.

@@ -1,5 +1,6 @@
 #include "src/sample/sampler.h"
 
+#include "src/exec/parallel.h"
 #include "src/sample/reservoir.h"
 #include "src/util/string_util.h"
 
@@ -27,6 +28,9 @@ Result<StratifiedSample> DrawStratified(
   for (uint64_t s : sizes) {
     reservoirs.emplace_back(static_cast<size_t>(s), rng);
   }
+  // The offer pass stays serial by design: reservoir draws consume the
+  // caller's Rng in row order, and that sequence is the reproducibility
+  // contract (same seed -> same sample, independent of thread count).
   const auto& row_strata = strat->row_strata();
   for (size_t r = 0; r < table.num_rows(); ++r) {
     const uint32_t s = row_strata[r];
@@ -36,18 +40,35 @@ Result<StratifiedSample> DrawStratified(
     reservoirs[s].Offer(static_cast<uint32_t>(r));
   }
 
-  std::vector<uint32_t> rows;
-  std::vector<double> weights;
-  for (size_t c = 0; c < reservoirs.size(); ++c) {
-    const auto& picked = reservoirs[c].sample();
-    if (picked.empty()) continue;
-    const double w = static_cast<double>(strat->sizes()[c]) /
-                     static_cast<double>(picked.size());
-    for (uint32_t r : picked) {
-      rows.push_back(r);
-      weights.push_back(w);
-    }
+  // Per-stratum assembly morsels through the shared pool: stratum c's rows
+  // land at offsets[c] .. offsets[c + 1), so chunks write disjoint ranges
+  // and the output layout is identical to the serial append loop.
+  const size_t r_count = reservoirs.size();
+  std::vector<size_t> offsets(r_count + 1, 0);
+  for (size_t c = 0; c < r_count; ++c) {
+    offsets[c + 1] = offsets[c] + reservoirs[c].sample().size();
   }
+  std::vector<uint32_t> rows(offsets[r_count]);
+  std::vector<double> weights(offsets[r_count]);
+  uint32_t* rowp = rows.data();
+  double* weightp = weights.data();
+  ParallelFor(
+      r_count,
+      [&](size_t, size_t lo, size_t hi) {
+        for (size_t c = lo; c < hi; ++c) {
+          const auto& picked = reservoirs[c].sample();
+          if (picked.empty()) continue;
+          const double w = static_cast<double>(strat->sizes()[c]) /
+                           static_cast<double>(picked.size());
+          size_t at = offsets[c];
+          for (uint32_t r : picked) {
+            rowp[at] = r;
+            weightp[at] = w;
+            ++at;
+          }
+        }
+      },
+      0, 512);
   StratifiedSample sample(&table, std::move(rows), std::move(weights), method);
   sample.set_stratification(std::move(strat));
   return sample;

@@ -1,10 +1,11 @@
 #include "src/sample/streaming_cvopt_sampler.h"
 
 #include <algorithm>
-#include <optional>
+#include <memory>
 
 #include "src/core/lemma1.h"
 #include "src/core/stratification.h"
+#include "src/expr/plan_cache.h"
 
 namespace cvopt {
 
@@ -141,12 +142,10 @@ Result<StratifiedSample> StreamingCvoptSampler::Build(
       break;
     }
   }
-  std::optional<CompiledPredicate> filter;
+  std::shared_ptr<const CompiledPredicate> filter;
   if (shared_where != nullptr) {
-    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate compiled,
-                           CompiledPredicate::Compile(table, *shared_where));
-    filter.emplace(std::move(compiled));
-    builder.set_filter(&*filter);
+    CVOPT_ASSIGN_OR_RETURN(filter, CompilePredicateCached(table, shared_where));
+    builder.set_filter(filter.get());
   }
   for (size_t row = 0; row < table.num_rows(); ++row) {
     builder.Offer(static_cast<uint32_t>(row));

@@ -1,7 +1,8 @@
 #include "src/stats/stats_collector.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "src/exec/parallel.h"
 
 namespace cvopt {
 
@@ -53,52 +54,56 @@ void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
 
 }  // namespace
 
-Result<GroupStatsTable> CollectGroupStats(
-    const Stratification& strat, const std::vector<StatSource>& sources) {
+namespace {
+
+// Shared collection core: chunk [0, n) through the global pool (honoring
+// `num_threads` as an override, 0 = the ExecOptions / CVOPT_THREADS
+// default), accumulate per-chunk GroupStatsTables, and merge them in chunk
+// order (Chan et al. pairwise merge — exact up to floating-point
+// reassociation, the documented float-summation tolerance). One chunk runs
+// the serial loop inline with no partials.
+Result<GroupStatsTable> CollectImpl(const Stratification& strat,
+                                    const std::vector<StatSource>& sources,
+                                    int num_threads) {
   CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
   const size_t n = strat.table().num_rows();
-  GroupStatsTable stats(strat.num_strata(), sources.size());
   const uint32_t* row_strata = strat.row_strata().data();
-  for (size_t j = 0; j < sources.size(); ++j) {
-    AccumulateSource(row_strata, 0, n, sources[j], j, &stats);
+  const size_t chunks =
+      ParallelChunkCount(n, ResolveThreads(num_threads), 4096);
+  if (chunks <= 1) {
+    GroupStatsTable stats(strat.num_strata(), sources.size());
+    for (size_t j = 0; j < sources.size(); ++j) {
+      AccumulateSource(row_strata, 0, n, sources[j], j, &stats);
+    }
+    return stats;
   }
-  return stats;
+
+  std::vector<GroupStatsTable> partials(
+      chunks, GroupStatsTable(strat.num_strata(), sources.size()));
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    GroupStatsTable& local = partials[c];
+    for (size_t j = 0; j < sources.size(); ++j) {
+      AccumulateSource(row_strata, lo, hi, sources[j], j, &local);
+    }
+  });
+  GroupStatsTable merged = std::move(partials[0]);
+  for (size_t c = 1; c < chunks; ++c) {
+    CVOPT_RETURN_NOT_OK(merged.Merge(partials[c]));
+  }
+  return merged;
+}
+
+}  // namespace
+
+Result<GroupStatsTable> CollectGroupStats(
+    const Stratification& strat, const std::vector<StatSource>& sources) {
+  return CollectImpl(strat, sources, 0);
 }
 
 Result<GroupStatsTable> CollectGroupStatsParallel(
     const Stratification& strat, const std::vector<StatSource>& sources,
     int num_threads) {
-  CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
-  const size_t n = strat.table().num_rows();
-  size_t threads = num_threads > 0
-                       ? static_cast<size_t>(num_threads)
-                       : std::max<size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, std::max<size_t>(1, n / 4096));
-  if (threads <= 1) return CollectGroupStats(strat, sources);
-
-  const auto& row_strata = strat.row_strata();
-  std::vector<GroupStatsTable> partials(
-      threads, GroupStatsTable(strat.num_strata(), sources.size()));
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const size_t chunk = (n + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      const size_t lo = t * chunk;
-      const size_t hi = std::min(n, lo + chunk);
-      GroupStatsTable& local = partials[t];
-      for (size_t j = 0; j < sources.size(); ++j) {
-        AccumulateSource(row_strata.data(), lo, hi, sources[j], j, &local);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  GroupStatsTable merged = std::move(partials[0]);
-  for (size_t t = 1; t < threads; ++t) {
-    CVOPT_RETURN_NOT_OK(merged.Merge(partials[t]));
-  }
-  return merged;
+  return CollectImpl(strat, sources, num_threads);
 }
 
 }  // namespace cvopt

@@ -30,14 +30,16 @@ struct StatSource {
 };
 
 /// Computes RunningStats for every (stratum, source) pair in one pass over
-/// the table rows of `strat`.
+/// the table rows of `strat`, chunked through the shared execution pool
+/// (ExecOptions / CVOPT_THREADS). With one resolved thread the pass is the
+/// exact serial loop; with more, per-chunk tables merge in chunk order
+/// (Chan et al. pairwise merge, exact up to floating-point reassociation).
 Result<GroupStatsTable> CollectGroupStats(const Stratification& strat,
                                           const std::vector<StatSource>& sources);
 
-/// Parallel variant: splits the rows into `num_threads` contiguous chunks,
-/// collects per-chunk statistics, and merges them (Chan et al. pairwise
-/// merge, exact up to floating-point reassociation). num_threads <= 0 uses
-/// the hardware concurrency.
+/// CollectGroupStats with an explicit thread-count override (<= 0 uses the
+/// ExecOptions / CVOPT_THREADS / hardware default). Kept for callers that
+/// tune the fan-out per call; both entry points share the pool-driven core.
 Result<GroupStatsTable> CollectGroupStatsParallel(
     const Stratification& strat, const std::vector<StatSource>& sources,
     int num_threads = 0);

@@ -1,8 +1,56 @@
 #include "src/table/table.h"
 
+#include <atomic>
+
 #include "src/util/string_util.h"
 
 namespace cvopt {
+
+uint64_t Table::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Table::Table(const Table& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      num_rows_(other.num_rows_) {}
+
+Table& Table::operator=(const Table& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    columns_ = other.columns_;
+    num_rows_ = other.num_rows_;
+    id_ = NextId();
+  }
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      columns_(std::move(other.columns_)),
+      num_rows_(other.num_rows_),
+      id_(other.id_) {
+  // The moved-from husk must not keep a live (id, num_rows) cache key: a
+  // later plan compile against it would silently hit this table's cached
+  // plans (and their raw column pointers).
+  other.columns_.clear();
+  other.num_rows_ = 0;
+  other.id_ = NextId();
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    schema_ = std::move(other.schema_);
+    columns_ = std::move(other.columns_);
+    num_rows_ = other.num_rows_;
+    id_ = other.id_;
+    other.columns_.clear();
+    other.num_rows_ = 0;
+    other.id_ = NextId();
+  }
+  return *this;
+}
 
 Table::Table(Schema schema, std::vector<Column> columns)
     : schema_(std::move(schema)), columns_(std::move(columns)) {

@@ -2,6 +2,7 @@
 #ifndef CVOPT_TABLE_TABLE_H_
 #define CVOPT_TABLE_TABLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,9 +18,24 @@ class Table {
  public:
   Table(Schema schema, std::vector<Column> columns);
 
+  // A Table's identity travels with its column storage: moving transfers
+  // the id (the moved-to object owns the same heap buffers, so plans
+  // compiled against them stay valid) and re-identifies the emptied source,
+  // while copying mints a fresh id (the copy owns distinct buffers and must
+  // not share cached plans with the original). At most one live Table ever
+  // carries a given id.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
+
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return columns_.size(); }
+
+  /// Process-unique identity of this table's column storage, used to key
+  /// compiled-plan caches. Never reused, even after the table is destroyed.
+  uint64_t id() const { return id_; }
 
   const Column& column(size_t i) const { return columns_[i]; }
 
@@ -42,9 +58,12 @@ class Table {
   std::string ToString(size_t max_rows = 10) const;
 
  private:
+  static uint64_t NextId();
+
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_;
+  uint64_t id_ = NextId();
 };
 
 }  // namespace cvopt

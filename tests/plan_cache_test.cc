@@ -1,0 +1,124 @@
+// Tests for the per-(table, predicate) compiled-plan cache.
+#include <gtest/gtest.h>
+
+#include "src/expr/plan_cache.h"
+#include "src/table/table_builder.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+class PlanCacheTest : public testing::Test {
+ protected:
+  void SetUp() override { ClearPlanCache(); }
+  void TearDown() override { ClearPlanCache(); }
+};
+
+TEST_F(PlanCacheTest, StructurallyEqualPredicatesShareOnePlan) {
+  Table t = MakeStudentTable();
+  // Distinct tree objects, identical structure.
+  const PredicatePtr a = Predicate::Compare("age", CompareOp::kGt, Value(23));
+  const PredicatePtr b = Predicate::Compare("age", CompareOp::kGt, Value(23));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pa,
+                       CompilePredicateCached(t, a));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pb,
+                       CompilePredicateCached(t, b));
+  EXPECT_EQ(pa.get(), pb.get());
+  const PlanCacheStats stats = GetPlanCacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // The shared plan evaluates correctly.
+  EXPECT_EQ(pa->Select().size(), 5u);  // ages 25, 24, 28, 27, 26
+}
+
+TEST_F(PlanCacheTest, DifferentLiteralsDoNotShare) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pa,
+                       CompilePredicateCached(
+                           t, Predicate::Compare("age", CompareOp::kGt, Value(23))));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pb,
+                       CompilePredicateCached(
+                           t, Predicate::Compare("age", CompareOp::kGt, Value(24))));
+  EXPECT_NE(pa.get(), pb.get());
+  EXPECT_EQ(GetPlanCacheStats().entries, 2u);
+}
+
+TEST_F(PlanCacheTest, DifferentTablesDoNotShare) {
+  Table t1 = MakeStudentTable();
+  Table t2 = MakeStudentTable();
+  EXPECT_NE(t1.id(), t2.id());
+  const PredicatePtr p = Predicate::Compare("age", CompareOp::kGt, Value(23));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> p1,
+                       CompilePredicateCached(t1, p));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> p2,
+                       CompilePredicateCached(t2, p));
+  EXPECT_NE(p1.get(), p2.get());
+}
+
+TEST_F(PlanCacheTest, CopiedTableGetsFreshIdentity) {
+  Table t1 = MakeStudentTable();
+  Table t2 = t1;  // copy: distinct column storage, must not share plans
+  EXPECT_NE(t1.id(), t2.id());
+  const uint64_t original = t1.id();
+  Table t3 = std::move(t1);  // move: storage travels, identity travels too
+  EXPECT_EQ(t3.id(), original);
+  // The moved-from husk is re-identified and emptied, so it can never hit
+  // t3's cached plans.
+  EXPECT_NE(t1.id(), original);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(t1.num_rows(), 0u);
+}
+
+TEST_F(PlanCacheTest, NullPredicateCachesConstantTrue) {
+  Table t = MakeStudentTable();
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pa,
+                       CompilePredicateCached(t, nullptr));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const CompiledPredicate> pb,
+                       CompilePredicateCached(t, nullptr));
+  EXPECT_EQ(pa.get(), pb.get());
+  EXPECT_EQ(pa->Select().size(), t.num_rows());
+}
+
+TEST_F(PlanCacheTest, CompilationErrorsAreNotCached) {
+  Table t = MakeStudentTable();
+  const PredicatePtr bad =
+      Predicate::Compare("no_such_column", CompareOp::kEq, Value(1));
+  EXPECT_FALSE(CompilePredicateCached(t, bad).ok());
+  EXPECT_EQ(GetPlanCacheStats().entries, 0u);
+}
+
+TEST_F(PlanCacheTest, EvictionKeepsTheCacheBounded) {
+  Table t = MakeStudentTable();
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        std::shared_ptr<const CompiledPredicate> p,
+        CompilePredicateCached(
+            t, Predicate::Compare("age", CompareOp::kGt, Value(i))));
+    (void)p;
+  }
+  EXPECT_LE(GetPlanCacheStats().entries, 256u);
+}
+
+TEST_F(PlanCacheTest, FingerprintDistinguishesStructure) {
+  const PredicatePtr cmp = Predicate::Compare("a", CompareOp::kLt, Value(3));
+  EXPECT_EQ(cmp->Fingerprint(),
+            Predicate::Compare("a", CompareOp::kLt, Value(3))->Fingerprint());
+  EXPECT_NE(cmp->Fingerprint(),
+            Predicate::Compare("a", CompareOp::kLe, Value(3))->Fingerprint());
+  EXPECT_NE(cmp->Fingerprint(),
+            Predicate::Compare("b", CompareOp::kLt, Value(3))->Fingerprint());
+  EXPECT_NE(cmp->Fingerprint(),
+            Predicate::Compare("a", CompareOp::kLt, Value(3.0))->Fingerprint());
+  const PredicatePtr lhs = Predicate::Compare("a", CompareOp::kEq, Value(1));
+  const PredicatePtr rhs = Predicate::Compare("b", CompareOp::kEq, Value(2));
+  EXPECT_NE(Predicate::And(lhs, rhs)->Fingerprint(),
+            Predicate::Or(lhs, rhs)->Fingerprint());
+  EXPECT_NE(Predicate::And(lhs, rhs)->Fingerprint(),
+            Predicate::And(rhs, lhs)->Fingerprint());
+  EXPECT_NE(Predicate::In("a", {Value(1), Value(2)})->Fingerprint(),
+            Predicate::In("a", {Value(2), Value(1)})->Fingerprint());
+  EXPECT_NE(Predicate::Not(lhs)->Fingerprint(), lhs->Fingerprint());
+}
+
+}  // namespace
+}  // namespace cvopt

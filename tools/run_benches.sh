@@ -2,6 +2,9 @@
 # Builds Release and runs the execution-substrate micro benches, then
 # rewrites BENCH_groupby.json with the measured throughput (plus speedups
 # against the recorded seed baseline) so PRs track the perf trajectory.
+# Thread-scaling variants (<bench>Parallel/<threads>) land in a separate
+# "parallel_items_per_second" section keyed by thread count, alongside the
+# machine's hardware_concurrency so scaling numbers can be read in context.
 #
 # Usage: tools/run_benches.sh [build-dir]
 set -euo pipefail
@@ -25,6 +28,7 @@ trap 'rm -f "$tmp_groupby" "$tmp_sampling"' EXIT
 
 python3 - "$tmp_groupby" "$tmp_sampling" "$OUT" <<'PY'
 import json
+import os
 import subprocess
 import sys
 
@@ -39,7 +43,9 @@ def items_per_second(path):
         if "items_per_second" in b
     }
 
-current = {**items_per_second(groupby_path), **items_per_second(sampling_path)}
+measured = {**items_per_second(groupby_path), **items_per_second(sampling_path)}
+current = {k: v for k, v in measured.items() if "Parallel/" not in k}
+parallel = {k: v for k, v in measured.items() if "Parallel/" in k}
 
 try:
     with open(out_path) as f:
@@ -51,14 +57,25 @@ baseline = doc.get("seed_baseline_items_per_second", {})
 doc["description"] = (
     "Throughput (items/s) of the micro group-by/sampling benches, Release "
     "build, 500k-row OpenAQ table. seed_baseline is the pre-GroupIndex "
-    "unordered_map<GroupKey, Acc> engine. Regenerate with "
-    "tools/run_benches.sh."
+    "unordered_map<GroupKey, Acc> engine. parallel_items_per_second holds "
+    "the thread-scaling variants (<bench>Parallel/<threads>, morsel "
+    "scheduler); interpret them against hardware_concurrency. Regenerate "
+    "with tools/run_benches.sh."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 )
 doc["commit"] = commit.stdout.strip() or "unknown"
+doc["hardware_concurrency"] = os.cpu_count() or 1
 doc["current_items_per_second"] = current
+def parallel_key(name):
+    # "BM_Foo Parallel/<threads>[/real_time]" -> (bench, thread count)
+    digits = [p for p in name.split("/") if p.isdigit()]
+    return (name.split("/")[0], int(digits[0]) if digits else 0)
+
+doc["parallel_items_per_second"] = dict(
+    sorted(parallel.items(), key=lambda kv: parallel_key(kv[0]))
+)
 if baseline:
     doc["speedup_vs_seed"] = {
         name: round(current[name] / baseline[name], 2)
@@ -68,9 +85,11 @@ if baseline:
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
     f.write("\n")
-print(f"wrote {out_path}")
+print(f"wrote {out_path}  (hardware_concurrency={doc['hardware_concurrency']})")
 for name in sorted(current):
     base = baseline.get(name)
     speed = f"  ({current[name] / base:.2f}x vs seed)" if base else ""
     print(f"  {name}: {current[name]:,} items/s{speed}")
+for name in doc["parallel_items_per_second"]:
+    print(f"  {name}: {parallel[name]:,} items/s")
 PY

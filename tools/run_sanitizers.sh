@@ -1,19 +1,44 @@
 #!/usr/bin/env bash
-# Builds the ASan+UBSan configuration and runs the full ctest suite under
-# it. This is the guard rail for the predicate engine's contracts: NaN-free
-# strict weak orderings in IN-list sorting, in-bounds raw-span column
-# access (Column::GetDouble type guard), and overflow-free int64 range
-# kernels. Run before merging changes to src/expr/ or src/table/.
+# Builds the sanitizer configurations and runs the full ctest suite under
+# each.
 #
-# Usage: tools/run_sanitizers.sh [build-dir]
+# Pass 1 — ASan+UBSan: the guard rail for the predicate engine's contracts
+# (NaN-free strict weak orderings in IN-list sorting, in-bounds raw-span
+# column access, overflow-free int64 range kernels). Run before merging
+# changes to src/expr/ or src/table/.
+#
+# Pass 2 — TSan: the guard rail for the parallel execution engine
+# (chunk-disjoint writes in the executors and the GroupIndex build, the
+# thread pool's batch handshake, plan-cache locking). The suite runs with
+# CVOPT_THREADS=4 so every morsel path actually fans out even on small
+# machines. Run before merging changes to src/exec/parallel.* or any code
+# called from inside ParallelFor.
+#
+# Usage: tools/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${1:-build-asan}
+ASAN_DIR=${1:-build-asan}
+TSAN_DIR=${2:-build-tsan}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+echo "=== ASan+UBSan pass (${ASAN_DIR}) ==="
+cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCVOPT_SANITIZE=ON >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-cd "$BUILD_DIR"
-UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
-  ctest --output-on-failure -j"$(nproc)"
+cmake --build "$ASAN_DIR" -j"$(nproc)"
+(
+  cd "$ASAN_DIR"
+  UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
+    ctest --output-on-failure -j"$(nproc)"
+)
+
+echo "=== TSan pass (${TSAN_DIR}, CVOPT_THREADS=4) ==="
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCVOPT_TSAN=ON >/dev/null
+cmake --build "$TSAN_DIR" -j"$(nproc)"
+(
+  cd "$TSAN_DIR"
+  CVOPT_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+    ctest --output-on-failure -j"$(nproc)"
+)
+
+echo "sanitizers green"
