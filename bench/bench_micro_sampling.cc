@@ -5,9 +5,12 @@
 #include "bench/bench_threading.h"
 #include "src/datagen/openaq_gen.h"
 #include "src/estimate/approx_executor.h"
+#include "src/exec/group_index.h"
 #include "src/sample/congress_sampler.h"
 #include "src/sample/cvopt_sampler.h"
 #include "src/sample/rl_sampler.h"
+#include "src/sample/senate_sampler.h"
+#include "src/sample/streaming_cvopt_sampler.h"
 #include "src/sample/uniform_sampler.h"
 
 namespace cvopt {
@@ -94,6 +97,59 @@ void BM_BuildCvoptParallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.num_rows());
 }
 BENCHMARK(BM_BuildCvoptParallel)->Name("BM_Build_CVOPTParallel")->Apply(ThreadArgs)->UseRealTime();
+
+// The draw phase in isolation (bucket-by-stratum + per-stratum reservoir
+// draws on Rng::ForStratum streams), thread-scaled: the stratification and
+// allocation are prebuilt, so this measures exactly the pass that the
+// splittable RNG streams parallelized.
+void BM_DrawStratifiedParallel(benchmark::State& state) {
+  const Table& t = BenchTable();
+  static const auto* shared = [] {
+    auto strat = Stratification::Build(BenchTable(), {"country", "parameter"});
+    return new std::shared_ptr<const Stratification>(
+        std::make_shared<Stratification>(std::move(strat).ValueOrDie()));
+  }();
+  static const auto* alloc = new std::vector<uint64_t>(
+      EqualAllocation((*shared)->sizes(), BenchTable().num_rows() / 100));
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(19);
+  for (auto _ : state) {
+    auto sample = DrawStratified(t, *shared, *alloc, "bench", &rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_DrawStratifiedParallel)->Apply(ThreadArgs)->UseRealTime();
+
+// Streaming-router row throughput: the per-row packed dense-id probe that
+// replaced GroupKey materialization + interning in the streaming sampler.
+void BM_StreamingRouterRoute(benchmark::State& state) {
+  const Table& t = BenchTable();
+  auto cols =
+      std::move(GroupIndex::Resolve(t, {"country", "parameter"})).ValueOrDie();
+  for (auto _ : state) {
+    StreamGroupRouter router(&t, cols);
+    uint64_t acc = 0;
+    for (uint32_t r = 0; r < t.num_rows(); ++r) acc += router.Route(r);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_StreamingRouterRoute);
+
+// End-to-end streaming sampler build (route + stats + reservoir + replan).
+void BM_StreamingCvoptBuild(benchmark::State& state) {
+  const Table& t = BenchTable();
+  StreamingCvoptSampler sampler(/*replan_interval=*/50000);
+  Rng rng(23);
+  const uint64_t budget = t.num_rows() / 100;
+  for (auto _ : state) {
+    auto sample = sampler.Build(t, {TargetQuery()}, budget, &rng);
+    benchmark::DoNotOptimize(sample);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_StreamingCvoptBuild)->Name("BM_Build_CVOPTStream");
 
 }  // namespace
 }  // namespace cvopt

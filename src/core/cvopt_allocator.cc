@@ -105,7 +105,9 @@ Result<AllocationPlan> PlanCvoptAllocation(const Table& table,
 
     // Per-stratum beta accumulation: every stratum's contribution is
     // independent (reads shared stats, writes only betas[c]), so the loop
-    // morsels through the shared pool. Per-stratum work is several
+    // morsels through the shared pool; betas are bit-identical for every
+    // thread count (per-slot writes, no reassociation), which the draw
+    // phase's seed->sample contract relies on. Per-stratum work is several
     // aggregate lookups, hence the small grain. A user-supplied weight
     // callback keeps the pre-parallel serial contract (callers may have
     // stateful callbacks that were never written for concurrent

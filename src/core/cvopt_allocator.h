@@ -49,6 +49,14 @@ struct AllocatorOptions {
 
 /// Output of planning: the finest stratification, the optimization
 /// coefficients, and the solved allocation.
+///
+/// Handoff contract with the draw phase: allocation.sizes[c] is the row
+/// budget of stratum c in stratification order, and that index doubles as
+/// the stratum's RNG-stream id in DrawStratified (Rng::ForStratum(master,
+/// c)). The plan is a pure function of (table, queries, budget, options) —
+/// the statistics pass chunks thread-count-independently — so the same
+/// inputs always hand the draw the same allocation, and seed -> sample
+/// stays a function regardless of CVOPT_THREADS.
 struct AllocationPlan {
   std::shared_ptr<Stratification> strat;
   std::vector<double> betas;

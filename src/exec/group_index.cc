@@ -13,6 +13,9 @@ namespace cvopt {
 namespace {
 
 constexpr uint32_t kEmptyId = std::numeric_limits<uint32_t>::max();
+// Seed of the wide-key composite hash. The offline kWide build, the
+// streaming router, and GroupKeyHash must agree so their buckets coincide.
+constexpr uint64_t kWideHashSeed = 0x2545F4914F6CDD1DULL;
 // Largest dense remap the direct tier may allocate: 2^22 4-byte slots
 // (16 MiB), far above any realistic grouping-key domain but bounded.
 constexpr int kDirectBits = 22;
@@ -240,7 +243,7 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
     return key;
   };
   auto wide_hash = [&acc](size_t r) {
-    uint64_t h = 0x2545F4914F6CDD1DULL;
+    uint64_t h = kWideHashSeed;
     for (const ColAccess& a : acc) {
       h = HashCombine(h, static_cast<uint64_t>(a.RawCode(r)));
     }
@@ -494,6 +497,196 @@ void GroupIndex::AppendLabel(size_t g, std::string* out) const {
       out->append(buf);
     }
   }
+}
+
+StreamGroupRouter::StreamGroupRouter(const Table* table,
+                                     std::vector<size_t> cols,
+                                     size_t expected_groups) {
+  plans_.reserve(cols.size());
+  for (size_t c : cols) {
+    const Column& col = table->column(c);
+    CVOPT_CHECK(col.type() != DataType::kDouble,
+                "cannot route by a double column");
+    ColPlan p;
+    p.col = &col;
+    p.is_string = col.type() == DataType::kString;
+    plans_.push_back(p);
+  }
+  // Minimal initial widths: every column starts at one bit and widens as
+  // codes appear, so the packed layout always reflects only what the
+  // stream has shown so far (no pre-scan). More columns than packable bits
+  // (one bit each) starts in the wide tier outright, mirroring Widen().
+  int shift = 0;
+  for (ColPlan& p : plans_) {
+    p.shift = std::min(shift, 63);
+    shift += p.bits;
+  }
+  total_bits_ = shift;
+  if (total_bits_ > 64) wide_ = true;
+  slots_.assign(NextPow2(std::max<size_t>(64, 2 * expected_groups)), Slot{});
+  mask_ = slots_.size() - 1;
+  codes_.reserve(plans_.size() * expected_groups);
+}
+
+uint64_t StreamGroupRouter::PackRaw(int64_t raw, bool is_string) {
+  if (is_string) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(raw));
+  }
+  // Zig-zag: small-magnitude ints of either sign pack into few bits.
+  return (static_cast<uint64_t>(raw) << 1) ^ static_cast<uint64_t>(raw >> 63);
+}
+
+uint64_t StreamGroupRouter::PackedCode(const ColPlan& p, uint32_t row) const {
+  return PackRaw(RawCode(p, row), p.is_string);
+}
+
+int64_t StreamGroupRouter::RawCode(const ColPlan& p, uint32_t row) const {
+  // Storage is re-read through the column on every call: a growing stream
+  // may have reallocated it since the previous Offer.
+  return p.is_string ? p.col->codes()[row] : p.col->ints()[row];
+}
+
+uint64_t StreamGroupRouter::PackGroup(size_t g) const {
+  const int64_t* raw = codes_.data() + g * plans_.size();
+  uint64_t key = 0;
+  for (size_t j = 0; j < plans_.size(); ++j) {
+    const ColPlan& p = plans_[j];
+    key |= PackRaw(raw[j], p.is_string) << p.shift;
+  }
+  return key;
+}
+
+uint64_t StreamGroupRouter::WideHashRow(uint32_t row) const {
+  uint64_t h = kWideHashSeed;
+  for (const ColPlan& p : plans_) {
+    h = HashCombine(h, static_cast<uint64_t>(RawCode(p, row)));
+  }
+  return h;
+}
+
+uint64_t StreamGroupRouter::WideHashGroup(size_t g) const {
+  const int64_t* raw = codes_.data() + g * plans_.size();
+  uint64_t h = kWideHashSeed;
+  for (size_t j = 0; j < plans_.size(); ++j) {
+    h = HashCombine(h, static_cast<uint64_t>(raw[j]));
+  }
+  return h;
+}
+
+bool StreamGroupRouter::GroupEqualsRow(size_t g, uint32_t row) const {
+  const int64_t* raw = codes_.data() + g * plans_.size();
+  for (size_t j = 0; j < plans_.size(); ++j) {
+    if (raw[j] != RawCode(plans_[j], row)) return false;
+  }
+  return true;
+}
+
+void StreamGroupRouter::PlaceSlot(std::vector<Slot>& slots, size_t mask,
+                                  Slot s) const {
+  // Packed slots position by the mixed packed key, wide slots by the stored
+  // composite hash — the same start index Route's probes compute.
+  size_t idx = (wide_ ? static_cast<size_t>(s.key)
+                      : static_cast<size_t>(HashMix64(s.key))) &
+               mask;
+  while (slots[idx].id != kEmptyId) idx = (idx + 1) & mask;
+  slots[idx] = s;
+}
+
+uint32_t StreamGroupRouter::Insert(size_t idx, uint64_t key, uint32_t row) {
+  const uint32_t id = static_cast<uint32_t>(groups_++);
+  slots_[idx] = {key, id};
+  for (const ColPlan& p : plans_) codes_.push_back(RawCode(p, row));
+  if (groups_ * 10 >= slots_.size() * 7) GrowSlots();
+  return id;
+}
+
+void StreamGroupRouter::GrowSlots() {
+  std::vector<Slot> fresh(slots_.size() * 2);
+  const size_t mask = fresh.size() - 1;
+  for (const Slot& s : slots_) {
+    if (s.id != kEmptyId) PlaceSlot(fresh, mask, s);
+  }
+  slots_.swap(fresh);
+  mask_ = mask;
+}
+
+void StreamGroupRouter::Widen(size_t col, uint64_t code) {
+  // New field width for the offending column: the bit length of the code.
+  int need = 0;
+  for (uint64_t v = code; v != 0; v >>= 1) ++need;
+  plans_[col].bits = std::max(plans_[col].bits, need);
+  int shift = 0;
+  for (ColPlan& p : plans_) {
+    p.shift = std::min(shift, 63);
+    shift += p.bits;
+  }
+  total_bits_ = shift;
+  if (total_bits_ > 64) wide_ = true;  // permanent: widths only grow
+  Rebuild();
+}
+
+void StreamGroupRouter::Rebuild() {
+  // Re-place every known group under the new layout (wider packed fields,
+  // or wide-tier hashes after the switch). Distinct groups stay distinct,
+  // so collisions only probe forward into empty slots.
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  for (size_t g = 0; g < groups_; ++g) {
+    const uint64_t key = wide_ ? WideHashGroup(g) : PackGroup(g);
+    PlaceSlot(slots_, mask_, {key, static_cast<uint32_t>(g)});
+  }
+}
+
+uint32_t StreamGroupRouter::Route(uint32_t row) {
+  if (plans_.empty()) {
+    // No grouping columns: a single group covering the whole stream.
+    if (groups_ == 0) groups_ = 1;
+    return 0;
+  }
+  while (!wide_) {
+    uint64_t key = 0;
+    size_t widened = plans_.size();
+    for (size_t j = 0; j < plans_.size(); ++j) {
+      const ColPlan& p = plans_[j];
+      const uint64_t code = PackedCode(p, row);
+      if (p.bits < 64 && (code >> p.bits) != 0) {
+        widened = j;
+        break;
+      }
+      key |= code << p.shift;
+    }
+    if (widened != plans_.size()) {
+      // A code outgrew its field: widen, re-pack the known groups, and
+      // retry (possibly in the wide tier now).
+      Widen(widened, PackedCode(plans_[widened], row));
+      continue;
+    }
+    size_t idx = static_cast<size_t>(HashMix64(key)) & mask_;
+    while (slots_[idx].id != kEmptyId) {
+      if (slots_[idx].key == key) return slots_[idx].id;
+      idx = (idx + 1) & mask_;
+    }
+    return Insert(idx, key, row);
+  }
+  return RouteWide(row);
+}
+
+uint32_t StreamGroupRouter::RouteWide(uint32_t row) {
+  const uint64_t h = WideHashRow(row);
+  size_t idx = static_cast<size_t>(h) & mask_;
+  while (slots_[idx].id != kEmptyId) {
+    if (slots_[idx].key == h && GroupEqualsRow(slots_[idx].id, row)) {
+      return slots_[idx].id;
+    }
+    idx = (idx + 1) & mask_;
+  }
+  return Insert(idx, h, row);
+}
+
+GroupKey StreamGroupRouter::KeyOf(size_t g) const {
+  GroupKey key;
+  key.codes.assign(codes_.begin() + g * plans_.size(),
+                   codes_.begin() + (g + 1) * plans_.size());
+  return key;
 }
 
 GroupKeyInterner::GroupKeyInterner(size_t expected_keys) {

@@ -101,10 +101,90 @@ class GroupIndex {
   std::vector<uint64_t> sizes_;       // group id -> occurrence count
 };
 
+/// Incremental dense-id router for streaming rows — the one-pass analogue
+/// of GroupIndex::Build's packed/wide tiers. Rows arrive one at a time with
+/// no pre-scan, and each maps to a dense group id in first-seen order, so a
+/// table replayed in row order yields exactly GroupIndex::Build's
+/// row_groups ids. Per-column codes bit-pack into one uint64 while they fit
+/// (strings by dictionary code, ints zig-zag encoded so negative values
+/// pack tightly); field widths start minimal and widen as larger codes
+/// appear mid-stream (dictionary growth), re-packing the already-routed
+/// groups from their stored codes. Once the packed widths exceed 64 bits
+/// the router switches permanently to the wide tier (composite hash +
+/// stored-code compare). The Route path performs no GroupKey
+/// materialization, per-row code-vector writes, or per-key heap allocation
+/// — this replaces the flat GroupKeyInterner in the streaming CVOPT
+/// sampler's per-row stratum routing.
+class StreamGroupRouter {
+ public:
+  /// `cols` are grouping column indices in `table` (int64 or string; an
+  /// empty list routes every row to group 0). The table must outlive the
+  /// router; rows passed to Route must already be materialized. Column
+  /// storage is re-read through the Table on every Route, so streams that
+  /// append rows between offers (reallocating the columns) stay valid.
+  StreamGroupRouter(const Table* table, std::vector<size_t> cols,
+                    size_t expected_groups = 0);
+
+  /// Dense id of the row's group, assigning the next id on first sight
+  /// (`Route(r) == num_groups()-before` detects a new group).
+  uint32_t Route(uint32_t row);
+
+  size_t num_groups() const { return groups_; }
+  size_t arity() const { return plans_.size(); }
+  /// False once the router has fallen back to the wide (hash + compare)
+  /// tier; true while keys still bit-pack into one word.
+  bool packed() const { return !wide_; }
+
+  /// Materializes the composite key of group g (codes match
+  /// GroupIndex::KeyOf over the same columns).
+  GroupKey KeyOf(size_t g) const;
+
+ private:
+  struct ColPlan {
+    const Column* col = nullptr;
+    bool is_string = false;  // dictionary codes vs raw int64 values
+    int bits = 1;            // current packed field width
+    int shift = 0;
+  };
+  struct Slot {
+    uint64_t key = 0;  // packed key (packed tier) or composite hash (wide)
+    uint32_t id = UINT32_MAX;
+  };
+
+  // The one raw-code -> packed-field mapping (dictionary codes verbatim,
+  // ints zig-zag): probing on a live row and re-packing a stored group MUST
+  // agree byte for byte, so both go through this helper.
+  static uint64_t PackRaw(int64_t raw, bool is_string);
+
+  uint64_t PackedCode(const ColPlan& p, uint32_t row) const;
+  int64_t RawCode(const ColPlan& p, uint32_t row) const;
+  uint64_t PackGroup(size_t g) const;
+  uint64_t WideHashRow(uint32_t row) const;
+  uint64_t WideHashGroup(size_t g) const;
+  bool GroupEqualsRow(size_t g, uint32_t row) const;
+  // The one slot-placement rule (packed keys position by HashMix64, wide
+  // hashes by themselves; masked linear probe to an empty slot) — shared by
+  // growth and rebuild so relocated slots stay findable by Route's probes.
+  void PlaceSlot(std::vector<Slot>& slots, size_t mask, Slot s) const;
+  uint32_t Insert(size_t idx, uint64_t key, uint32_t row);
+  void Widen(size_t col, uint64_t code);
+  void Rebuild();
+  void GrowSlots();
+  uint32_t RouteWide(uint32_t row);
+
+  std::vector<ColPlan> plans_;
+  int total_bits_ = 0;
+  bool wide_ = false;
+  std::vector<Slot> slots_;  // power-of-two size
+  size_t mask_ = 0;
+  std::vector<int64_t> codes_;  // group g's raw codes at [g*arity, (g+1)*arity)
+  size_t groups_ = 0;
+};
+
 /// Assigns dense ids to GroupKeys via a flat open-addressing table (hash +
 /// full-key compare, linear probing). For per-stratum-scale key sets where
-/// the keys already exist as GroupKey objects: stratification projections,
-/// streaming reservoir routing. Ids are assigned sequentially from 0 in
+/// the keys already exist as GroupKey objects: stratification projections.
+/// Ids are assigned sequentially from 0 in
 /// first-Intern order, so `Intern(k) == size()-before` detects a new key.
 class GroupKeyInterner {
  public:

@@ -205,18 +205,24 @@ size_t AggregationChunks(size_t positions, size_t groups) {
 }
 
 void ParallelForChunks(size_t n, size_t chunks,
-                       const std::function<void(size_t, size_t, size_t)>& fn) {
+                       const std::function<void(size_t, size_t, size_t)>& fn,
+                       int num_threads) {
   if (chunks <= 1) {
     fn(0, 0, n);
     return;
   }
+  // Workers are capped at the resolved thread count: fixed-chunking callers
+  // (chunk counts chosen for result determinism, not matched to threads)
+  // must not spawn a worker per chunk. The pool's dynamic task claiming
+  // spreads the excess chunks over the capped workers.
+  const size_t threads = std::min(chunks, ResolveThreads(num_threads));
   // Enforce the nested-call contract at the layer that owns the pool
   // mutex: from inside a batch (worker or draining caller), attempting
   // TryRun would try_to_lock a mutex this thread may already hold (UB), so
   // run the chunks inline regardless of how the caller derived the count.
   const bool ran =
-      !tls_in_pool_worker &&
-      ThreadPool::Global().TryRun(chunks, chunks - 1, [&](size_t c) {
+      threads > 1 && !tls_in_pool_worker &&
+      ThreadPool::Global().TryRun(chunks, threads - 1, [&](size_t c) {
         fn(c, ChunkBegin(n, chunks, c), ChunkBegin(n, chunks, c + 1));
       });
   if (!ran) {

@@ -79,9 +79,18 @@ size_t AggregationChunks(size_t positions, size_t groups);
 /// Runs fn(chunk, lo, hi) over exactly `chunks` static chunks of [0, n) —
 /// for multi-pass algorithms that must re-chunk a later pass identically to
 /// an earlier one (e.g. the GroupIndex build's local pass and id-rewrite
-/// pass). chunks == 1 runs inline on the calling thread.
+/// pass), and for thread-count-independent chunkings (fixed chunk counts
+/// whose merged result must be bit-identical for every CVOPT_THREADS, e.g.
+/// the group-statistics pass feeding sampler allocations). The chunk count
+/// may exceed the resolved thread count: pool workers are capped at
+/// min(chunks, threads) - 1 and claim chunk tasks dynamically. chunks == 1,
+/// one resolved thread, or a nested call runs every chunk inline on the
+/// calling thread — same outputs, since chunk results depend only on chunk
+/// boundaries. `num_threads` overrides the resolved worker count (0 = the
+/// ExecOptions / CVOPT_THREADS / hardware default).
 void ParallelForChunks(size_t n, size_t chunks,
-                       const std::function<void(size_t chunk, size_t lo, size_t hi)>& fn);
+                       const std::function<void(size_t chunk, size_t lo, size_t hi)>& fn,
+                       int num_threads = 0);
 
 /// Partition-then-merge accumulation into per-group slabs, the shared
 /// shape of the executors' SUM/AVG/VAR passes: runs acc(s1, s2, lo, hi)

@@ -5,6 +5,21 @@
 
 namespace cvopt {
 
+size_t DrawReservoir(const uint32_t* items, size_t n, size_t k, Rng* rng,
+                     uint32_t* out) {
+  auto item_at = [items](size_t i) {
+    return items == nullptr ? static_cast<uint32_t>(i) : items[i];
+  };
+  if (k == 0) return 0;
+  const size_t take = n < k ? n : k;
+  for (size_t i = 0; i < take; ++i) out[i] = item_at(i);
+  for (size_t i = k; i < n; ++i) {
+    const size_t j = ReservoirVictim(i + 1, k, rng);
+    if (j < k) out[j] = item_at(i);
+  }
+  return take;
+}
+
 ReservoirSampler::ReservoirSampler(size_t capacity, Rng* rng)
     : capacity_(capacity), rng_(rng) {
   sample_.reserve(capacity);
@@ -17,7 +32,7 @@ void ReservoirSampler::Offer(uint32_t item) {
     sample_.push_back(item);
     return;
   }
-  const uint64_t j = rng_->Uniform(seen_);
+  const size_t j = ReservoirVictim(seen_, capacity_, rng_);
   if (j < capacity_) sample_[j] = item;
 }
 

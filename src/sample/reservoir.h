@@ -13,6 +13,31 @@
 
 namespace cvopt {
 
+/// One Algorithm-R displacement step: the `seen`-th offered item (1-based)
+/// against a full reservoir of `capacity` slots. Returns the slot the item
+/// displaces, or `capacity` when the item is rejected. Every reservoir in
+/// the library (DrawReservoir, ReservoirSampler, the samplers' interleaved
+/// serial draw, the streaming builder) routes through this one step, so the
+/// displacement sequence — load-bearing for the seed->sample determinism
+/// contract — has exactly one implementation.
+inline size_t ReservoirVictim(uint64_t seen, size_t capacity, Rng* rng) {
+  const uint64_t j = rng->Uniform(seen);
+  return j < capacity ? static_cast<size_t>(j) : capacity;
+}
+
+/// Draws min(k, n) of the n ordered items uniformly without replacement
+/// (Vitter's Algorithm R over the sequence) into out[0 .. min(k, n)),
+/// returning the number of items written. `items == nullptr` samples the
+/// identity sequence 0..n-1 without materializing it (the uniform sampler's
+/// whole-table draw). The result is a pure function of (rng state, item
+/// order); when n <= k every item is copied and the rng is never touched
+/// (the take-all path consumes no draws). This is the per-stratum unit of
+/// the parallel DrawStratified: each stratum draws on its own
+/// Rng::ForStratum stream, so strata can be processed in any order or
+/// thread interleaving.
+size_t DrawReservoir(const uint32_t* items, size_t n, size_t k, Rng* rng,
+                     uint32_t* out);
+
 /// Uniform sample of up to `capacity` items from a stream, without
 /// replacement: every size-k subset of the offered items is equally likely.
 class ReservoirSampler {

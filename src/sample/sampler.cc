@@ -1,74 +1,156 @@
 #include "src/sample/sampler.h"
 
+#include <algorithm>
+
 #include "src/exec/parallel.h"
 #include "src/sample/reservoir.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
 
+namespace {
+
+// Stable bucket-by-stratum: a parallel counting sort over row_strata.
+// Returns the concatenated per-stratum row lists (stratum c's rows occupy
+// [base[c], base[c+1]) in ascending row order); rows marked kNoStratum
+// (excluded by a filtered stratification) appear in no bucket. The output
+// is a pure function of row_strata — per-chunk histograms and scatter
+// cursors depend only on chunk boundaries, and every chunking yields the
+// same stable order — so the chunk count (AggregationChunks caps the
+// fan-out where per-stratum histogram traffic would rival the row scan)
+// never shows up in the result.
+std::vector<uint32_t> BucketRowsByStratum(const std::vector<uint32_t>& row_strata,
+                                          const std::vector<size_t>& base,
+                                          size_t r) {
+  const size_t n = row_strata.size();
+  std::vector<uint32_t> stratum_rows(base[r]);
+  if (stratum_rows.empty()) return stratum_rows;
+  const uint32_t* rs = row_strata.data();
+  const size_t chunks = AggregationChunks(n, r);
+  // cursors[c * r + s]: chunk c's next write slot for stratum s. Pass 1
+  // counts per-chunk occurrences; the serial sweep converts counts to start
+  // offsets (base[s] plus all earlier chunks' counts); pass 2 scatters.
+  std::vector<uint32_t> cursors(chunks * r, 0);
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    uint32_t* cnt = cursors.data() + c * r;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t s = rs[i];
+      if (s != Stratification::kNoStratum) cnt[s]++;
+    }
+  });
+  for (size_t s = 0; s < r; ++s) {
+    size_t at = base[s];
+    for (size_t c = 0; c < chunks; ++c) {
+      const uint32_t count = cursors[c * r + s];
+      cursors[c * r + s] = static_cast<uint32_t>(at);
+      at += count;
+    }
+  }
+  uint32_t* out = stratum_rows.data();
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    uint32_t* cur = cursors.data() + c * r;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t s = rs[i];
+      if (s != Stratification::kNoStratum) out[cur[s]++] = static_cast<uint32_t>(i);
+    }
+  });
+  return stratum_rows;
+}
+
+}  // namespace
+
 Result<StratifiedSample> DrawStratified(
     const Table& table, std::shared_ptr<const Stratification> strat,
     const std::vector<uint64_t>& sizes, const std::string& method, Rng* rng) {
-  if (sizes.size() != strat->num_strata()) {
+  const size_t r = strat->num_strata();
+  if (sizes.size() != r) {
     return Status::InvalidArgument(
         StrFormat("allocation has %zu strata, stratification has %zu",
-                  sizes.size(), strat->num_strata()));
-  }
-  for (size_t c = 0; c < sizes.size(); ++c) {
-    if (sizes[c] > strat->sizes()[c]) {
-      return Status::InvalidArgument(StrFormat(
-          "allocation %llu exceeds stratum size %llu at stratum %zu",
-          static_cast<unsigned long long>(sizes[c]),
-          static_cast<unsigned long long>(strat->sizes()[c]), c));
-    }
+                  sizes.size(), r));
   }
 
-  std::vector<ReservoirSampler> reservoirs;
-  reservoirs.reserve(sizes.size());
-  for (uint64_t s : sizes) {
-    reservoirs.emplace_back(static_cast<size_t>(s), rng);
-  }
-  // The offer pass stays serial by design: reservoir draws consume the
-  // caller's Rng in row order, and that sequence is the reproducibility
-  // contract (same seed -> same sample, independent of thread count).
-  const auto& row_strata = strat->row_strata();
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const uint32_t s = row_strata[r];
-    // Rows excluded by a filtered stratification carry kNoStratum and are
-    // never offered to any reservoir.
-    if (s == Stratification::kNoStratum) continue;
-    reservoirs[s].Offer(static_cast<uint32_t>(r));
+  // One serial draw derives the master seed; everything below is a pure
+  // function of (master, stratification, sizes). Stratum c draws on its own
+  // Rng::ForStratum(master, c) stream, so the per-stratum loop can fan out
+  // across threads — in any order, with any chunking — and still produce
+  // the drawn row sets of the serial pass, bit for bit.
+  const uint64_t master = rng->Next64();
+
+  const std::vector<uint64_t>& pop = strat->sizes();
+  // Per-stratum draw sizes: an allocation at or above the stratum
+  // population takes every row (take-all — the reservoir consumes no random
+  // draws there), so s_c = min(sizes[c], n_c) is known before drawing and
+  // each stratum writes a disjoint output slab.
+  std::vector<size_t> base(r + 1, 0);     // bucket offsets (population)
+  std::vector<size_t> out_off(r + 1, 0);  // output offsets (draw sizes)
+  for (size_t c = 0; c < r; ++c) {
+    const uint64_t s_c = std::min<uint64_t>(sizes[c], pop[c]);
+    base[c + 1] = base[c] + static_cast<size_t>(pop[c]);
+    out_off[c + 1] = out_off[c] + static_cast<size_t>(s_c);
   }
 
-  // Per-stratum assembly morsels through the shared pool: stratum c's rows
-  // land at offsets[c] .. offsets[c + 1), so chunks write disjoint ranges
-  // and the output layout is identical to the serial append loop.
-  const size_t r_count = reservoirs.size();
-  std::vector<size_t> offsets(r_count + 1, 0);
-  for (size_t c = 0; c < r_count; ++c) {
-    offsets[c + 1] = offsets[c] + reservoirs[c].sample().size();
-  }
-  std::vector<uint32_t> rows(offsets[r_count]);
-  std::vector<double> weights(offsets[r_count]);
+  std::vector<uint32_t> rows(out_off[r]);
+  std::vector<double> weights(out_off[r]);
   uint32_t* rowp = rows.data();
   double* weightp = weights.data();
-  ParallelFor(
-      r_count,
-      [&](size_t, size_t lo, size_t hi) {
-        for (size_t c = lo; c < hi; ++c) {
-          const auto& picked = reservoirs[c].sample();
-          if (picked.empty()) continue;
-          const double w = static_cast<double>(strat->sizes()[c]) /
-                           static_cast<double>(picked.size());
-          size_t at = offsets[c];
-          for (uint32_t r : picked) {
-            rowp[at] = r;
-            weightp[at] = w;
-            ++at;
+
+  const std::vector<uint32_t>& row_strata = strat->row_strata();
+  const size_t n = row_strata.size();
+  // Two draw paths, one output: each stratum's draw is Algorithm R over its
+  // rows in ascending row order on its own stream, so running the strata
+  // interleaved in one table pass (serial fast path: no bucket
+  // materialization) or bucketed and fanned out (parallel path) produces
+  // the same rows bit for bit. The choice can therefore follow the
+  // resolved thread count without entering the determinism contract.
+  if (ParallelChunkCount(n, ResolveThreads()) <= 1) {
+    // One interleaved pass: offer each row to its stratum's reservoir
+    // state. seen[c] plays DrawReservoir's item index i; the slab fills,
+    // then rows displace uniformly via the stratum's stream.
+    std::vector<Rng> streams;
+    streams.reserve(r);
+    for (size_t c = 0; c < r; ++c) streams.push_back(Rng::ForStratum(master, c));
+    std::vector<size_t> seen(r, 0);
+    for (size_t row = 0; row < n; ++row) {
+      const uint32_t c = row_strata[row];
+      if (c == Stratification::kNoStratum) continue;
+      const size_t s_c = out_off[c + 1] - out_off[c];
+      if (s_c == 0) continue;
+      const size_t i = seen[c]++;
+      if (i < s_c) {
+        rowp[out_off[c] + i] = static_cast<uint32_t>(row);
+      } else {
+        const size_t j = ReservoirVictim(i + 1, s_c, &streams[c]);
+        if (j < s_c) rowp[out_off[c] + j] = static_cast<uint32_t>(row);
+      }
+    }
+    for (size_t c = 0; c < r; ++c) {
+      const size_t s_c = out_off[c + 1] - out_off[c];
+      if (s_c == 0) continue;
+      const double w = static_cast<double>(base[c + 1] - base[c]) /
+                       static_cast<double>(s_c);
+      std::fill(weightp + out_off[c], weightp + out_off[c + 1], w);
+    }
+  } else {
+    const std::vector<uint32_t> stratum_rows =
+        BucketRowsByStratum(row_strata, base, r);
+    const uint32_t* bucketp = stratum_rows.data();
+    ParallelFor(
+        r,
+        [&](size_t, size_t lo, size_t hi) {
+          for (size_t c = lo; c < hi; ++c) {
+            const size_t s_c = out_off[c + 1] - out_off[c];
+            if (s_c == 0) continue;  // allocation 0 / empty stratum: no draws
+            const size_t n_c = base[c + 1] - base[c];
+            Rng stream = Rng::ForStratum(master, c);
+            DrawReservoir(bucketp + base[c], n_c, s_c, &stream,
+                          rowp + out_off[c]);
+            const double w =
+                static_cast<double>(n_c) / static_cast<double>(s_c);
+            std::fill(weightp + out_off[c], weightp + out_off[c + 1], w);
           }
-        }
-      },
-      0, 512);
+        },
+        0, 1);
+  }
   StratifiedSample sample(&table, std::move(rows), std::move(weights), method);
   sample.set_stratification(std::move(strat));
   return sample;

@@ -30,9 +30,16 @@ class Sampler {
                                          uint64_t budget, Rng* rng) const = 0;
 };
 
-/// Helper shared by the stratified methods: draws `sizes[c]` rows uniformly
-/// without replacement from every stratum (one reservoir per stratum, single
-/// pass over the table) and assembles the sample with weights n_c / s_c.
+/// Helper shared by the stratified methods: draws min(sizes[c], n_c) rows
+/// uniformly without replacement from every stratum (allocations at or above
+/// the stratum population take every row) and assembles the sample with
+/// weights n_c / s_c, rows grouped stratum-major.
+///
+/// Determinism contract: the drawn row sets are a pure function of the rng's
+/// state at entry (one Next64() derives a master seed; stratum c then draws
+/// on its own Rng::ForStratum(master, c) stream), the stratification, and
+/// the allocation — independent of thread count and chunking, so the
+/// per-stratum draw loop morsels through the shared execution pool.
 Result<StratifiedSample> DrawStratified(
     const Table& table, std::shared_ptr<const Stratification> strat,
     const std::vector<uint64_t>& sizes, const std::string& method, Rng* rng);

@@ -6,6 +6,7 @@
 #include "src/core/lemma1.h"
 #include "src/core/stratification.h"
 #include "src/expr/plan_cache.h"
+#include "src/sample/reservoir.h"
 
 namespace cvopt {
 
@@ -19,16 +20,13 @@ StreamingCvoptBuilder::StreamingCvoptBuilder(const Table* table,
       value_column_(value_column),
       budget_(budget),
       replan_interval_(std::max<uint64_t>(1, replan_interval)),
-      rng_(rng) {}
+      rng_(rng),
+      router_(table, group_columns_) {}
 
 void StreamingCvoptBuilder::Offer(uint32_t row) {
   // Filter path: one scalar kernel test per offered row, no allocation.
   if (filter_ != nullptr && !filter_->MatchesRow(row)) return;
-  scratch_key_.codes.clear();
-  for (size_t col : group_columns_) {
-    scratch_key_.codes.push_back(table_->column(col).GroupCode(row));
-  }
-  const uint32_t stratum = index_.Intern(scratch_key_);
+  const uint32_t stratum = router_.Route(row);
   if (stratum == strata_.size()) {
     strata_.emplace_back();
     // Admit-all-then-subsample: a new stratum keeps every row until the
@@ -47,7 +45,7 @@ void StreamingCvoptBuilder::Offer(uint32_t row) {
   if (st.reservoir.size() < st.capacity) {
     st.reservoir.push_back(row);
   } else if (st.capacity > 0) {
-    const uint64_t j = rng_->Uniform(st.seen);
+    const size_t j = ReservoirVictim(st.seen, st.capacity, rng_);
     if (j < st.capacity) st.reservoir[j] = row;
   }
 

@@ -27,7 +27,6 @@
 #include "src/exec/group_index.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/sample/sampler.h"
-#include "src/stats/group_key.h"
 #include "src/stats/running_stats.h"
 
 namespace cvopt {
@@ -80,8 +79,10 @@ class StreamingCvoptBuilder {
   const CompiledPredicate* filter_ = nullptr;
 
   uint64_t rows_seen_ = 0;
-  GroupKeyInterner index_;   // flat open-addressing stratum router
-  GroupKey scratch_key_;     // reused per Offer to avoid per-row allocation
+  // Packed dense-id stratum router (GroupIndex's packed/wide tiers, grown
+  // incrementally): one code load + pack + probe per offered row, no
+  // GroupKey materialization or per-row code-vector writes.
+  StreamGroupRouter router_;
   std::vector<Stratum> strata_;
 };
 

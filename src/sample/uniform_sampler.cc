@@ -12,9 +12,14 @@ Result<StratifiedSample> UniformSampler::Build(
   (void)queries;  // query-oblivious
   const uint64_t n = table.num_rows();
   const uint64_t m = std::min(budget, n);
-  ReservoirSampler res(static_cast<size_t>(m), rng);
-  for (uint64_t r = 0; r < n; ++r) res.Offer(static_cast<uint32_t>(r));
-  std::vector<uint32_t> rows = res.sample();
+  // Uniform is a single-stratum draw: derive the same master-seed ->
+  // per-stratum stream as DrawStratified (stratum id 0), so seed -> sample
+  // is a pure function under the one shared determinism contract.
+  const uint64_t master = rng->Next64();
+  Rng stream = Rng::ForStratum(master, 0);
+  std::vector<uint32_t> rows(static_cast<size_t>(m));
+  DrawReservoir(nullptr, static_cast<size_t>(n), static_cast<size_t>(m),
+                &stream, rows.data());
   const double w =
       rows.empty() ? 0.0 : static_cast<double>(n) / static_cast<double>(rows.size());
   std::vector<double> weights(rows.size(), w);

@@ -56,20 +56,44 @@ void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
 
 namespace {
 
-// Shared collection core: chunk [0, n) through the global pool (honoring
-// `num_threads` as an override, 0 = the ExecOptions / CVOPT_THREADS
-// default), accumulate per-chunk GroupStatsTables, and merge them in chunk
-// order (Chan et al. pairwise merge — exact up to floating-point
-// reassociation, the documented float-summation tolerance). One chunk runs
-// the serial loop inline with no partials.
+// Deterministic chunk count for the statistics pass: a pure function of the
+// input shape (rows, strata), never of the resolved thread count or the
+// ExecOptions morsel grain. The samplers' determinism contract (seed ->
+// sample, independent of CVOPT_THREADS) requires it: CVOPT / RL allocations
+// solve from these statistics, and a last-ulp difference in a merged
+// variance can move an integral allocation boundary — so the chunk-order
+// merge must produce bit-identical numbers for every thread count, with the
+// pool's capped workers claiming the fixed chunks dynamically.
+size_t DeterministicStatChunks(size_t n, size_t strata) {
+  constexpr size_t kGrain = 8192;   // amortizes per-chunk table setup
+  // Every chunk beyond the first costs strata * sources division-heavy
+  // RunningStats::Merge calls even when the pass runs on one thread, so
+  // the fixed fan-out stays small; 16 chunks keep the serial overhead a
+  // few percent while feeding realistic thread counts.
+  constexpr size_t kMaxChunks = 16;
+  size_t chunks = std::min(n / kGrain, kMaxChunks);
+  if (strata > 0) {
+    // Merging costs chunks * strata RunningStats::Merge calls; cap the
+    // chunk count where accumulator traffic would rival the row scan (the
+    // AggregationChunks rule, without its thread-count dependence).
+    chunks = std::min(chunks, n / (4 * strata));
+  }
+  return std::max<size_t>(1, chunks);
+}
+
+// Shared collection core: accumulate per-chunk GroupStatsTables over a
+// thread-count-independent chunking and merge them in chunk order (Chan et
+// al. pairwise merge). `num_threads` only bounds the pool fan-out (0 = the
+// ExecOptions / CVOPT_THREADS default); the merged statistics are
+// bit-identical for every value. One chunk runs the serial loop inline with
+// no partials.
 Result<GroupStatsTable> CollectImpl(const Stratification& strat,
                                     const std::vector<StatSource>& sources,
                                     int num_threads) {
   CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
   const size_t n = strat.table().num_rows();
   const uint32_t* row_strata = strat.row_strata().data();
-  const size_t chunks =
-      ParallelChunkCount(n, ResolveThreads(num_threads), 4096);
+  const size_t chunks = DeterministicStatChunks(n, strat.num_strata());
   if (chunks <= 1) {
     GroupStatsTable stats(strat.num_strata(), sources.size());
     for (size_t j = 0; j < sources.size(); ++j) {
@@ -80,12 +104,15 @@ Result<GroupStatsTable> CollectImpl(const Stratification& strat,
 
   std::vector<GroupStatsTable> partials(
       chunks, GroupStatsTable(strat.num_strata(), sources.size()));
-  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
-    GroupStatsTable& local = partials[c];
-    for (size_t j = 0; j < sources.size(); ++j) {
-      AccumulateSource(row_strata, lo, hi, sources[j], j, &local);
-    }
-  });
+  ParallelForChunks(
+      n, chunks,
+      [&](size_t c, size_t lo, size_t hi) {
+        GroupStatsTable& local = partials[c];
+        for (size_t j = 0; j < sources.size(); ++j) {
+          AccumulateSource(row_strata, lo, hi, sources[j], j, &local);
+        }
+      },
+      num_threads);
   GroupStatsTable merged = std::move(partials[0]);
   for (size_t c = 1; c < chunks; ++c) {
     CVOPT_RETURN_NOT_OK(merged.Merge(partials[c]));

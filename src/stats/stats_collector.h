@@ -30,16 +30,19 @@ struct StatSource {
 };
 
 /// Computes RunningStats for every (stratum, source) pair in one pass over
-/// the table rows of `strat`, chunked through the shared execution pool
-/// (ExecOptions / CVOPT_THREADS). With one resolved thread the pass is the
-/// exact serial loop; with more, per-chunk tables merge in chunk order
-/// (Chan et al. pairwise merge, exact up to floating-point reassociation).
+/// the table rows of `strat`, chunked through the shared execution pool.
+/// The chunking is a pure function of the input shape — never of the
+/// resolved thread count — so the chunk-order merged statistics (Chan et
+/// al. pairwise merge) are bit-identical for every CVOPT_THREADS value.
+/// That invariant feeds the samplers' determinism contract: allocations
+/// solved from these statistics, and hence the per-stratum RNG-stream
+/// draws, cannot shift with the thread count.
 Result<GroupStatsTable> CollectGroupStats(const Stratification& strat,
                                           const std::vector<StatSource>& sources);
 
-/// CollectGroupStats with an explicit thread-count override (<= 0 uses the
-/// ExecOptions / CVOPT_THREADS / hardware default). Kept for callers that
-/// tune the fan-out per call; both entry points share the pool-driven core.
+/// CollectGroupStats with an explicit worker-count override (<= 0 uses the
+/// ExecOptions / CVOPT_THREADS / hardware default). The override bounds the
+/// pool fan-out only; the collected statistics are identical either way.
 Result<GroupStatsTable> CollectGroupStatsParallel(
     const Stratification& strat, const std::vector<StatSource>& sources,
     int num_threads = 0);

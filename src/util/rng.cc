@@ -5,11 +5,16 @@
 namespace cvopt {
 namespace {
 
-uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+// SplitMix64 output finalizer (no state increment): a bijection on uint64,
+// also used alone to mix the (seed, stratum) pair into a child seed.
+uint64_t Mix64(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  return Mix64(*state += 0x9E3779B97F4A7C15ULL);
 }
 
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
@@ -76,5 +81,15 @@ double Rng::NextGaussian() {
 }
 
 Rng Rng::Split() { return Rng(Next64()); }
+
+Rng Rng::ForStratum(uint64_t seed, uint64_t stratum_id) {
+  // Finalize the seed, fold in the stratum id via an odd-multiplier affine
+  // map (injective mod 2^64 for fixed seed), and finalize again. The child
+  // seed then expands through the constructor's SplitMix64 chain into the
+  // four xoshiro state words, so sibling streams are well decorrelated.
+  const uint64_t folded =
+      Mix64(seed) ^ (stratum_id * 0x9E3779B97F4A7C15ULL + 0xBF58476D1CE4E5B9ULL);
+  return Rng(Mix64(folded));
+}
 
 }  // namespace cvopt

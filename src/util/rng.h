@@ -33,8 +33,19 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool NextBernoulli(double p) { return NextDouble() < p; }
 
-  /// Derives an independent child generator (for parallel streams).
+  /// Derives an independent child generator (for parallel streams). Consumes
+  /// one draw from this generator, so successive Split() calls differ.
   Rng Split();
+
+  /// Splittable per-stratum stream derivation: a generator that is a pure
+  /// function of (seed, stratum_id) — no shared state, no draw from any
+  /// other stream. For a fixed seed, distinct stratum ids map injectively to
+  /// distinct, SplitMix64-finalized child seeds, so per-stratum consumers
+  /// (the parallel stratified draw) can run in any order or thread
+  /// interleaving and still produce the same numbers. This is the
+  /// reproducibility primitive behind the sampler determinism contract:
+  /// seed -> sample is a function, independent of thread count.
+  static Rng ForStratum(uint64_t seed, uint64_t stratum_id);
 
   // UniformRandomBitGenerator interface so <random> distributions work too.
   using result_type = uint64_t;

@@ -29,23 +29,6 @@
 namespace cvopt {
 namespace {
 
-// Applies a thread count (with a test-sized morsel grain, so a ~100k-row
-// table actually splits into many chunks) for the lifetime of the scope.
-class ScopedExecThreads {
- public:
-  explicit ScopedExecThreads(int threads, size_t grain = 512)
-      : saved_(GetExecOptions()) {
-    ExecOptions o;
-    o.num_threads = threads;
-    o.morsel_min_rows = grain;
-    SetExecOptions(o);
-  }
-  ~ScopedExecThreads() { SetExecOptions(saved_); }
-
- private:
-  ExecOptions saved_;
-};
-
 // Non-power-of-two row count: chunk boundaries land mid-stride everywhere.
 constexpr uint64_t kRows = 100003;
 
@@ -135,7 +118,7 @@ TEST_P(ParallelExecTest, ExactExecutorFlatKeysMatchShim) {
 TEST_P(ParallelExecTest, ApproxExecutorMatchesSerial) {
   const Table& t = TestTable();
   // The sample itself is thread-count independent (stratification is
-  // bit-identical, the reservoir pass is serial on a seeded Rng).
+  // bit-identical, the draw runs on per-stratum Rng::ForStratum streams).
   Rng rng(42);
   UniformSampler sampler;
   ASSERT_OK_AND_ASSIGN(StratifiedSample sample,
@@ -300,31 +283,37 @@ TEST_P(ParallelExecTest, GroupStatsMatchSerial) {
   }
 }
 
-TEST_P(ParallelExecTest, SenateAndCongressSamplesBitIdentical) {
+TEST_P(ParallelExecTest, AllSamplersBitIdenticalAcrossThreads) {
   const Table& t = TestTable();
   QuerySpec q = AllAggregatesQuery(false);
-  for (int which = 0; which < 2; ++which) {
-    const SenateSampler senate;
-    const CongressSampler congress;
-    const Sampler& sampler =
-        which == 0 ? static_cast<const Sampler&>(senate)
-                   : static_cast<const Sampler&>(congress);
+  const UniformSampler uniform;
+  const SenateSampler senate;
+  const CongressSampler congress;
+  const CvoptSampler cvopt;
+  for (const Sampler* sampler :
+       {static_cast<const Sampler*>(&uniform),
+        static_cast<const Sampler*>(&senate),
+        static_cast<const Sampler*>(&congress),
+        static_cast<const Sampler*>(&cvopt)}) {
     StratifiedSample serial = [&] {
       ScopedExecThreads one(1);
       Rng rng(1234);
-      return std::move(sampler.Build(t, {q}, 15000, &rng)).ValueOrDie();
+      return std::move(sampler->Build(t, {q}, 15000, &rng)).ValueOrDie();
     }();
     ScopedExecThreads threads(GetParam());
     Rng rng(1234);
-    ASSERT_OK_AND_ASSIGN(StratifiedSample par, sampler.Build(t, {q}, 15000, &rng));
-    // Integer allocations and the seeded serial reservoir pass make the
-    // drawn rows (and their stratum-assembled order) bit-identical.
-    EXPECT_EQ(par.rows(), serial.rows()) << sampler.name();
-    EXPECT_EQ(par.weights(), serial.weights()) << sampler.name();
+    ASSERT_OK_AND_ASSIGN(StratifiedSample par,
+                         sampler->Build(t, {q}, 15000, &rng));
+    // Per-stratum Rng::ForStratum streams plus the thread-count-independent
+    // statistics chunking make every sampler's rows AND emission order
+    // bit-identical at any thread count — including CVOPT, whose allocation
+    // solves from floating-point statistics.
+    EXPECT_EQ(par.rows(), serial.rows()) << sampler->name();
+    EXPECT_EQ(par.weights(), serial.weights()) << sampler->name();
   }
 }
 
-TEST_P(ParallelExecTest, CvoptPlanMatchesSerialWithinTolerance) {
+TEST_P(ParallelExecTest, CvoptPlanBitIdenticalAcrossThreads) {
   const Table& t = TestTable();
   QuerySpec q = AllAggregatesQuery(false);
   AllocationPlan serial = [&] {
@@ -333,20 +322,14 @@ TEST_P(ParallelExecTest, CvoptPlanMatchesSerialWithinTolerance) {
   }();
   ScopedExecThreads threads(GetParam());
   ASSERT_OK_AND_ASSIGN(AllocationPlan par, PlanCvoptAllocation(t, {q}, 15000, {}));
+  // The statistics pass chunks by input shape, never by thread count, so
+  // betas — and the allocation solved from them — are exactly reproducible
+  // (the sampler determinism contract depends on this).
   ASSERT_EQ(par.betas.size(), serial.betas.size());
   for (size_t c = 0; c < serial.betas.size(); ++c) {
-    EXPECT_NEAR(par.betas[c], serial.betas[c],
-                1e-9 * std::max(1.0, std::fabs(serial.betas[c])));
+    EXPECT_EQ(par.betas[c], serial.betas[c]) << "stratum " << c;
   }
-  // Allocation sizes solve from the betas; chunked statistics may move a
-  // boundary case by at most a row.
-  ASSERT_EQ(par.allocation.sizes.size(), serial.allocation.sizes.size());
-  for (size_t c = 0; c < serial.allocation.sizes.size(); ++c) {
-    const int64_t d =
-        static_cast<int64_t>(par.allocation.sizes[c]) -
-        static_cast<int64_t>(serial.allocation.sizes[c]);
-    EXPECT_LE(std::abs(d), 1) << "stratum " << c;
-  }
+  EXPECT_EQ(par.allocation.sizes, serial.allocation.sizes);
   // The CVOPT sampler build end-to-end still produces a valid sample.
   Rng rng(99);
   const CvoptSampler sampler;

@@ -1,12 +1,18 @@
-// Tests for reservoir sampling: exact sizes, uniformity, and weighted bias.
+// Tests for reservoir sampling: exact sizes, uniformity, weighted bias, and
+// the edge cases of the per-stratum parallel draw (take-all, allocation 0,
+// single-row strata, rows excluded by a WHERE-filtered stratification).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <numeric>
 #include <set>
 #include <vector>
 
+#include "src/core/stratification.h"
 #include "src/sample/reservoir.h"
+#include "src/sample/sampler.h"
 #include "tests/test_util.h"
 
 namespace cvopt {
@@ -90,6 +96,142 @@ TEST(WeightedReservoirTest, HeavyItemsSampledMoreOften) {
   }
   const double frac = static_cast<double>(wins) / reps;
   EXPECT_NEAR(frac, 10.0 / 19.0, 0.04);
+}
+
+TEST(DrawReservoirTest, IdentityItemsMatchExplicitItems) {
+  // nullptr items samples the identity sequence: same rng, same draws.
+  std::vector<uint32_t> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  Rng rng_a(9), rng_b(9);
+  std::vector<uint32_t> a(50), b(50);
+  ASSERT_EQ(DrawReservoir(items.data(), items.size(), 50, &rng_a, a.data()),
+            50u);
+  ASSERT_EQ(DrawReservoir(nullptr, items.size(), 50, &rng_b, b.data()), 50u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DrawReservoirTest, TakeAllConsumesNoDraws) {
+  // n <= k copies every item and must not touch the rng — the take-all
+  // path of the per-stratum draw is draw-free by contract.
+  std::vector<uint32_t> items = {5, 7, 9};
+  std::vector<uint32_t> out(10, 0);
+  Rng rng(33), mirror(33);
+  EXPECT_EQ(DrawReservoir(items.data(), 3, 10, &rng, out.data()), 3u);
+  EXPECT_EQ(out[0], 5u);
+  EXPECT_EQ(out[1], 7u);
+  EXPECT_EQ(out[2], 9u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.Next64(), mirror.Next64());
+}
+
+TEST(DrawReservoirTest, ZeroCapacityAndZeroItems) {
+  Rng rng(41);
+  uint32_t sink = 123;
+  EXPECT_EQ(DrawReservoir(nullptr, 100, 0, &rng, &sink), 0u);
+  EXPECT_EQ(DrawReservoir(nullptr, 0, 10, &rng, &sink), 0u);
+  EXPECT_EQ(sink, 123u);  // nothing written
+}
+
+TEST(DrawReservoirTest, MatchesReservoirSamplerOfferSequence) {
+  // DrawReservoir is Algorithm R exactly as ReservoirSampler::Offer runs
+  // it, so the same rng state yields the same sample.
+  Rng rng_a(55), rng_b(55);
+  ReservoirSampler res(25, &rng_a);
+  for (uint32_t i = 0; i < 500; ++i) res.Offer(i);
+  std::vector<uint32_t> direct(25);
+  ASSERT_EQ(DrawReservoir(nullptr, 500, 25, &rng_b, direct.data()), 25u);
+  EXPECT_EQ(direct, res.sample());
+}
+
+// ---------------------------------------------------------------------
+// Per-stratum draw edges through DrawStratified.
+
+TEST(DrawStratifiedEdgeTest, TakeAllEmptyAndSingleRowStrata) {
+  // Strata of sizes {1, 3, 200}: allocation {1 (single-row take-all),
+  // 3 (exact take-all boundary), 0 (no draws)}.
+  Schema schema({{"g", DataType::kString}, {"v", DataType::kDouble}});
+  TableBuilder b(schema);
+  ASSERT_OK(b.AppendRow({Value("solo"), Value(1.0)}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(b.AppendRow({Value("trio"), Value(2.0)}));
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(b.AppendRow({Value("bulk"), Value(3.0)}));
+  }
+  Table t = std::move(b).Finish();
+  ASSERT_OK_AND_ASSIGN(Stratification strat, Stratification::Build(t, {"g"}));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  ASSERT_EQ(shared->num_strata(), 3u);
+
+  Rng rng(71);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, {1, 3, 0}, "t", &rng));
+  ASSERT_EQ(s.size(), 4u);
+  std::vector<int> per(3, 0);
+  for (uint32_t r : s.rows()) {
+    ASSERT_LT(r, t.num_rows());
+    per[shared->StratumOfRow(r)]++;
+  }
+  EXPECT_EQ(per[0], 1);  // single-row stratum: exactly its row
+  EXPECT_EQ(per[1], 3);  // allocation == population: all three rows
+  EXPECT_EQ(per[2], 0);  // allocation 0: no draws
+  // Take-all weights are 1 (n_c / s_c with s_c == n_c).
+  for (double w : s.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(DrawStratifiedEdgeTest, FilteredStratificationNeverDrawsExcludedRows) {
+  // Rows failing the WHERE carry kNoStratum: they are bucketed nowhere and
+  // can never be drawn, and per-stratum populations count survivors only.
+  Table t = MakeSkewedTable(4, 100, /*seed=*/3);
+  const PredicatePtr where =
+      Predicate::Compare("v", CompareOp::kGt, Value(20.0));
+  ASSERT_OK_AND_ASSIGN(Stratification strat,
+                       Stratification::Build(t, {"g"}, where));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  const size_t r = shared->num_strata();
+  ASSERT_GT(r, 0u);
+  std::vector<uint64_t> alloc(r);
+  for (size_t c = 0; c < r; ++c) {
+    alloc[c] = std::max<uint64_t>(1, shared->sizes()[c] / 2);
+  }
+  Rng rng(73);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, alloc, "t", &rng));
+  ASSERT_OK_AND_ASSIGN(const Column* v, t.ColumnByName("v"));
+  std::vector<uint64_t> per(r, 0);
+  for (uint32_t row : s.rows()) {
+    EXPECT_GT(v->GetDouble(row), 20.0) << "excluded row drawn";
+    ASSERT_NE(shared->StratumOfRow(row), Stratification::kNoStratum);
+    per[shared->StratumOfRow(row)]++;
+  }
+  for (size_t c = 0; c < r; ++c) {
+    EXPECT_EQ(per[c], std::min<uint64_t>(alloc[c], shared->sizes()[c]));
+  }
+}
+
+TEST(DrawStratifiedEdgeTest, AllAllocationsZeroYieldsEmptySample) {
+  Table t = MakeSkewedTable(3, 20);
+  ASSERT_OK_AND_ASSIGN(Stratification strat, Stratification::Build(t, {"g"}));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  Rng rng(79), mirror(79);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, {0, 0, 0}, "t", &rng));
+  EXPECT_EQ(s.size(), 0u);
+  // Only the master-seed derivation consumed randomness.
+  (void)mirror.Next64();
+  EXPECT_EQ(rng.Next64(), mirror.Next64());
+}
+
+TEST(DrawStratifiedEdgeTest, DrawnRowsAreDistinctWithinStrata) {
+  Table t = MakeSkewedTable(6, 80, /*seed=*/11);
+  ASSERT_OK_AND_ASSIGN(Stratification strat, Stratification::Build(t, {"g"}));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  std::vector<uint64_t> alloc(shared->num_strata());
+  for (size_t c = 0; c < alloc.size(); ++c) alloc[c] = shared->sizes()[c] / 3;
+  Rng rng(83);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, alloc, "t", &rng));
+  std::set<uint32_t> distinct(s.rows().begin(), s.rows().end());
+  EXPECT_EQ(distinct.size(), s.rows().size());
 }
 
 }  // namespace

@@ -251,12 +251,20 @@ TEST(CvoptSamplerTest, PlanExposesAllocation) {
   EXPECT_EQ(plan.betas.size(), 4u);
 }
 
-TEST(DrawStratifiedTest, RejectsOversizedAllocation) {
-  Table t = MakeSkewedTable(2, 10);
+TEST(DrawStratifiedTest, OversizedAllocationTakesAll) {
+  // Allocations at or above the stratum population clamp to take-all: the
+  // whole stratum at weight 1, no error (the Lemma-1 solver caps at n_c,
+  // but hand-written or replayed allocations may not).
+  Table t = MakeSkewedTable(2, 10);  // stratum sizes 10 and 20
   ASSERT_OK_AND_ASSIGN(Stratification strat, Stratification::Build(t, {"g"}));
   auto shared = std::make_shared<Stratification>(std::move(strat));
   Rng rng(59);
-  EXPECT_FALSE(DrawStratified(t, shared, {100000, 1}, "x", &rng).ok());
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, {100000, 1}, "x", &rng));
+  std::vector<int> per(2, 0);
+  for (uint32_t r : s.rows()) per[shared->StratumOfRow(r)]++;
+  EXPECT_EQ(per[0], static_cast<int>(shared->sizes()[0]));
+  EXPECT_EQ(per[1], 1);
   EXPECT_FALSE(DrawStratified(t, shared, {1}, "x", &rng).ok());  // wrong size
 }
 

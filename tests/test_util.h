@@ -7,11 +7,30 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/parallel.h"
 #include "src/table/table_builder.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace cvopt {
+
+/// Applies a thread count (default grain 512, so test-sized tables actually
+/// split into many morsels) to the shared scheduler for the lifetime of the
+/// scope.
+class ScopedExecThreads {
+ public:
+  explicit ScopedExecThreads(int threads, size_t grain = 512)
+      : saved_(GetExecOptions()) {
+    ExecOptions o;
+    o.num_threads = threads;
+    o.morsel_min_rows = grain;
+    SetExecOptions(o);
+  }
+  ~ScopedExecThreads() { SetExecOptions(saved_); }
+
+ private:
+  ExecOptions saved_;
+};
 
 #define ASSERT_OK(expr)                                         \
   do {                                                          \

@@ -8,11 +8,15 @@
 # changes to src/expr/ or src/table/.
 #
 # Pass 2 — TSan: the guard rail for the parallel execution engine
-# (chunk-disjoint writes in the executors and the GroupIndex build, the
-# thread pool's batch handshake, plan-cache locking). The suite runs with
-# CVOPT_THREADS=4 so every morsel path actually fans out even on small
-# machines. Run before merging changes to src/exec/parallel.* or any code
-# called from inside ParallelFor.
+# (chunk-disjoint writes in the executors, the GroupIndex build, and the
+# per-stratum stratified draw, the thread pool's batch handshake,
+# plan-cache locking). The suite runs with CVOPT_THREADS=4 so every morsel
+# path actually fans out even on small machines. Run before merging changes
+# to src/exec/parallel.* or any code called from inside ParallelFor.
+#
+# Both passes run the FULL ctest suite, including the "slow"-labelled
+# statistical sampling tests — the chi-square draws hammer the parallel
+# reservoir path, which is exactly what the sanitizers should see.
 #
 # Usage: tools/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
 set -euo pipefail

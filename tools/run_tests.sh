@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest in one command. By default the
+# statistical acceptance suite (ctest label "slow": chi-square inclusion-
+# probability and CLT error-bound tests over repeated seeded draws) is
+# excluded so the default lap stays fast; pass --slow to run everything —
+# do that before merging changes to src/util/rng.*, src/sample/*, or
+# anything feeding sampler allocations (statistics collection, Lemma 1).
+#
+# Usage: tools/run_tests.sh [--slow] [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SLOW=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --slow) SLOW=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+(
+  cd "$BUILD_DIR"
+  if [[ "$SLOW" == "1" ]]; then
+    ctest --output-on-failure -j"$(nproc)"
+  else
+    ctest --output-on-failure -j"$(nproc)" -LE slow
+  fi
+)
+
+if [[ "$SLOW" == "1" ]]; then
+  echo "tier-1 green (slow suite included)"
+else
+  echo "tier-1 green (slow suite skipped; rerun with --slow)"
+fi
