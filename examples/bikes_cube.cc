@@ -25,6 +25,17 @@ int main() {
   std::printf("cube expands to %zu grouping sets:\n", cube.size());
   for (const auto& q : cube) std::printf("  %s\n", q.ToString().c_str());
 
+  // Exact answers for the whole cube come from ONE shared pass: the WHERE
+  // selection is evaluated once, aggregates accumulate once over the
+  // finest grouping, and each coarser set rolls up from those accumulators.
+  if (auto exact = ExecuteCube(table, base); exact.ok()) {
+    std::printf("\nExecuteCube (one shared pass) group counts:\n");
+    for (size_t i = 0; i < cube.size(); ++i) {
+      std::printf("  %-28s %zu groups\n", cube[i].name.c_str(),
+                  (*exact)[i].num_groups());
+    }
+  }
+
   AqpEngine engine(&table, 11);
   CvoptSampler cvopt;
   UniformSampler uniform;

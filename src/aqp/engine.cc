@@ -52,9 +52,16 @@ Result<QueryResult> AqpEngine::AnswerApprox(const std::string& sample_name,
 
 Result<ErrorReport> AqpEngine::Evaluate(const std::string& sample_name,
                                         const QuerySpec& query) const {
+  CVOPT_ASSIGN_OR_RETURN(const StratifiedSample* sample, GetSample(sample_name));
   CVOPT_ASSIGN_OR_RETURN(QueryResult exact, AnswerExact(query));
-  CVOPT_ASSIGN_OR_RETURN(QueryResult approx, AnswerApprox(sample_name, query));
-  return CompareResults(exact, approx);
+  CVOPT_ASSIGN_OR_RETURN(QueryResult approx, ExecuteApprox(*sample, query));
+  CVOPT_ASSIGN_OR_RETURN(ErrorReport report, CompareResults(exact, approx));
+  // Surface the draw's take-all service: strata the sample holds in full
+  // (including DrawStratified's silent clamp) answer exactly, so reports
+  // distinguish sampled error from trivially-exact strata.
+  report.total_strata = sample->stratum_exhaustive().size();
+  report.exhaustive_strata = sample->num_exhaustive_strata();
+  return report;
 }
 
 }  // namespace cvopt

@@ -23,6 +23,9 @@ Result<Stratification> Stratification::Build(const Table& table,
   out.keys_ = gidx.Keys();
   out.row_strata_ = gidx.TakeRowGroups();
   out.sizes_ = gidx.TakeSizes();
+  // A partitioned build hands its artifact over: per-stratum row lists then
+  // come straight from the partitions instead of a counting-sort pass.
+  out.lists_->parts = gidx.partitions();
   return out;
 }
 
@@ -54,7 +57,98 @@ Result<Stratification> Stratification::Build(const Table& table,
   ParallelFor(rows.size(), [&](size_t, size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) row_strata[rowp[i]] = posp[i];
   });
+  if (gidx.partitions() != nullptr) {
+    // Partition positions index into `rows`; keep the selection so the
+    // partition-backed list fill can map positions back to table rows.
+    out.lists_->parts = gidx.partitions();
+    out.lists_->sel_rows = std::move(rows);
+  }
   return out;
+}
+
+const std::vector<uint32_t>& Stratification::stratum_rows() const {
+  MaterializeStratumRows();
+  return lists_->rows;
+}
+
+const std::vector<size_t>& Stratification::stratum_row_base() const {
+  MaterializeStratumRows();
+  return lists_->base;
+}
+
+void Stratification::MaterializeStratumRows() const {
+  std::call_once(lists_->once, [&] {
+    RowListCache& c = *lists_;
+    const size_t r = num_strata();
+    c.base.assign(r + 1, 0);
+    for (size_t s = 0; s < r; ++s) {
+      c.base[s + 1] = c.base[s] + static_cast<size_t>(sizes_[s]);
+    }
+    c.rows.resize(c.base[r]);
+    uint32_t* out = c.rows.data();
+    if (c.parts != nullptr) {
+      // Partition-backed fill: partition p owns its groups' output ranges
+      // outright (disjoint global ids), so every partition scatters its own
+      // ascending position list with no coordination — each stratum's rows
+      // land in ascending row order, exactly the stable counting sort's
+      // output.
+      const GroupPartitions& gp = *c.parts;
+      const uint32_t* sel = c.sel_rows.empty() ? nullptr : c.sel_rows.data();
+      const size_t* base = c.base.data();
+      ParallelForChunks(
+          gp.num_partitions(), gp.num_partitions(),
+          [&](size_t p, size_t, size_t) {
+            const size_t gb = gp.group_base[p];
+            const size_t ng = gp.num_groups_in(p);
+            std::vector<size_t> cur(ng);
+            for (size_t l = 0; l < ng; ++l) {
+              cur[l] = base[gp.local_to_global[gb + l]];
+            }
+            for (size_t k = gp.part_base[p]; k < gp.part_base[p + 1]; ++k) {
+              const uint32_t pos = gp.part_rows[k];
+              out[cur[gp.part_local[k]]++] = sel ? sel[pos] : pos;
+            }
+          });
+    } else {
+      // Stable bucket-by-stratum: a parallel counting sort over
+      // row_strata. Per-chunk histograms and scatter cursors depend only
+      // on chunk boundaries and every chunking yields the same stable
+      // (ascending-row) order, so the output is a pure function of the
+      // stratification. Rows marked kNoStratum (excluded by a filtered
+      // build) appear in no bucket. AggregationChunks caps the fan-out
+      // where per-stratum histogram traffic would rival the row scan.
+      const size_t n = row_strata_.size();
+      const uint32_t* rs = row_strata_.data();
+      const size_t chunks = n == 0 ? 1 : AggregationChunks(n, r);
+      std::vector<uint32_t> cursors(chunks * r, 0);
+      ParallelForChunks(n, chunks, [&](size_t ck, size_t lo, size_t hi) {
+        uint32_t* cnt = cursors.data() + ck * r;
+        for (size_t i = lo; i < hi; ++i) {
+          const uint32_t s = rs[i];
+          if (s != kNoStratum) cnt[s]++;
+        }
+      });
+      for (size_t s = 0; s < r; ++s) {
+        size_t at = c.base[s];
+        for (size_t ck = 0; ck < chunks; ++ck) {
+          const uint32_t count = cursors[ck * r + s];
+          cursors[ck * r + s] = static_cast<uint32_t>(at);
+          at += count;
+        }
+      }
+      ParallelForChunks(n, chunks, [&](size_t ck, size_t lo, size_t hi) {
+        uint32_t* cur = cursors.data() + ck * r;
+        for (size_t i = lo; i < hi; ++i) {
+          const uint32_t s = rs[i];
+          if (s != kNoStratum) out[cur[s]++] = static_cast<uint32_t>(i);
+        }
+      });
+    }
+    // `parts` / `sel_rows` stay put: they are written once at Build time
+    // (before the Stratification is shared) and only read afterwards, so
+    // concurrent stratum_rows_cheap() probes never race a mutation.
+    c.ready.store(true);
+  });
 }
 
 Result<Stratification::Projection> Stratification::Project(

@@ -119,13 +119,33 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     }
   }
 
+  // Unmasked queries over a partitioned sample build accumulate into
+  // partition-owned slabs: each worker owns its partition's disjoint group
+  // range, so there is no chunk merge and per-group weight sums equal the
+  // serial ascending-position sums exactly.
+  const GroupPartitions* parts =
+      !use_sel && gidx.partitions() != nullptr ? gidx.partitions().get()
+                                               : nullptr;
+
   // Per-group surviving-position counts and total HT weight (identical
   // across aggregates: every aggregate sees every surviving sampled row).
   // Counts merge bit-exactly; weights merge in chunk order (the documented
   // float-summation tolerance).
   std::vector<uint64_t> cnt(G, 0);
   std::vector<double> wcnt(G, 0.0);
-  if (chunks == 1) {
+  if (parts != nullptr) {
+    cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    const uint32_t* prows = parts->part_rows.data();
+    const uint32_t* plocal = parts->part_local.data();
+    AccumulatePartitioned(
+        *parts, /*use_s2=*/false, wcnt.data(), nullptr,
+        [&](size_t p, double* pw, double*) {
+          for (size_t kk = parts->part_base[p]; kk < parts->part_base[p + 1];
+               ++kk) {
+            pw[plocal[kk]] += w[prows[kk]];
+          }
+        });
+  } else if (chunks == 1) {
     for_range(0, k, [&](size_t i) {
       cnt[rg[i]]++;
       wcnt[rg[i]] += w[i];
@@ -167,6 +187,45 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     double* S = wsums.data() + j * G;
     double* S2 = any_var ? wsums2.data() + j * G : nullptr;
     auto accumulate = [&](auto value_at) {
+      if (parts != nullptr) {
+        // Partition-owned weighted slabs (unmasked pass): identical shape
+        // to the exact executor's partition path, with Horvitz–Thompson
+        // weights folded in. Per-group (value, weight) sequences are the
+        // ascending-position serial sequences, so MEDIAN pairs land whole.
+        const size_t P = parts->num_partitions();
+        const uint32_t* prows = parts->part_rows.data();
+        const uint32_t* plocal = parts->part_local.data();
+        const uint32_t* l2g = parts->local_to_global.data();
+        if (f == AggFunc::kMedian) {
+          median_pairs[j].resize(G);
+          ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+            const size_t gb = parts->group_base[p];
+            std::vector<std::vector<std::pair<double, double>>> bufs(
+                parts->num_groups_in(p));
+            for (size_t kk = parts->part_base[p]; kk < parts->part_base[p + 1];
+                 ++kk) {
+              const size_t i = prows[kk];
+              bufs[plocal[kk]].emplace_back(value_at(i), w[i]);
+            }
+            for (size_t l = 0; l < bufs.size(); ++l) {
+              median_pairs[j][l2g[gb + l]] = std::move(bufs[l]);
+            }
+          });
+        } else {
+          AccumulatePartitioned(
+              *parts, /*use_s2=*/f == AggFunc::kVariance, S, S2,
+              [&](size_t p, double* s, double* s2) {
+                for (size_t kk = parts->part_base[p];
+                     kk < parts->part_base[p + 1]; ++kk) {
+                  const size_t i = prows[kk];
+                  const double v = value_at(i);
+                  s[plocal[kk]] += w[i] * v;
+                  if (s2 != nullptr) s2[plocal[kk]] += w[i] * v * v;
+                }
+              });
+        }
+        return;
+      }
       switch (f) {
         case AggFunc::kVariance:
           AccumulateChunked(

@@ -33,11 +33,16 @@ double ErrorReport::Percentile(double p) const {
 }
 
 std::string ErrorReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "errors over %zu answers: max=%.2f%% avg=%.2f%% median=%.2f%% "
       "(missing groups: %zu, zero-truth skipped: %zu)",
       errors.size(), MaxError() * 100, AvgError() * 100,
       Percentile(0.5) * 100, missing_groups, skipped_zero_truth);
+  if (total_strata > 0) {
+    out += StrFormat(" [strata served exactly: %zu/%zu]", exhaustive_strata,
+                     total_strata);
+  }
+  return out;
 }
 
 Result<ErrorReport> CompareResults(const QueryResult& exact,
@@ -78,10 +83,25 @@ Result<ErrorReport> CompareResults(const QueryResult& exact,
 
 ErrorReport MergeReports(const std::vector<ErrorReport>& reports) {
   ErrorReport merged;
+  // Stratum counts are per-SAMPLE facts, not per-answer facts: several
+  // queries evaluated against one sample all report identical counts, and
+  // summing them would multiply the sample's strata by the query count.
+  // Collapse RUNS of identical counts (the one-sample, many-queries table,
+  // which merges its per-sample reports consecutively) and sum across
+  // runs (reports pooled over distinct samples).
+  size_t prev_exhaustive = 0;
+  size_t prev_total = 0;
   for (const auto& r : reports) {
     merged.errors.insert(merged.errors.end(), r.errors.begin(), r.errors.end());
     merged.missing_groups += r.missing_groups;
     merged.skipped_zero_truth += r.skipped_zero_truth;
+    if (r.total_strata == 0 && r.exhaustive_strata == 0) continue;
+    if (r.total_strata != prev_total || r.exhaustive_strata != prev_exhaustive) {
+      merged.exhaustive_strata += r.exhaustive_strata;
+      merged.total_strata += r.total_strata;
+      prev_exhaustive = r.exhaustive_strata;
+      prev_total = r.total_strata;
+    }
   }
   return merged;
 }

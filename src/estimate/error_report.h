@@ -24,6 +24,14 @@ struct ErrorReport {
   /// Ground-truth answers whose value is ~0 are skipped (relative error is
   /// undefined); count of skipped answers.
   size_t skipped_zero_truth = 0;
+  /// Strata the sample served exactly — DrawStratified's take-all path,
+  /// including its silent clamp of over-population allocations — out of
+  /// the sample's total strata. Answers confined to exhaustive strata are
+  /// exact, not estimates, so acceptance tests use these counts to tell
+  /// genuinely sampled error from trivially-zero error. Both stay 0 when
+  /// the comparison was not given a sample (plain CompareResults).
+  size_t exhaustive_strata = 0;
+  size_t total_strata = 0;
 
   double MaxError() const;
   double AvgError() const;

@@ -1,11 +1,13 @@
-// CUBE expansion: GROUP BY A, B WITH CUBE -> the 2^|attrs| grouping sets
-// (A,B), (A), (B), () — Section 4.1 "Cube-By Queries".
+// CUBE expansion and execution: GROUP BY A, B WITH CUBE -> the 2^|attrs|
+// grouping sets (A,B), (A), (B), () — Section 4.1 "Cube-By Queries".
 #ifndef CVOPT_EXEC_CUBE_H_
 #define CVOPT_EXEC_CUBE_H_
 
 #include <vector>
 
 #include "src/exec/query.h"
+#include "src/exec/query_result.h"
+#include "src/table/table.h"
 
 namespace cvopt {
 
@@ -14,6 +16,20 @@ namespace cvopt {
 /// inherit the aggregates, WHERE predicate, and weight of the base query;
 /// names get a "/A,B" suffix identifying the grouping set.
 std::vector<QuerySpec> ExpandCube(const QuerySpec& base);
+
+/// Executes all 2^k grouping sets of `base` in one shared pass instead of
+/// re-running the full pipeline per sub-query: the WHERE selection is
+/// evaluated once, the aggregates are accumulated once over the finest
+/// grouping (reusing the radix-partition artifact when the GroupIndex
+/// build kept one), and every coarser grouping set rolls up from the
+/// finest accumulators — sub-key projection onto each subset, additive
+/// merges for COUNT/SUM/COUNT_IF/AVG/VARIANCE and multiset concatenation
+/// for MEDIAN. Results align with ExpandCube(base) order; each equals
+/// ExecuteExact of the corresponding spec — identical groups, emission
+/// order, counts, and medians; sums differ only by the documented
+/// float-summation reassociation.
+Result<std::vector<QueryResult>> ExecuteCube(const Table& table,
+                                             const QuerySpec& base);
 
 }  // namespace cvopt
 

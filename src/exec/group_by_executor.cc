@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "src/exec/group_index.h"
 #include "src/exec/parallel.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/expr/plan_cache.h"
@@ -25,37 +24,99 @@ double MedianOf(std::vector<double>* vs) {
 
 }  // namespace
 
-Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
-  if (query.aggregates.empty()) {
-    return Status::InvalidArgument("query has no aggregates");
-  }
+Result<GroupedAccumulators> AccumulateGrouped(
+    const Table& table, const QuerySpec& query, const GroupIndex& gidx,
+    const std::vector<uint32_t>* sel) {
   CVOPT_ASSIGN_OR_RETURN(BoundAggregates bound,
                          BoundAggregates::Bind(table, query.aggregates));
-  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
-                         GroupIndex::Build(table, query.group_by));
-
   const size_t n = table.num_rows();
   const size_t t = query.aggregates.size();
   const size_t G = gidx.num_groups();
   const uint32_t* rg = gidx.row_groups().data();
+  const bool use_sel = sel != nullptr;
+  const uint32_t* selp = use_sel ? sel->data() : nullptr;
 
-  // WHERE compiles through the shared plan cache (workload replays reuse
-  // the plan) and evaluates per-morsel through the pool straight to a
-  // selection vector of surviving rows; no byte mask is materialized and
-  // the mask branch is hoisted out of every accumulation loop.
-  const bool use_sel = query.where != nullptr;
-  std::vector<uint32_t> sel;
-  if (use_sel) {
-    CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
-                           CompilePredicateCached(table, query.where));
-    sel = ParallelSelect(*where);
+  GroupedAccumulators acc;
+  acc.num_groups = G;
+  bool any_var = false;
+  for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
+  acc.sums.assign(t * G, 0.0);
+  if (any_var) acc.sums2.assign(t * G, 0.0);
+  acc.median_values.resize(t);
+
+  // Unmasked pass over a partitioned build: partition-owned accumulator
+  // slabs. Each worker iterates its partition's ascending row list into a
+  // slab sized to the partition's own group count, then writes the slab
+  // out at its groups' global ids — disjoint across partitions, so there
+  // is no contention and no chunk-order merge at all. Per-group sums are
+  // the serial ascending-row sums bit for bit (no reassociation), and
+  // MEDIAN buffers land whole (a group's rows live in one partition).
+  const GroupPartitions* parts =
+      !use_sel && gidx.partitions() != nullptr ? gidx.partitions().get()
+                                               : nullptr;
+
+  if (parts != nullptr) {
+    acc.cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    const size_t P = parts->num_partitions();
+    const uint32_t* prows = parts->part_rows.data();
+    const uint32_t* plocal = parts->part_local.data();
+    const uint32_t* l2g = parts->local_to_global.data();
+    for (size_t j = 0; j < t; ++j) {
+      const AggFunc f = query.aggregates[j].func;
+      const StatSource& src = bound.sources()[j];
+      if (src.constant_one) continue;  // COUNT is answered by cnt[] directly
+      double* S = acc.sums.data() + j * G;
+      double* S2 = any_var ? acc.sums2.data() + j * G : nullptr;
+      auto accumulate = [&](auto value_at) {
+        switch (f) {
+          case AggFunc::kMedian:
+            acc.median_values[j].resize(G);
+            ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+              const size_t gb = parts->group_base[p];
+              std::vector<std::vector<double>> bufs(parts->num_groups_in(p));
+              for (size_t k = parts->part_base[p]; k < parts->part_base[p + 1];
+                   ++k) {
+                bufs[plocal[k]].push_back(value_at(prows[k]));
+              }
+              for (size_t l = 0; l < bufs.size(); ++l) {
+                acc.median_values[j][l2g[gb + l]] = std::move(bufs[l]);
+              }
+            });
+            break;
+          default:
+            AccumulatePartitioned(
+                *parts, /*use_s2=*/f == AggFunc::kVariance, S, S2,
+                [&](size_t p, double* s, double* s2) {
+                  for (size_t k = parts->part_base[p];
+                       k < parts->part_base[p + 1]; ++k) {
+                    const double v = value_at(prows[k]);
+                    s[plocal[k]] += v;
+                    if (s2 != nullptr) s2[plocal[k]] += v * v;
+                  }
+                });
+            break;
+        }
+      };
+      if (src.indicator != nullptr) {
+        const uint8_t* ind = src.indicator->data();
+        accumulate([ind](size_t r) { return ind[r] ? 1.0 : 0.0; });
+      } else if (src.column->type() == DataType::kDouble) {
+        const double* vals = src.column->doubles().data();
+        accumulate([vals](size_t r) { return vals[r]; });
+      } else {
+        const int64_t* vals = src.column->ints().data();
+        accumulate([vals](size_t r) { return static_cast<double>(vals[r]); });
+      }
+    }
+    return acc;
   }
-  const uint32_t* selp = sel.data();
-  // Accumulation iterates positions [0, m): surviving rows under a WHERE
-  // clause, all rows otherwise. Parallel passes run the same body over
-  // chunk-order position ranges and merge per-chunk accumulators in chunk
-  // order; one chunk is the exact serial loop.
-  const size_t m = use_sel ? sel.size() : n;
+
+  // Chunk-order merged morsel path. Accumulation iterates positions
+  // [0, m): surviving rows under a WHERE clause, all rows otherwise.
+  // Parallel passes run the same body over chunk-order position ranges and
+  // merge per-chunk accumulators in chunk order; one chunk is the exact
+  // serial loop.
+  const size_t m = use_sel ? sel->size() : n;
   const size_t chunks = AggregationChunks(m, G);
   auto for_range = [&](size_t lo, size_t hi, auto&& fn) {
     if (use_sel) {
@@ -67,11 +128,10 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
 
   // Per-group surviving-row counts (identical across aggregates; integer,
   // so parallel merge is bit-exact).
-  std::vector<uint64_t> cnt;
   if (use_sel) {
-    cnt.assign(G, 0);
+    acc.cnt.assign(G, 0);
     if (chunks == 1) {
-      for (const uint32_t r : sel) cnt[rg[r]]++;
+      for (const uint32_t r : *sel) acc.cnt[rg[r]]++;
     } else {
       std::vector<std::vector<uint64_t>> part(chunks);
       ParallelForChunks(m, chunks, [&](size_t c, size_t lo, size_t hi) {
@@ -80,29 +140,19 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
         for (size_t i = lo; i < hi; ++i) p[rg[selp[i]]]++;
       });
       for (const auto& p : part) {
-        for (size_t g = 0; g < G; ++g) cnt[g] += p[g];
+        for (size_t g = 0; g < G; ++g) acc.cnt[g] += p[g];
       }
     }
   } else {
-    cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    acc.cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
   }
-
-  // Struct-of-arrays accumulators, aggregate-major: sums[j * G + g]. Each
-  // aggregate's pass writes one contiguous G-sized slab.
-  bool any_var = false;
-  for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
-  std::vector<double> sums(t * G, 0.0);
-  std::vector<double> sums2;
-  if (any_var) sums2.assign(t * G, 0.0);
-  // Value buffers per MEDIAN aggregate, indexed [agg][group].
-  std::vector<std::vector<std::vector<double>>> median_values(t);
 
   for (size_t j = 0; j < t; ++j) {
     const AggFunc f = query.aggregates[j].func;
     const StatSource& src = bound.sources()[j];
     if (src.constant_one) continue;  // COUNT is answered by cnt[] directly
-    double* S = sums.data() + j * G;
-    double* S2 = any_var ? sums2.data() + j * G : nullptr;
+    double* S = acc.sums.data() + j * G;
+    double* S2 = any_var ? acc.sums2.data() + j * G : nullptr;
     auto accumulate = [&](auto value_at) {
       switch (f) {
         case AggFunc::kVariance:
@@ -119,7 +169,7 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
         case AggFunc::kMedian:
           // Finalization reads only the value buffers, not the sums slab.
           CollectChunked<double>(
-              m, chunks, G, &median_values[j],
+              m, chunks, G, &acc.median_values[j],
               [&](std::vector<double>* bufs, size_t lo, size_t hi) {
                 for_range(lo, hi,
                           [&](size_t r) { bufs[rg[r]].push_back(value_at(r)); });
@@ -147,15 +197,19 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
       accumulate([vals](size_t r) { return static_cast<double>(vals[r]); });
     }
   }
+  return acc;
+}
 
-  // Finalize into an aggregate-major finals array and bulk-ingest: the
-  // result is materialized flat, with batch-rendered labels and a lazy
-  // key -> index map instead of a per-group AddGroup insert loop.
+std::vector<double> FinalizeGrouped(const std::vector<AggSpec>& aggs,
+                                    GroupedAccumulators* acc) {
+  const size_t t = aggs.size();
+  const size_t G = acc->num_groups;
+  const std::vector<uint64_t>& cnt = acc->cnt;
   std::vector<double> finals(t * G, 0.0);
   for (size_t j = 0; j < t; ++j) {
-    const double* S = sums.data() + j * G;
+    const double* S = acc->sums.data() + j * G;
     double* F = finals.data() + j * G;
-    switch (query.aggregates[j].func) {
+    switch (aggs[j].func) {
       case AggFunc::kAvg:
         for (size_t g = 0; g < G; ++g) {
           if (cnt[g]) F[g] = S[g] / static_cast<double>(cnt[g]);
@@ -169,7 +223,7 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
         std::copy(S, S + G, F);
         break;
       case AggFunc::kVariance: {
-        const double* S2 = sums2.data() + j * G;
+        const double* S2 = acc->sums2.data() + j * G;
         for (size_t g = 0; g < G; ++g) {
           if (!cnt[g]) continue;
           const double ng = static_cast<double>(cnt[g]);
@@ -180,21 +234,51 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
       }
       case AggFunc::kMedian:
         for (size_t g = 0; g < G; ++g) {
-          if (cnt[g]) F[g] = MedianOf(&median_values[j][g]);
+          if (cnt[g]) F[g] = MedianOf(&acc->median_values[j][g]);
         }
         break;
     }
   }
+  return finals;
+}
+
+Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
+                         GroupIndex::Build(table, query.group_by));
+
+  // WHERE compiles through the shared plan cache (workload replays reuse
+  // the plan) and evaluates per-morsel through the pool straight to a
+  // selection vector of surviving rows; no byte mask is materialized and
+  // the mask branch is hoisted out of every accumulation loop.
+  const bool use_sel = query.where != nullptr;
+  std::vector<uint32_t> sel;
+  if (use_sel) {
+    CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
+                           CompilePredicateCached(table, query.where));
+    sel = ParallelSelect(*where);
+  }
+
+  CVOPT_ASSIGN_OR_RETURN(
+      GroupedAccumulators acc,
+      AccumulateGrouped(table, query, gidx, use_sel ? &sel : nullptr));
+
+  // Finalize into an aggregate-major finals array and bulk-ingest: the
+  // result is materialized flat, with batch-rendered labels and a lazy
+  // key -> index map instead of a per-group AddGroup insert loop.
+  std::vector<double> finals = FinalizeGrouped(query.aggregates, &acc);
 
   std::vector<std::string> agg_labels;
-  agg_labels.reserve(t);
+  agg_labels.reserve(query.aggregates.size());
   for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
 
   // Groups emit in first-occurrence-over-all-rows order (the GroupIndex is
   // built unmasked); under a WHERE clause this may differ from the legacy
   // first-surviving-row order. The group set and values are identical.
   QueryResult result(std::move(agg_labels), query.group_by);
-  CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, cnt, finals));
+  CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, acc.cnt, finals));
   return result;
 }
 

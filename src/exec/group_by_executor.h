@@ -3,6 +3,10 @@
 #ifndef CVOPT_EXEC_GROUP_BY_EXECUTOR_H_
 #define CVOPT_EXEC_GROUP_BY_EXECUTOR_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/group_index.h"
 #include "src/exec/query.h"
 #include "src/exec/query_result.h"
 #include "src/table/table.h"
@@ -13,6 +17,37 @@ namespace cvopt {
 /// passing the WHERE predicate are omitted (SQL semantics). For AVG on an
 /// empty selection within a group the group is likewise omitted.
 Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query);
+
+/// Raw per-group accumulators of a query's aggregates over a dense
+/// grouping — the shared middle of ExecuteExact and ExecuteCube. Counts
+/// are integers (bit-exact for every chunking); sums/sums2 are
+/// aggregate-major slabs; MEDIAN keeps per-group value buffers whose
+/// concatenation order equals the serial ascending-row order.
+struct GroupedAccumulators {
+  size_t num_groups = 0;
+  std::vector<uint64_t> cnt;  // per-group surviving-row counts
+  std::vector<double> sums;   // aggregate-major: sums[j * G + g]
+  std::vector<double> sums2;  // empty unless a VARIANCE aggregate is present
+  std::vector<std::vector<std::vector<double>>> median_values;  // [agg][group]
+};
+
+/// Accumulates the query's aggregates over the rows of `gidx` (which must
+/// be built over `table` with the query's grouping). `sel` is the surviving
+/// row selection under the query's WHERE clause, or null for an unmasked
+/// pass. Unmasked passes over a partitioned GroupIndex accumulate into
+/// partition-owned slabs (each worker owns a disjoint group range — no
+/// cross-chunk merge, and per-group sums equal the serial ascending-row
+/// sums exactly); otherwise the chunk-order merged morsel path runs.
+Result<GroupedAccumulators> AccumulateGrouped(const Table& table,
+                                              const QuerySpec& query,
+                                              const GroupIndex& gidx,
+                                              const std::vector<uint32_t>* sel);
+
+/// Finalizes raw accumulators into the aggregate-major finals array
+/// finals[j * G + g] (AVG/COUNT/SUM/COUNT_IF/VARIANCE/MEDIAN rules, the
+/// exact executor's semantics). Consumes the MEDIAN buffers.
+std::vector<double> FinalizeGrouped(const std::vector<AggSpec>& aggs,
+                                    GroupedAccumulators* acc);
 
 }  // namespace cvopt
 

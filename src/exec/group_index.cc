@@ -1,6 +1,7 @@
 #include "src/exec/group_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <limits>
 #include <utility>
@@ -59,7 +60,171 @@ struct BuildOutput {
   std::vector<uint32_t> row_groups;
   std::vector<uint32_t> rep_rows;
   std::vector<uint64_t> sizes;
+  std::shared_ptr<const GroupPartitions> partitions;  // radix builds only
 };
+
+// ---------------------------------------------------------------- radix ---
+// Configuration of the radix-partitioned build path. The radix path engages
+// in the huge-G regime, where chunk-local tables re-discover most groups
+// and the serial chunk-order merge costs ~n probes; hash-partitioning rows
+// by key gives each worker exclusive ownership of a disjoint group set, so
+// no merge exists at all.
+constexpr size_t kRadixMinRows = size_t{1} << 16;  // below this, merge is cheap
+constexpr uint64_t kRadixMinDomain = 4096;  // packed-domain floor for radix
+constexpr size_t kRadixMaxPartitions = 256;  // partition ids fit one byte
+constexpr size_t kRadixSampleMax = 4096;     // cardinality-probe size
+// Direct-tier remaps below this many entries are cheap to replicate per
+// chunk; above it, key-range partitioning splits one remap across workers.
+constexpr uint64_t kDirectRadixEntries = uint64_t{1} << 14;
+
+std::atomic<int> g_radix_mode{-1};           // -1 auto, 0 force off, 1 force on
+std::atomic<size_t> g_radix_partitions{0};   // 0 = derive from thread count
+
+int Log2(size_t pow2) {
+  int b = 0;
+  while ((size_t{1} << b) < pow2) ++b;
+  return b;
+}
+
+size_t RadixPartitionCount(size_t threads) {
+  const size_t forced = g_radix_partitions.load(std::memory_order_relaxed);
+  const size_t want = forced != 0 ? forced : std::max<size_t>(8, threads * 4);
+  return NextPow2(std::min(want, kRadixMaxPartitions));
+}
+
+// Shared radix-partitioned build core. `part_of(row)` maps a row's grouping
+// key to a partition in [0, P) — a pure function of the key, so a group's
+// rows all land in one partition. `run_partition(p, pos, cnt, local_out,
+// firsts, sizes)` discovers partition p's groups over its position list
+// `pos[0..cnt)` (ascending), assigning partition-local ids in first-seen
+// order into local_out and appending each new group's first position /
+// occurrence count — with whatever tier-specific probing it likes, against
+// a table nothing else touches.
+//
+// The core then renumbers local ids to global first-seen-position order:
+// a group's first position is unique, so ranking all first positions in
+// ascending order reproduces exactly the serial id assignment — for every
+// thread count and partition count, the dense ids are bit-identical to the
+// single-chunk serial build. The partition artifact (row lists, local ids,
+// local->global map) is returned for downstream passes to consume.
+template <class RowAt, class PartOf, class RunPartition>
+std::shared_ptr<const GroupPartitions> RadixBuild(size_t n, size_t chunks,
+                                                  size_t P, RowAt row_at,
+                                                  PartOf part_of,
+                                                  RunPartition run_partition,
+                                                  BuildOutput* out) {
+  auto gp = std::make_shared<GroupPartitions>();
+  gp->part_base.assign(P + 1, 0);
+  gp->part_rows.resize(n);
+  gp->part_local.resize(n);
+
+  // Pass 1: partition id per position (hash evaluated once, cached in a
+  // byte) + per-chunk histograms.
+  std::vector<uint8_t> pp(n);
+  std::vector<size_t> hist(chunks * P, 0);
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    size_t* h = hist.data() + c * P;
+    for (size_t i = lo; i < hi; ++i) {
+      const uint8_t p = static_cast<uint8_t>(part_of(row_at(i)));
+      pp[i] = p;
+      h[p]++;
+    }
+  });
+  // Cursor sweep: partition-major bases; visiting chunks in order within a
+  // partition makes the scatter stable, so each partition's position list
+  // is ascending — the property that lets every consumer reproduce the
+  // serial per-group sequences.
+  size_t at = 0;
+  for (size_t p = 0; p < P; ++p) {
+    gp->part_base[p] = at;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t cnt = hist[c * P + p];
+      hist[c * P + p] = at;
+      at += cnt;
+    }
+  }
+  gp->part_base[P] = at;
+  // Pass 2: stable scatter of positions into their partitions.
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    size_t* cur = hist.data() + c * P;
+    for (size_t i = lo; i < hi; ++i) {
+      gp->part_rows[cur[pp[i]]++] = static_cast<uint32_t>(i);
+    }
+  });
+
+  // Pass 3: partition-owned group discovery, no cross-worker merge. The
+  // capped pool workers claim partitions dynamically (hash skew makes them
+  // uneven; P of ~4x the thread count rebalances).
+  std::vector<std::vector<uint32_t>> firsts(P);  // local id -> first position
+  std::vector<std::vector<uint64_t>> lsizes(P);  // local id -> count
+  ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+    run_partition(p, gp->part_rows.data() + gp->part_base[p],
+                  gp->part_base[p + 1] - gp->part_base[p],
+                  gp->part_local.data() + gp->part_base[p], &firsts[p],
+                  &lsizes[p]);
+  });
+
+  gp->group_base.assign(P + 1, 0);
+  for (size_t p = 0; p < P; ++p) {
+    gp->group_base[p + 1] = gp->group_base[p] + firsts[p].size();
+  }
+  const size_t G = gp->group_base[P];
+  gp->local_to_global.assign(G, 0);
+
+  // Pass 4: renumber to global first-seen order. Mark every group's first
+  // position with its concatenated local index + 1, then rank the marks by
+  // a chunked count + prefix + assign — O(n), parallel, and independent of
+  // the chunking (ranks follow ascending position regardless of where the
+  // chunk boundaries fall).
+  std::vector<uint32_t> mark(n, 0);
+  ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+    const size_t base = gp->group_base[p];
+    for (size_t l = 0; l < firsts[p].size(); ++l) {
+      mark[firsts[p][l]] = static_cast<uint32_t>(base + l + 1);
+    }
+  });
+  std::vector<size_t> rank_base(chunks, 0);
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    size_t cnt = 0;
+    for (size_t i = lo; i < hi; ++i) cnt += mark[i] != 0;
+    rank_base[c] = cnt;
+  });
+  size_t rank = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t cnt = rank_base[c];
+    rank_base[c] = rank;
+    rank += cnt;
+  }
+  uint32_t* l2g = gp->local_to_global.data();
+  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
+    uint32_t g = static_cast<uint32_t>(rank_base[c]);
+    for (size_t i = lo; i < hi; ++i) {
+      if (mark[i] != 0) l2g[mark[i] - 1] = g++;
+    }
+  });
+
+  out->rep_rows.resize(G);
+  out->sizes.resize(G);
+  ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+    const size_t base = gp->group_base[p];
+    for (size_t l = 0; l < firsts[p].size(); ++l) {
+      const uint32_t g = l2g[base + l];
+      out->rep_rows[g] = static_cast<uint32_t>(row_at(firsts[p][l]));
+      out->sizes[g] = lsizes[p][l];
+    }
+  });
+
+  // Pass 5: rewrite local ids to global ids. Partitions own disjoint
+  // position sets, so the scattered writes never contend.
+  uint32_t* rg = out->row_groups.data();
+  ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+    const size_t base = gp->group_base[p];
+    for (size_t k = gp->part_base[p]; k < gp->part_base[p + 1]; ++k) {
+      rg[gp->part_rows[k]] = l2g[base + gp->part_local[k]];
+    }
+  });
+  return gp;
+}
 
 // Per-chunk group discovery output: groups in first-seen order within the
 // chunk's position range. Keys are not stored — the merge phase recomputes
@@ -156,6 +321,34 @@ struct FlatGroupTable {
   size_t capacity = 0;
   size_t mask = 0;
 };
+
+// Strided-sample distinct-group probe for the radix decision: builds a
+// small local table over min(n, kRadixSampleMax) evenly-strided positions
+// and reports whether the sampled cardinality is high enough (at least half
+// the probes distinct) that chunk-local tables would mostly re-discover the
+// same groups. A pure function of the data — never of the thread count —
+// and the ids are bit-identical whichever way the decision goes, so the
+// probe only steers performance.
+template <class RowAt, class KeyFn, class EqFn>
+bool RadixSampleHighCardinality(size_t n, RowAt row_at, KeyFn key_fn, EqFn eq) {
+  const size_t sample = std::min(n, kRadixSampleMax);
+  const size_t stride = n / sample;
+  FlatGroupTable t(sample);
+  std::vector<uint32_t> reps;  // representative rows of sampled groups
+  reps.reserve(sample);
+  for (size_t i = 0; i < sample; ++i) {
+    const size_t r = row_at(i * stride);
+    t.FindOrInsert(
+        key_fn(r),
+        [&](uint32_t cand) { return eq(r, static_cast<size_t>(reps[cand])); },
+        [&] {
+          reps.push_back(static_cast<uint32_t>(r));
+          return std::make_pair(static_cast<uint32_t>(reps.size() - 1),
+                                reps.size());
+        });
+  }
+  return reps.size() * 2 >= sample;
+}
 
 // Core build, shared by Build (row_at = identity) and BuildForRows (row_at =
 // sample row lookup). `n` is the number of mapped positions.
@@ -267,14 +460,59 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
       total_bits <= kDirectBits &&
       (uint64_t{1} << total_bits) <=
           std::max<uint64_t>(1024, 8 * static_cast<uint64_t>(n));
+
+  // Radix-path decision scaffolding, shared by the tiers below. Forced
+  // modes (tests) bypass the size gates; the automatic heuristic engages
+  // only when the build is parallel and big enough that the chunk-order
+  // merge's ~n probes would dominate.
+  const int radix_mode = g_radix_mode.load(std::memory_order_relaxed);
+  const bool radix_auto_ok =
+      radix_mode != 0 && chunks > 1 && n >= kRadixMinRows;
+
   if (direct_worthwhile) {
+    const uint64_t remap_entries = uint64_t{1} << total_bits;
+    if (radix_mode == 1 ||
+        (radix_auto_ok && remap_entries >= kDirectRadixEntries &&
+         RadixSampleHighCardinality(
+             n, row_at, pack, [](size_t, size_t) { return true; }))) {
+      // Direct-tier radix: partition by the HIGH bits of the packed key, so
+      // each partition owns a contiguous key range and a remap slice of
+      // remap_entries / P entries — the per-partition remaps tile the one
+      // serial remap instead of replicating it per chunk.
+      const size_t P = std::min<size_t>(RadixPartitionCount(ResolveThreads()),
+                                        static_cast<size_t>(remap_entries));
+      const int slice_bits = total_bits - Log2(P);
+      const uint64_t slice_mask = (uint64_t{1} << slice_bits) - 1;
+      out.tier = GroupIndex::Tier::kDirect;
+      out.partitions = RadixBuild(
+          n, chunks, P, row_at,
+          [&](size_t r) { return pack(r) >> slice_bits; },
+          [&](size_t, const uint32_t* pos, size_t cnt, uint32_t* local_out,
+              std::vector<uint32_t>* lf, std::vector<uint64_t>* ls) {
+            std::vector<uint32_t> remap(size_t{1} << slice_bits, kEmptyId);
+            for (size_t k = 0; k < cnt; ++k) {
+              const size_t r = row_at(pos[k]);
+              const uint64_t key = pack(r) & slice_mask;
+              uint32_t id = remap[key];
+              if (id == kEmptyId) {
+                id = static_cast<uint32_t>(lf->size());
+                remap[key] = id;
+                lf->push_back(pos[k]);
+                ls->push_back(0);
+              }
+              local_out[k] = id;
+              (*ls)[id]++;
+            }
+          },
+          &out);
+      return out;
+    }
     // Tier kDirect: dense remap indexed by the packed code — dictionary
     // codes / small int domains map straight to ids with no hashing.
     // Every chunk allocates and zero-fills its own remap, so apply the
     // worthwhile criterion per chunk too: cap the fan-out where a chunk's
     // row share would undershoot it (otherwise clear traffic and memory
     // scale with the thread count instead of the data).
-    const uint64_t remap_entries = uint64_t{1} << total_bits;
     size_t dchunks = chunks;
     if (remap_entries > 1024) {
       dchunks = std::min<size_t>(
@@ -323,6 +561,40 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
   if (total_bits <= 64) {
     // Tier kPacked: per-column codes bit-pack into one uint64; probe on the
     // exact packed key, so no key comparison beyond one integer.
+    if (radix_mode == 1 ||
+        (radix_auto_ok && domain_product >= kRadixMinDomain &&
+         RadixSampleHighCardinality(
+             n, row_at, pack, [](size_t, size_t) { return true; }))) {
+      // Packed-tier radix: partition by the top bits of the mixed packed
+      // key (the local tables probe on the low bits of the same mix).
+      const size_t P = RadixPartitionCount(ResolveThreads());
+      const int shift = 64 - Log2(P);
+      out.tier = GroupIndex::Tier::kPacked;
+      out.partitions = RadixBuild(
+          n, chunks, P, row_at,
+          [&](size_t r) {
+            return P == 1 ? uint64_t{0} : HashMix64(pack(r)) >> shift;
+          },
+          [&](size_t, const uint32_t* pos, size_t cnt, uint32_t* local_out,
+              std::vector<uint32_t>* lf, std::vector<uint64_t>* ls) {
+            FlatGroupTable t(std::min<uint64_t>(expected, cnt));
+            for (size_t k = 0; k < cnt; ++k) {
+              const size_t r = row_at(pos[k]);
+              const uint32_t id = t.FindOrInsert(
+                  pack(r), [](uint32_t) { return true; },
+                  [&] {
+                    const uint32_t fresh = static_cast<uint32_t>(lf->size());
+                    lf->push_back(pos[k]);
+                    ls->push_back(0);
+                    return std::make_pair(fresh, lf->size());
+                  });
+              local_out[k] = id;
+              (*ls)[id]++;
+            }
+          },
+          &out);
+      return out;
+    }
     std::vector<LocalGroups> locals(chunks);
     ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
       LocalGroups& lg = locals[c];
@@ -362,6 +634,43 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
 
   // Tier kWide: codes do not fit one word. Hash the composite key and
   // verify candidates against each group's representative row.
+  if (radix_mode == 1 ||
+      (radix_auto_ok &&
+       RadixSampleHighCardinality(n, row_at, wide_hash, rows_equal))) {
+    // Wide-tier radix: partition by the top bits of the mixed composite
+    // hash; the local probe verifies candidates against the partition's
+    // own representative rows.
+    const size_t P = RadixPartitionCount(ResolveThreads());
+    const int shift = 64 - Log2(P);
+    out.tier = GroupIndex::Tier::kWide;
+    out.partitions = RadixBuild(
+        n, chunks, P, row_at,
+        [&](size_t r) {
+          return P == 1 ? uint64_t{0} : HashMix64(wide_hash(r)) >> shift;
+        },
+        [&](size_t, const uint32_t* pos, size_t cnt, uint32_t* local_out,
+            std::vector<uint32_t>* lf, std::vector<uint64_t>* ls) {
+          FlatGroupTable t(std::min<uint64_t>(expected, cnt));
+          for (size_t k = 0; k < cnt; ++k) {
+            const size_t r = row_at(pos[k]);
+            const uint32_t id = t.FindOrInsert(
+                wide_hash(r),
+                [&](uint32_t cand) {
+                  return rows_equal(r, row_at((*lf)[cand]));
+                },
+                [&] {
+                  const uint32_t fresh = static_cast<uint32_t>(lf->size());
+                  lf->push_back(pos[k]);
+                  ls->push_back(0);
+                  return std::make_pair(fresh, lf->size());
+                });
+            local_out[k] = id;
+            (*ls)[id]++;
+          }
+        },
+        &out);
+    return out;
+  }
   std::vector<LocalGroups> locals(chunks);
   ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
     LocalGroups& lg = locals[c];
@@ -403,6 +712,12 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
 
 }  // namespace
 
+void GroupIndex::SetRadixOverrideForTesting(int mode, size_t partitions) {
+  g_radix_mode.store(mode < 0 ? -1 : (mode == 0 ? 0 : 1),
+                     std::memory_order_relaxed);
+  g_radix_partitions.store(partitions, std::memory_order_relaxed);
+}
+
 Result<std::vector<size_t>> GroupIndex::Resolve(
     const Table& table, const std::vector<std::string>& attrs) {
   std::vector<size_t> cols;
@@ -429,6 +744,7 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
   out.row_groups_ = std::move(built.row_groups);
   out.rep_rows_ = std::move(built.rep_rows);
   out.sizes_ = std::move(built.sizes);
+  out.partitions_ = std::move(built.partitions);
   return out;
 }
 
@@ -447,6 +763,7 @@ Result<GroupIndex> GroupIndex::BuildForRows(const Table& table,
   out.row_groups_ = std::move(built.row_groups);
   out.rep_rows_ = std::move(built.rep_rows);
   out.sizes_ = std::move(built.sizes);
+  out.partitions_ = std::move(built.partitions);
   return out;
 }
 

@@ -9,14 +9,83 @@
 #define CVOPT_EXEC_GROUP_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/exec/parallel.h"
 #include "src/stats/group_key.h"
 #include "src/table/table.h"
 #include "src/util/status.h"
 
 namespace cvopt {
+
+/// The radix-partition artifact of a partitioned GroupIndex build: the one
+/// row->partition->group decomposition every grouped pass above the build
+/// (aggregation, stratification, statistics, the stratified draw) can
+/// consume instead of re-deriving its own row bucketing.
+///
+/// Rows are hash-partitioned by their grouping key, so a partition owns its
+/// groups outright: every row of a group lands in the same partition, and
+/// the global dense ids owned by distinct partitions are disjoint. Within a
+/// partition the row list is in ascending position order and local ids are
+/// assigned in first-seen order, which is what lets consumers reproduce the
+/// serial pass bit for bit (per-group value sequences are exactly the
+/// serial ascending-row sequences).
+struct GroupPartitions {
+  /// Mapped positions, partition-major: partition p's positions are
+  /// part_rows[part_base[p] .. part_base[p+1]), ascending within p.
+  std::vector<uint32_t> part_rows;
+  /// Partition-local group id of each part_rows entry (aligned).
+  std::vector<uint32_t> part_local;
+  /// P + 1 offsets into part_rows / part_local.
+  std::vector<size_t> part_base;
+  /// Concatenated per-partition local->global dense-id maps: partition p's
+  /// local id l maps to local_to_global[group_base[p] + l]. The global id
+  /// sets of distinct partitions are disjoint (partition-owned group
+  /// ranges), so writes indexed by a partition's global ids never contend.
+  std::vector<uint32_t> local_to_global;
+  /// P + 1 offsets into local_to_global.
+  std::vector<size_t> group_base;
+
+  size_t num_partitions() const {
+    return part_base.empty() ? 0 : part_base.size() - 1;
+  }
+  size_t num_groups_in(size_t p) const {
+    return group_base[p + 1] - group_base[p];
+  }
+  size_t num_rows_in(size_t p) const {
+    return part_base[p + 1] - part_base[p];
+  }
+};
+
+/// Partition-owned slab accumulation over a GroupPartitions artifact — the
+/// one shape of every partition-owned SUM/VAR-style pass (exact executor,
+/// approximate executor weight and moment sums). For each partition p
+/// (claimed dynamically through the shared pool), zeroed slabs s1 (and s2
+/// when `use_s2`) of the partition's own group count are handed to
+/// `acc(p, s1, s2)`, which iterates the partition's ascending row list
+/// adding per-LOCAL-group values; the slabs are then written out at the
+/// partition's global ids into S1/S2. Partitions own disjoint global id
+/// sets, so the scattered writes never contend, and per-group results
+/// equal the serial ascending-row accumulation bit for bit — no chunk
+/// merge, no float reassociation.
+template <class Acc>
+void AccumulatePartitioned(const GroupPartitions& gp, bool use_s2, double* S1,
+                           double* S2, Acc&& acc) {
+  ParallelForChunks(
+      gp.num_partitions(), gp.num_partitions(), [&](size_t p, size_t, size_t) {
+        const size_t gb = gp.group_base[p];
+        const size_t ng = gp.num_groups_in(p);
+        std::vector<double> s1(ng, 0.0);
+        std::vector<double> s2(use_s2 ? ng : 0, 0.0);
+        acc(p, s1.data(), use_s2 ? s2.data() : nullptr);
+        for (size_t l = 0; l < ng; ++l) {
+          S1[gp.local_to_global[gb + l]] = s1[l];
+          if (use_s2) S2[gp.local_to_global[gb + l]] = s2[l];
+        }
+      });
+}
 
 /// Dense row -> group-id mapping for a set of grouping attributes.
 ///
@@ -90,6 +159,22 @@ class GroupIndex {
   std::vector<uint32_t> TakeRowGroups() { return std::move(row_groups_); }
   std::vector<uint64_t> TakeSizes() { return std::move(sizes_); }
 
+  /// The radix-partition artifact, when the partitioned build ran (huge
+  /// estimated group cardinality and a parallel chunking); null when the
+  /// chunk-merge path was used. Dense ids are bit-identical either way —
+  /// the artifact only adds the partition-owned decomposition for
+  /// downstream passes to reuse.
+  const std::shared_ptr<const GroupPartitions>& partitions() const {
+    return partitions_;
+  }
+
+  /// Test-only override of the radix-path decision. mode < 0 restores the
+  /// automatic heuristic (cardinality estimate + thread count); 0 forces
+  /// the chunk-merge path; > 0 forces the radix path even for tiny inputs
+  /// and serial runs. `partitions` > 0 pins the partition count (rounded to
+  /// a power of two, capped at 256); 0 derives it from the thread count.
+  static void SetRadixOverrideForTesting(int mode, size_t partitions = 0);
+
  private:
   GroupIndex() = default;
 
@@ -99,6 +184,7 @@ class GroupIndex {
   std::vector<uint32_t> row_groups_;  // position -> group id
   std::vector<uint32_t> rep_rows_;    // group id -> representative table row
   std::vector<uint64_t> sizes_;       // group id -> occurrence count
+  std::shared_ptr<const GroupPartitions> partitions_;  // radix builds only
 };
 
 /// Incremental dense-id router for streaming rows — the one-pass analogue

@@ -8,57 +8,6 @@
 
 namespace cvopt {
 
-namespace {
-
-// Stable bucket-by-stratum: a parallel counting sort over row_strata.
-// Returns the concatenated per-stratum row lists (stratum c's rows occupy
-// [base[c], base[c+1]) in ascending row order); rows marked kNoStratum
-// (excluded by a filtered stratification) appear in no bucket. The output
-// is a pure function of row_strata — per-chunk histograms and scatter
-// cursors depend only on chunk boundaries, and every chunking yields the
-// same stable order — so the chunk count (AggregationChunks caps the
-// fan-out where per-stratum histogram traffic would rival the row scan)
-// never shows up in the result.
-std::vector<uint32_t> BucketRowsByStratum(const std::vector<uint32_t>& row_strata,
-                                          const std::vector<size_t>& base,
-                                          size_t r) {
-  const size_t n = row_strata.size();
-  std::vector<uint32_t> stratum_rows(base[r]);
-  if (stratum_rows.empty()) return stratum_rows;
-  const uint32_t* rs = row_strata.data();
-  const size_t chunks = AggregationChunks(n, r);
-  // cursors[c * r + s]: chunk c's next write slot for stratum s. Pass 1
-  // counts per-chunk occurrences; the serial sweep converts counts to start
-  // offsets (base[s] plus all earlier chunks' counts); pass 2 scatters.
-  std::vector<uint32_t> cursors(chunks * r, 0);
-  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
-    uint32_t* cnt = cursors.data() + c * r;
-    for (size_t i = lo; i < hi; ++i) {
-      const uint32_t s = rs[i];
-      if (s != Stratification::kNoStratum) cnt[s]++;
-    }
-  });
-  for (size_t s = 0; s < r; ++s) {
-    size_t at = base[s];
-    for (size_t c = 0; c < chunks; ++c) {
-      const uint32_t count = cursors[c * r + s];
-      cursors[c * r + s] = static_cast<uint32_t>(at);
-      at += count;
-    }
-  }
-  uint32_t* out = stratum_rows.data();
-  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
-    uint32_t* cur = cursors.data() + c * r;
-    for (size_t i = lo; i < hi; ++i) {
-      const uint32_t s = rs[i];
-      if (s != Stratification::kNoStratum) out[cur[s]++] = static_cast<uint32_t>(i);
-    }
-  });
-  return stratum_rows;
-}
-
-}  // namespace
-
 Result<StratifiedSample> DrawStratified(
     const Table& table, std::shared_ptr<const Stratification> strat,
     const std::vector<uint64_t>& sizes, const std::string& method, Rng* rng) {
@@ -80,13 +29,17 @@ Result<StratifiedSample> DrawStratified(
   // Per-stratum draw sizes: an allocation at or above the stratum
   // population takes every row (take-all — the reservoir consumes no random
   // draws there), so s_c = min(sizes[c], n_c) is known before drawing and
-  // each stratum writes a disjoint output slab.
-  std::vector<size_t> base(r + 1, 0);     // bucket offsets (population)
+  // each stratum writes a disjoint output slab. Strata served exactly
+  // (s_c == n_c > 0) are recorded on the sample, so reports can tell
+  // exhaustive strata from sampled ones.
+  std::vector<size_t> base(r + 1, 0);     // population offsets
   std::vector<size_t> out_off(r + 1, 0);  // output offsets (draw sizes)
+  std::vector<uint8_t> exhaustive(r, 0);
   for (size_t c = 0; c < r; ++c) {
     const uint64_t s_c = std::min<uint64_t>(sizes[c], pop[c]);
     base[c + 1] = base[c] + static_cast<size_t>(pop[c]);
     out_off[c + 1] = out_off[c] + static_cast<size_t>(s_c);
+    exhaustive[c] = pop[c] > 0 && s_c == pop[c] ? 1 : 0;
   }
 
   std::vector<uint32_t> rows(out_off[r]);
@@ -98,11 +51,15 @@ Result<StratifiedSample> DrawStratified(
   const size_t n = row_strata.size();
   // Two draw paths, one output: each stratum's draw is Algorithm R over its
   // rows in ascending row order on its own stream, so running the strata
-  // interleaved in one table pass (serial fast path: no bucket
-  // materialization) or bucketed and fanned out (parallel path) produces
-  // the same rows bit for bit. The choice can therefore follow the
-  // resolved thread count without entering the determinism contract.
-  if (ParallelChunkCount(n, ResolveThreads()) <= 1) {
+  // interleaved in one table pass (serial fast path: no list
+  // materialization) or walking the shared per-stratum row lists (the
+  // stratification's partition-backed — or counting-sorted — artifact,
+  // fanned out across the pool) produces the same rows bit for bit. The
+  // choice can therefore follow the resolved thread count and whether the
+  // lists already exist, without entering the determinism contract.
+  const bool use_lists = strat->stratum_rows_materialized() ||
+                         ParallelChunkCount(n, ResolveThreads()) > 1;
+  if (!use_lists) {
     // One interleaved pass: offer each row to its stratum's reservoir
     // state. seen[c] plays DrawReservoir's item index i; the slab fills,
     // then rows displace uniformly via the stratum's stream.
@@ -131,18 +88,21 @@ Result<StratifiedSample> DrawStratified(
       std::fill(weightp + out_off[c], weightp + out_off[c + 1], w);
     }
   } else {
-    const std::vector<uint32_t> stratum_rows =
-        BucketRowsByStratum(row_strata, base, r);
+    // The per-stratum row lists come from the stratification itself (one
+    // shared materialization — straight from the radix-partition artifact
+    // when the build kept one), not from a sampler-private bucketing pass.
+    const std::vector<uint32_t>& stratum_rows = strat->stratum_rows();
     const uint32_t* bucketp = stratum_rows.data();
+    const size_t* sbase = strat->stratum_row_base().data();
     ParallelFor(
         r,
         [&](size_t, size_t lo, size_t hi) {
           for (size_t c = lo; c < hi; ++c) {
             const size_t s_c = out_off[c + 1] - out_off[c];
             if (s_c == 0) continue;  // allocation 0 / empty stratum: no draws
-            const size_t n_c = base[c + 1] - base[c];
+            const size_t n_c = sbase[c + 1] - sbase[c];
             Rng stream = Rng::ForStratum(master, c);
-            DrawReservoir(bucketp + base[c], n_c, s_c, &stream,
+            DrawReservoir(bucketp + sbase[c], n_c, s_c, &stream,
                           rowp + out_off[c]);
             const double w =
                 static_cast<double>(n_c) / static_cast<double>(s_c);
@@ -153,6 +113,7 @@ Result<StratifiedSample> DrawStratified(
   }
   StratifiedSample sample(&table, std::move(rows), std::move(weights), method);
   sample.set_stratification(std::move(strat));
+  sample.set_stratum_exhaustive(std::move(exhaustive));
   return sample;
 }
 

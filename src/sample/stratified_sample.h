@@ -44,6 +44,25 @@ class StratifiedSample {
   }
   const Stratification* stratification() const { return strat_.get(); }
 
+  /// Optional: per-stratum exhaustive-service flags (aligned with the
+  /// stratification's strata). Flag c is 1 when the draw took every row of
+  /// stratum c — the allocation met or exceeded the population, including
+  /// DrawStratified's take-all clamp — so answers over that stratum are
+  /// exact, not estimates. Empty when the sample was not drawn through
+  /// DrawStratified (e.g. measure-biased designs).
+  void set_stratum_exhaustive(std::vector<uint8_t> flags) {
+    stratum_exhaustive_ = std::move(flags);
+  }
+  const std::vector<uint8_t>& stratum_exhaustive() const {
+    return stratum_exhaustive_;
+  }
+  /// Number of strata served exactly (take-all / clamped allocations).
+  size_t num_exhaustive_strata() const {
+    size_t n = 0;
+    for (uint8_t f : stratum_exhaustive_) n += f;
+    return n;
+  }
+
   /// Copies the sampled rows into a standalone Table (for export or for
   /// engines that want a physical sample table).
   Table Materialize() const { return base_->TakeRows(rows_); }
@@ -54,6 +73,7 @@ class StratifiedSample {
   std::vector<double> weights_;
   std::string method_;
   std::shared_ptr<const Stratification> strat_;
+  std::vector<uint8_t> stratum_exhaustive_;
 };
 
 }  // namespace cvopt

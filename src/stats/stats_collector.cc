@@ -25,19 +25,10 @@ Status ValidateSources(const Stratification& strat,
   return Status::OK();
 }
 
-// One pass over rows [lo, hi) for a single source, with the value-stream
-// dispatch (constant / indicator / column type) hoisted out of the row loop.
-void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
-                      const StatSource& src, size_t j, GroupStatsTable* out) {
-  auto add_all = [&](auto value_at) {
-    for (size_t r = lo; r < hi; ++r) {
-      const uint32_t s = row_strata[r];
-      // Filtered stratifications mark excluded rows with kNoStratum; the
-      // branch is never taken (and predicted away) on unfiltered builds.
-      if (s == Stratification::kNoStratum) continue;
-      out->At(s, j).Add(value_at(r));
-    }
-  };
+// The one value-stream dispatch (constant / indicator / column type),
+// hoisted out of every row loop: calls add_all with a specialized value_at.
+template <class AddAll>
+void WithSourceValues(const StatSource& src, AddAll&& add_all) {
   if (src.constant_one) {
     add_all([](size_t) { return 1.0; });
   } else if (src.indicator != nullptr) {
@@ -52,9 +43,50 @@ void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
   }
 }
 
-}  // namespace
+// One pass over rows [lo, hi) for a single source: the row-scan order.
+void AccumulateSource(const uint32_t* row_strata, size_t lo, size_t hi,
+                      const StatSource& src, size_t j, GroupStatsTable* out) {
+  WithSourceValues(src, [&](auto value_at) {
+    for (size_t r = lo; r < hi; ++r) {
+      const uint32_t s = row_strata[r];
+      // Filtered stratifications mark excluded rows with kNoStratum; the
+      // branch is never taken (and predicted away) on unfiltered builds.
+      if (s == Stratification::kNoStratum) continue;
+      out->At(s, j).Add(value_at(r));
+    }
+  });
+}
 
-namespace {
+// The list-ordered twin of AccumulateSource: walks the stratification's
+// per-stratum row lists restricted to table-row range [lo, hi) (the whole
+// table when `whole`). Each (stratum, source) RunningStats receives exactly
+// the Add sequence of the row scan — that stratum's rows in ascending row
+// order within the chunk — so the collected statistics are bit-identical;
+// only the iteration order ACROSS strata changes, which keeps each target
+// RunningStats hot across its whole run instead of bouncing per row. Used
+// when the stratification already carries the lists (a partitioned build,
+// or a consumer materialized them); the sampler determinism contract is
+// unaffected because the merged values are identical to the row scan's.
+void AccumulateSourceLists(const uint32_t* srows, const size_t* sbase,
+                           size_t strata, size_t lo, size_t hi, bool whole,
+                           const StatSource& src, size_t j,
+                           GroupStatsTable* out) {
+  WithSourceValues(src, [&](auto value_at) {
+    for (size_t s = 0; s < strata; ++s) {
+      const uint32_t* b = srows + sbase[s];
+      const uint32_t* e = srows + sbase[s + 1];
+      if (!whole) {
+        b = std::lower_bound(b, e, static_cast<uint32_t>(lo));
+        e = std::lower_bound(b, e, static_cast<uint32_t>(hi));
+      }
+      if (b == e) continue;
+      RunningStats& rs = out->At(s, j);
+      for (const uint32_t* it = b; it != e; ++it) {
+        rs.Add(value_at(static_cast<size_t>(*it)));
+      }
+    }
+  });
+}
 
 // Deterministic chunk count for the statistics pass: a pure function of the
 // input shape (rows, strata), never of the resolved thread count or the
@@ -86,30 +118,51 @@ size_t DeterministicStatChunks(size_t n, size_t strata) {
 // al. pairwise merge). `num_threads` only bounds the pool fan-out (0 = the
 // ExecOptions / CVOPT_THREADS default); the merged statistics are
 // bit-identical for every value. One chunk runs the serial loop inline with
-// no partials.
+// no partials. When the stratification already carries per-stratum row
+// lists (partitioned builds), the accumulation walks the lists instead of
+// re-scanning row_strata — same chunk boundaries, same per-(stratum,
+// source, chunk) Add sequences, identical output.
 Result<GroupStatsTable> CollectImpl(const Stratification& strat,
                                     const std::vector<StatSource>& sources,
                                     int num_threads) {
   CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
   const size_t n = strat.table().num_rows();
+  const size_t strata = strat.num_strata();
   const uint32_t* row_strata = strat.row_strata().data();
-  const size_t chunks = DeterministicStatChunks(n, strat.num_strata());
+  const bool use_lists = strat.stratum_rows_cheap();
+  const uint32_t* srows = nullptr;
+  const size_t* sbase = nullptr;
+  if (use_lists) {
+    srows = strat.stratum_rows().data();
+    sbase = strat.stratum_row_base().data();
+  }
+  const size_t chunks = DeterministicStatChunks(n, strata);
   if (chunks <= 1) {
-    GroupStatsTable stats(strat.num_strata(), sources.size());
+    GroupStatsTable stats(strata, sources.size());
     for (size_t j = 0; j < sources.size(); ++j) {
-      AccumulateSource(row_strata, 0, n, sources[j], j, &stats);
+      if (use_lists) {
+        AccumulateSourceLists(srows, sbase, strata, 0, n, /*whole=*/true,
+                              sources[j], j, &stats);
+      } else {
+        AccumulateSource(row_strata, 0, n, sources[j], j, &stats);
+      }
     }
     return stats;
   }
 
   std::vector<GroupStatsTable> partials(
-      chunks, GroupStatsTable(strat.num_strata(), sources.size()));
+      chunks, GroupStatsTable(strata, sources.size()));
   ParallelForChunks(
       n, chunks,
       [&](size_t c, size_t lo, size_t hi) {
         GroupStatsTable& local = partials[c];
         for (size_t j = 0; j < sources.size(); ++j) {
-          AccumulateSource(row_strata, lo, hi, sources[j], j, &local);
+          if (use_lists) {
+            AccumulateSourceLists(srows, sbase, strata, lo, hi,
+                                  /*whole=*/false, sources[j], j, &local);
+          } else {
+            AccumulateSource(row_strata, lo, hi, sources[j], j, &local);
+          }
         }
       },
       num_threads);

@@ -67,6 +67,32 @@ TEST(AqpEngineTest, ExactVsApproxAndEvaluate) {
   EXPECT_LT(rep.MaxError(), 0.2);  // 30% CVOPT sample is quite accurate here
 }
 
+TEST(AqpEngineTest, EvaluateSurfacesExhaustiveStrata) {
+  // A budget at the table size forces every stratum into take-all service;
+  // the report must say so (strata served exactly == all of them) and the
+  // errors must be exactly zero — distinguishable from genuinely sampled
+  // near-zero error.
+  Table t = MakeSkewedTable(3, 20);  // 20 + 40 + 60 rows
+  AqpEngine engine(&t, /*seed=*/11);
+  CvoptSampler cvopt;
+  ASSERT_OK(engine.BuildSample("all", cvopt, {AvgV()}, 1.0));
+  ASSERT_OK_AND_ASSIGN(ErrorReport rep, engine.Evaluate("all", AvgV()));
+  EXPECT_EQ(rep.total_strata, 3u);
+  EXPECT_EQ(rep.exhaustive_strata, 3u);
+  EXPECT_EQ(rep.MaxError(), 0.0);
+  EXPECT_NE(rep.ToString().find("strata served exactly: 3/3"),
+            std::string::npos);
+
+  // A small sample over skewed strata: the report shows how many strata
+  // were exhausted (small strata often are under CVOPT), bounded by total.
+  ASSERT_OK(engine.BuildSample("part", cvopt, {AvgV()}, 0.3));
+  ASSERT_OK_AND_ASSIGN(const StratifiedSample* s, engine.GetSample("part"));
+  ASSERT_OK_AND_ASSIGN(ErrorReport partial, engine.Evaluate("part", AvgV()));
+  EXPECT_EQ(partial.total_strata, 3u);
+  EXPECT_EQ(partial.exhaustive_strata, s->num_exhaustive_strata());
+  EXPECT_LE(partial.exhaustive_strata, partial.total_strata);
+}
+
 TEST(AqpEngineTest, BudgetVariant) {
   Table t = MakeSkewedTable(3, 100);
   AqpEngine engine(&t);

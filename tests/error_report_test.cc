@@ -105,5 +105,42 @@ TEST(ErrorReportTest, ToStringIsInformative) {
   EXPECT_NE(s.find("max=50.00%"), std::string::npos);
 }
 
+TEST(ErrorReportTest, ToStringSurfacesExhaustiveStrata) {
+  ErrorReport rep;
+  rep.errors = {0.0};
+  rep.exhaustive_strata = 2;
+  rep.total_strata = 5;
+  EXPECT_NE(rep.ToString().find("strata served exactly: 2/5"),
+            std::string::npos);
+  ErrorReport plain;  // no sample attached: no stratum clause
+  EXPECT_EQ(plain.ToString().find("strata served exactly"), std::string::npos);
+}
+
+TEST(ErrorReportTest, MergeDeduplicatesPerSampleStratumCounts) {
+  // Stratum counts are per-sample facts: several queries evaluated against
+  // one sample must not multiply its strata, while reports pooled over
+  // distinct samples (consecutive runs of differing counts) add up.
+  auto rep = [](size_t exhaustive, size_t total) {
+    ErrorReport r;
+    r.errors = {0.1};
+    r.exhaustive_strata = exhaustive;
+    r.total_strata = total;
+    return r;
+  };
+  // One sample, three queries: counts carried through once.
+  ErrorReport one = MergeReports({rep(1, 3), rep(1, 3), rep(1, 3)});
+  EXPECT_EQ(one.exhaustive_strata, 1u);
+  EXPECT_EQ(one.total_strata, 3u);
+  // Two samples, two queries each (the Table-4 shape): counts add once per
+  // sample.
+  ErrorReport two = MergeReports({rep(1, 3), rep(1, 3), rep(2, 4), rep(2, 4)});
+  EXPECT_EQ(two.exhaustive_strata, 3u);
+  EXPECT_EQ(two.total_strata, 7u);
+  // Strata-less reports (plain CompareResults) neither add nor reset runs.
+  ErrorReport mixed = MergeReports({rep(1, 3), ErrorReport{}, rep(1, 3)});
+  EXPECT_EQ(mixed.exhaustive_strata, 1u);
+  EXPECT_EQ(mixed.total_strata, 3u);
+}
+
 }  // namespace
 }  // namespace cvopt

@@ -234,6 +234,122 @@ TEST_P(GroupIndexFuzz, MatchesNaiveReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GroupIndexFuzz, testing::Range(0, 5));
 
+// The radix-partitioned build must reproduce the naive reference exactly
+// (ids in first-seen order, sizes, keys) for every tier, partition count —
+// including the P=1 single-partition edge and P far above the group count
+// (empty partitions) — and thread count, over full and subset builds.
+class RadixBuildFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(RadixBuildFuzz, ForcedRadixMatchesNaiveReference) {
+  Rng rng(8800 + GetParam());
+  const size_t n = 400 + rng.Uniform(400);
+  std::vector<int64_t> small(n), wide(n);
+  std::vector<std::string> strs(n);
+  const char* names[] = {"aa", "bb", "cc", "dd", "ee", "ff", "gg"};
+  for (size_t r = 0; r < n; ++r) {
+    small[r] = static_cast<int64_t>(rng.Uniform(25)) - 12;
+    wide[r] = (static_cast<int64_t>(rng.Uniform(9)) - 4) * (int64_t{1} << 40) +
+              static_cast<int64_t>(rng.Uniform(5));
+    strs[r] = names[rng.Uniform(7)];
+  }
+  Table t = MakeTypedTable(small, wide, strs);
+
+  // Covers all three tiers: direct ({"s"}, {"s","i"}), packed ({"s","w"},
+  // {"i","w"}), wide ({"w","w"}, {"w","w","s"}).
+  const std::vector<std::vector<std::string>> attr_sets = {
+      {"s"}, {"s", "i"}, {"s", "w"}, {"i", "w"}, {"w", "w"}, {"w", "w", "s"}};
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < n / 2; ++i) {
+    rows.push_back(static_cast<uint32_t>(rng.Uniform(n)));
+  }
+  for (const size_t partitions : {size_t{1}, size_t{2}, size_t{8}, size_t{64}}) {
+    ScopedRadixOverride radix(/*mode=*/1, partitions);
+    for (const int threads : {1, 2, 3, 8}) {
+      ScopedExecThreads scope(threads, /*grain=*/64);
+      for (const auto& attrs : attr_sets) {
+        ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, attrs));
+        ASSERT_OK_AND_ASSIGN(std::vector<size_t> cols,
+                             GroupIndex::Resolve(t, attrs));
+        ASSERT_NE(gidx.partitions(), nullptr);
+        ExpectMatchesReference(gidx, NaiveIndex(t, cols, nullptr));
+
+        ASSERT_OK_AND_ASSIGN(GroupIndex sub,
+                             GroupIndex::BuildForRows(t, attrs, rows));
+        ExpectMatchesReference(sub, NaiveIndex(t, cols, &rows));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadixBuildFuzz, testing::Range(0, 3));
+
+TEST(RadixBuildTest, PartitionArtifactIsConsistent) {
+  // The artifact must tile the mapped positions exactly: every position in
+  // one partition, ascending within it, local ids consistent with the
+  // global mapping, and partition-owned global id sets disjoint.
+  Rng rng(515);
+  const size_t n = 3000;
+  std::vector<int64_t> small(n), wide(n);
+  std::vector<std::string> strs(n);
+  for (size_t r = 0; r < n; ++r) {
+    small[r] = static_cast<int64_t>(rng.Uniform(600));
+    wide[r] = static_cast<int64_t>(rng.Uniform(1u << 30));
+    strs[r] = "s" + std::to_string(rng.Uniform(50));
+  }
+  Table t = MakeTypedTable(small, wide, strs);
+  ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/8);
+  ASSERT_OK_AND_ASSIGN(GroupIndex gidx, GroupIndex::Build(t, {"s", "i", "w"}));
+  const auto& gp = gidx.partitions();
+  ASSERT_NE(gp, nullptr);
+  EXPECT_EQ(gp->num_partitions(), 8u);
+  EXPECT_EQ(gp->part_rows.size(), n);
+  EXPECT_EQ(gp->part_local.size(), n);
+  EXPECT_EQ(gp->local_to_global.size(), gidx.num_groups());
+  std::vector<int> seen_pos(n, 0);
+  std::vector<int> seen_group(gidx.num_groups(), 0);
+  for (size_t p = 0; p < gp->num_partitions(); ++p) {
+    for (size_t g = 0; g < gp->num_groups_in(p); ++g) {
+      const uint32_t global = gp->local_to_global[gp->group_base[p] + g];
+      EXPECT_EQ(seen_group[global]++, 0) << "global id owned twice";
+    }
+    for (size_t k = gp->part_base[p]; k < gp->part_base[p + 1]; ++k) {
+      const uint32_t pos = gp->part_rows[k];
+      EXPECT_EQ(seen_pos[pos]++, 0) << "position scattered twice";
+      if (k > gp->part_base[p]) EXPECT_LT(gp->part_rows[k - 1], pos);
+      // Local id agrees with the global row->group mapping.
+      EXPECT_EQ(gp->local_to_global[gp->group_base[p] + gp->part_local[k]],
+                gidx.group_of(pos));
+    }
+  }
+  EXPECT_EQ(std::count(seen_pos.begin(), seen_pos.end(), 1),
+            static_cast<long>(n));
+}
+
+TEST(RadixBuildTest, AutoHeuristicEngagesOnHugeCardinality) {
+  // A ~100k-group int key over 2^30 spread (packed tier) at n >= 65536:
+  // the automatic path must engage when parallel and stay off serially —
+  // with bit-identical ids either way.
+  Schema schema({{"k", DataType::kInt64}});
+  TableBuilder b(schema);
+  Rng rng(99);
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_OK(b.AppendRow({Value(static_cast<int64_t>(rng.Uniform(1u << 30)))}));
+  }
+  Table t = std::move(b).Finish();
+  GroupIndex serial = [&] {
+    ScopedExecThreads one(1);
+    return std::move(GroupIndex::Build(t, {"k"})).ValueOrDie();
+  }();
+  EXPECT_EQ(serial.partitions(), nullptr);  // serial: radix never engages
+  ScopedExecThreads threads(4);
+  ASSERT_OK_AND_ASSIGN(GroupIndex par, GroupIndex::Build(t, {"k"}));
+  EXPECT_EQ(par.tier(), GroupIndex::Tier::kPacked);
+  ASSERT_NE(par.partitions(), nullptr);
+  EXPECT_EQ(par.row_groups(), serial.row_groups());
+  EXPECT_EQ(par.sizes(), serial.sizes());
+}
+
 TEST(GroupKeyInternerTest, AssignsDenseFirstSeenIds) {
   GroupKeyInterner interner;
   EXPECT_EQ(interner.Intern(GroupKey{{1, 2}}), 0u);

@@ -338,6 +338,125 @@ TEST_P(ParallelExecTest, CvoptPlanBitIdenticalAcrossThreads) {
   EXPECT_EQ(sample.rows().size(), sample.weights().size());
 }
 
+TEST_P(ParallelExecTest, ForcedRadixExecutorsMatchDefaultPaths) {
+  // With the radix build forced, the executors take the partition-owned
+  // accumulation path on unmasked queries (and the GroupIndex still yields
+  // bit-identical ids); results must match the default serial path within
+  // the float-summation tolerance, with MEDIAN and counts exact.
+  const Table& t = TestTable();
+  Rng srng(42);
+  UniformSampler sampler;
+  ASSERT_OK_AND_ASSIGN(StratifiedSample sample,
+                       sampler.Build(t, {AllAggregatesQuery(false)}, 20000, &srng));
+  for (bool filtered : {false, true}) {
+    QueryResult serial_exact, serial_approx;
+    {
+      ScopedExecThreads one(1);
+      ASSERT_OK_AND_ASSIGN(serial_exact,
+                           ExecuteExact(t, AllAggregatesQuery(filtered)));
+      ASSERT_OK_AND_ASSIGN(serial_approx,
+                           ExecuteApprox(sample, AllAggregatesQuery(filtered)));
+    }
+    ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/16);
+    ScopedExecThreads threads(GetParam());
+    ASSERT_OK_AND_ASSIGN(QueryResult par_exact,
+                         ExecuteExact(t, AllAggregatesQuery(filtered)));
+    ASSERT_OK_AND_ASSIGN(QueryResult par_approx,
+                         ExecuteApprox(sample, AllAggregatesQuery(filtered)));
+    ExpectResultsMatch(serial_exact, par_exact, /*weighted_counts=*/false);
+    ExpectResultsMatch(serial_approx, par_approx, /*weighted_counts=*/true);
+  }
+}
+
+TEST_P(ParallelExecTest, HugeGroupCountExecutorMatchesSerial) {
+  // The many-keys regime (the radix path's target): ~tens of thousands of
+  // groups over 100k rows. At >= 2 threads the automatic heuristic engages
+  // the partitioned build; ids, counts, and sums must match the serial
+  // chunk-merge path.
+  const Table& t = TestTable();
+  QuerySpec q;
+  q.group_by = {"country", "parameter", "unit", "year", "month", "hour"};
+  q.aggregates = {AggSpec::Avg("value"), AggSpec::Count(),
+                  AggSpec::Variance("value")};
+  QueryResult serial;
+  {
+    ScopedExecThreads one(1);
+    ASSERT_OK_AND_ASSIGN(serial, ExecuteExact(t, q));
+  }
+  ScopedExecThreads threads(GetParam());
+  ASSERT_OK_AND_ASSIGN(QueryResult par, ExecuteExact(t, q));
+  ExpectResultsMatch(serial, par, /*weighted_counts=*/false);
+}
+
+TEST_P(ParallelExecTest, StratumRowListsMatchEveryDerivation) {
+  // The per-stratum row lists are a pure function of the stratification:
+  // the counting-sort fallback, the partition-backed fill, and every
+  // thread count must produce identical arrays — for plain and filtered
+  // builds alike.
+  const Table& t = TestTable();
+  const PredicatePtr where = Predicate::Between("hour", 6, 18);
+  std::vector<uint32_t> ref_rows, ref_filtered_rows;
+  std::vector<size_t> ref_base, ref_filtered_base;
+  {
+    ScopedExecThreads one(1);
+    ASSERT_OK_AND_ASSIGN(Stratification s,
+                         Stratification::Build(t, {"country", "parameter"}));
+    ASSERT_OK_AND_ASSIGN(
+        Stratification sf,
+        Stratification::Build(t, {"country", "parameter"}, where));
+    EXPECT_FALSE(s.stratum_rows_materialized());
+    ref_rows = s.stratum_rows();  // counting-sort fallback (no partitions)
+    ref_base = s.stratum_row_base();
+    EXPECT_TRUE(s.stratum_rows_materialized());
+    ref_filtered_rows = sf.stratum_rows();
+    ref_filtered_base = sf.stratum_row_base();
+    // The lists tile the (surviving) rows exactly.
+    EXPECT_EQ(ref_rows.size(), t.num_rows());
+    EXPECT_EQ(ref_base.back(), t.num_rows());
+    EXPECT_LT(ref_filtered_rows.size(), t.num_rows());
+  }
+  ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/8);
+  ScopedExecThreads threads(GetParam());
+  ASSERT_OK_AND_ASSIGN(Stratification par,
+                       Stratification::Build(t, {"country", "parameter"}));
+  ASSERT_OK_AND_ASSIGN(
+      Stratification parf,
+      Stratification::Build(t, {"country", "parameter"}, where));
+  EXPECT_TRUE(par.stratum_rows_cheap());  // partition-backed fill available
+  EXPECT_EQ(par.stratum_rows(), ref_rows);
+  EXPECT_EQ(par.stratum_row_base(), ref_base);
+  EXPECT_EQ(parf.stratum_rows(), ref_filtered_rows);
+  EXPECT_EQ(parf.stratum_row_base(), ref_filtered_base);
+}
+
+TEST_P(ParallelExecTest, SamplersBitIdenticalWithForcedRadix) {
+  // End-to-end through the partition artifact: stratification lists come
+  // from the radix build, CollectGroupStats walks them list-ordered, and
+  // DrawStratified draws from them — every sampler's rows and weights must
+  // still be bit-identical to the default serial path (the PR 4 sample
+  // determinism contract survives the refactor).
+  const Table& t = TestTable();
+  QuerySpec q = AllAggregatesQuery(false);
+  const UniformSampler uniform;
+  const SenateSampler senate;
+  const CvoptSampler cvopt;
+  for (const Sampler* sampler : {static_cast<const Sampler*>(&uniform),
+                                 static_cast<const Sampler*>(&senate),
+                                 static_cast<const Sampler*>(&cvopt)}) {
+    StratifiedSample serial = [&] {
+      ScopedExecThreads one(1);
+      Rng rng(5150);
+      return std::move(sampler->Build(t, {q}, 12000, &rng)).ValueOrDie();
+    }();
+    ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/8);
+    ScopedExecThreads threads(GetParam());
+    Rng rng(5150);
+    ASSERT_OK_AND_ASSIGN(StratifiedSample par, sampler->Build(t, {q}, 12000, &rng));
+    EXPECT_EQ(par.rows(), serial.rows()) << sampler->name();
+    EXPECT_EQ(par.weights(), serial.weights()) << sampler->name();
+  }
+}
+
 TEST_P(ParallelExecTest, EmptyAndTinyTables) {
   OpenAqOptions opts;
   opts.num_rows = 0;

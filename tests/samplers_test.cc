@@ -265,7 +265,26 @@ TEST(DrawStratifiedTest, OversizedAllocationTakesAll) {
   for (uint32_t r : s.rows()) per[shared->StratumOfRow(r)]++;
   EXPECT_EQ(per[0], static_cast<int>(shared->sizes()[0]));
   EXPECT_EQ(per[1], 1);
+  // The clamp is no longer silent: stratum 0 (allocation >= population) is
+  // flagged as served exactly, stratum 1 (1 of 20 rows) is not.
+  ASSERT_EQ(s.stratum_exhaustive().size(), 2u);
+  EXPECT_EQ(s.stratum_exhaustive()[0], 1);
+  EXPECT_EQ(s.stratum_exhaustive()[1], 0);
+  EXPECT_EQ(s.num_exhaustive_strata(), 1u);
   EXPECT_FALSE(DrawStratified(t, shared, {1}, "x", &rng).ok());  // wrong size
+}
+
+TEST(DrawStratifiedTest, ExactAllocationCountsAsExhaustive) {
+  // An allocation exactly equal to the population takes every row too —
+  // flagged the same as an over-population clamp.
+  Table t = MakeSkewedTable(2, 10);  // stratum sizes 10 and 20
+  ASSERT_OK_AND_ASSIGN(Stratification strat, Stratification::Build(t, {"g"}));
+  auto shared = std::make_shared<Stratification>(std::move(strat));
+  Rng rng(60);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample s,
+                       DrawStratified(t, shared, {10, 19}, "x", &rng));
+  EXPECT_EQ(s.stratum_exhaustive()[0], 1);
+  EXPECT_EQ(s.stratum_exhaustive()[1], 0);
 }
 
 }  // namespace

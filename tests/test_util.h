@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/group_index.h"
 #include "src/exec/parallel.h"
 #include "src/table/table_builder.h"
 #include "src/util/rng.h"
@@ -30,6 +31,18 @@ class ScopedExecThreads {
 
  private:
   ExecOptions saved_;
+};
+
+/// Forces (mode 1) or suppresses (mode 0) the radix-partitioned GroupIndex
+/// build for the lifetime of the scope, restoring the automatic heuristic
+/// on exit. `partitions` pins the partition count (0 = derive from the
+/// thread count).
+class ScopedRadixOverride {
+ public:
+  explicit ScopedRadixOverride(int mode, size_t partitions = 0) {
+    GroupIndex::SetRadixOverrideForTesting(mode, partitions);
+  }
+  ~ScopedRadixOverride() { GroupIndex::SetRadixOverrideForTesting(-1, 0); }
 };
 
 #define ASSERT_OK(expr)                                         \

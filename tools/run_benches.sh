@@ -6,44 +6,88 @@
 # "parallel_items_per_second" section keyed by thread count, alongside the
 # machine's hardware_concurrency so scaling numbers can be read in context.
 #
-# Usage: tools/run_benches.sh [build-dir]
+# Single runs on a noisy host swing ±15-25% even on untouched code paths,
+# which makes one-shot deltas meaningless; --repeats N runs the whole suite
+# N times and records the per-bench MEDIAN across runs (the JSON notes the
+# repeat count). Use --repeats 5 or more before trusting any delta.
+#
+# Usage: tools/run_benches.sh [--repeats N] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${1:-build-bench}
+BUILD_DIR=build-bench
 OUT=BENCH_groupby.json
+REPEATS=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --repeats)
+      REPEATS="$2"
+      shift 2
+      ;;
+    --repeats=*)
+      REPEATS="${1#--repeats=}"
+      shift
+      ;;
+    --*)
+      echo "unknown option: $1" >&2
+      exit 1
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+if ! [[ "$REPEATS" =~ ^[1-9][0-9]*$ ]]; then
+  echo "invalid --repeats value: $REPEATS" >&2
+  exit 1
+fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_micro_groupby bench_micro_sampling >/dev/null
 
-tmp_groupby=$(mktemp)
-tmp_sampling=$(mktemp)
-trap 'rm -f "$tmp_groupby" "$tmp_sampling"' EXIT
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
 
-"$BUILD_DIR"/bench_micro_groupby \
-  --benchmark_format=json --benchmark_min_time=1 >"$tmp_groupby"
-"$BUILD_DIR"/bench_micro_sampling \
-  --benchmark_format=json >"$tmp_sampling"
+for ((rep = 0; rep < REPEATS; rep++)); do
+  [[ "$REPEATS" -gt 1 ]] && echo "--- repeat $((rep + 1))/$REPEATS ---"
+  "$BUILD_DIR"/bench_micro_groupby \
+    --benchmark_format=json --benchmark_min_time=1 >"$TMP_DIR/groupby_$rep.json"
+  "$BUILD_DIR"/bench_micro_sampling \
+    --benchmark_format=json >"$TMP_DIR/sampling_$rep.json"
+done
 
-python3 - "$tmp_groupby" "$tmp_sampling" "$OUT" <<'PY'
+python3 - "$TMP_DIR" "$REPEATS" "$OUT" <<'PY'
 import json
 import os
+import statistics
 import subprocess
 import sys
 
-groupby_path, sampling_path, out_path = sys.argv[1:4]
+tmp_dir, repeats, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
 
 def items_per_second(path):
     with open(path) as f:
         report = json.load(f)
     return {
-        b["name"]: round(b["items_per_second"])
+        b["name"]: b["items_per_second"]
         for b in report["benchmarks"]
         if "items_per_second" in b
     }
 
-measured = {**items_per_second(groupby_path), **items_per_second(sampling_path)}
+# Per-bench median across the repeated runs (both suites merged per run).
+runs = []
+for rep in range(repeats):
+    run = {}
+    run.update(items_per_second(os.path.join(tmp_dir, f"groupby_{rep}.json")))
+    run.update(items_per_second(os.path.join(tmp_dir, f"sampling_{rep}.json")))
+    runs.append(run)
+measured = {
+    name: round(statistics.median(run[name] for run in runs if name in run))
+    for name in runs[0]
+}
 current = {k: v for k, v in measured.items() if "Parallel/" not in k}
 parallel = {k: v for k, v in measured.items() if "Parallel/" in k}
 
@@ -59,13 +103,16 @@ doc["description"] = (
     "build, 500k-row OpenAQ table. seed_baseline is the pre-GroupIndex "
     "unordered_map<GroupKey, Acc> engine. parallel_items_per_second holds "
     "the thread-scaling variants (<bench>Parallel/<threads>, morsel "
-    "scheduler); interpret them against hardware_concurrency. Regenerate "
-    "with tools/run_benches.sh."
+    "scheduler); interpret them against hardware_concurrency. Values are "
+    "per-bench medians across `repeats` runs of the whole suite "
+    "(single-run host noise is ±15-25%; regenerate with "
+    "tools/run_benches.sh --repeats 5)."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
 )
 doc["commit"] = commit.stdout.strip() or "unknown"
+doc["repeats"] = repeats
 doc["hardware_concurrency"] = os.cpu_count() or 1
 doc["current_items_per_second"] = current
 def parallel_key(name):
@@ -85,7 +132,8 @@ if baseline:
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=False)
     f.write("\n")
-print(f"wrote {out_path}  (hardware_concurrency={doc['hardware_concurrency']})")
+print(f"wrote {out_path}  (repeats={repeats}, "
+      f"hardware_concurrency={doc['hardware_concurrency']})")
 for name in sorted(current):
     base = baseline.get(name)
     speed = f"  ({current[name] / base:.2f}x vs seed)" if base else ""

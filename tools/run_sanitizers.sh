@@ -18,31 +18,52 @@
 # statistical sampling tests — the chi-square draws hammer the parallel
 # reservoir path, which is exactly what the sanitizers should see.
 #
-# Usage: tools/run_sanitizers.sh [asan-build-dir] [tsan-build-dir]
+# Usage: tools/run_sanitizers.sh [--asan-only|--tsan-only]
+#                                [asan-build-dir] [tsan-build-dir]
+# --asan-only / --tsan-only run a single pass (CI splits the two passes
+# into separate jobs; the default runs both).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ASAN_DIR=${1:-build-asan}
-TSAN_DIR=${2:-build-tsan}
+RUN_ASAN=1
+RUN_TSAN=1
+DIRS=()
+for arg in "$@"; do
+  case "$arg" in
+    --asan-only) RUN_TSAN=0 ;;
+    --tsan-only) RUN_ASAN=0 ;;
+    *) DIRS+=("$arg") ;;
+  esac
+done
+if [[ "$RUN_ASAN" == "0" && "$RUN_TSAN" == "0" ]]; then
+  echo "--asan-only and --tsan-only are mutually exclusive" >&2
+  exit 1
+fi
+ASAN_DIR=${DIRS[0]:-build-asan}
+TSAN_DIR=${DIRS[1]:-build-tsan}
 
-echo "=== ASan+UBSan pass (${ASAN_DIR}) ==="
-cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCVOPT_SANITIZE=ON >/dev/null
-cmake --build "$ASAN_DIR" -j"$(nproc)"
-(
-  cd "$ASAN_DIR"
-  UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
-    ctest --output-on-failure -j"$(nproc)"
-)
+if [[ "$RUN_ASAN" == "1" ]]; then
+  echo "=== ASan+UBSan pass (${ASAN_DIR}) ==="
+  cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCVOPT_SANITIZE=ON >/dev/null
+  cmake --build "$ASAN_DIR" -j"$(nproc)"
+  (
+    cd "$ASAN_DIR"
+    UBSAN_OPTIONS=print_stacktrace=1 ASAN_OPTIONS=detect_leaks=1 \
+      ctest --output-on-failure -j"$(nproc)"
+  )
+fi
 
-echo "=== TSan pass (${TSAN_DIR}, CVOPT_THREADS=4) ==="
-cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCVOPT_TSAN=ON >/dev/null
-cmake --build "$TSAN_DIR" -j"$(nproc)"
-(
-  cd "$TSAN_DIR"
-  CVOPT_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
-    ctest --output-on-failure -j"$(nproc)"
-)
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "=== TSan pass (${TSAN_DIR}, CVOPT_THREADS=4) ==="
+  cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCVOPT_TSAN=ON >/dev/null
+  cmake --build "$TSAN_DIR" -j"$(nproc)"
+  (
+    cd "$TSAN_DIR"
+    CVOPT_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure -j"$(nproc)"
+  )
+fi
 
 echo "sanitizers green"
