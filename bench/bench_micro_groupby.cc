@@ -9,7 +9,10 @@
 #include "src/core/stratification.h"
 #include "src/datagen/openaq_gen.h"
 #include "src/exec/group_by_executor.h"
+#include "src/exec/group_index.h"
+#include "src/expr/compiled_predicate.h"
 #include "src/stats/stats_collector.h"
+#include "src/util/simd.h"
 
 namespace cvopt {
 namespace {
@@ -108,6 +111,85 @@ void BM_ExactGroupByManyKeysMasked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t.num_rows());
 }
 BENCHMARK(BM_ExactGroupByManyKeysMasked);
+
+// ------------------------------------- masked radix + selection kernels
+
+QuerySpec MaskedManyKeysQuery() {
+  QuerySpec q;
+  q.group_by = {"country", "parameter", "unit", "year", "month", "hour"};
+  q.aggregates = {AggSpec::Avg("value")};
+  q.where = Predicate::Between("hour", 0, 11);
+  return q;
+}
+
+// Masked WHERE group-by through the partition-owned slab path: the radix
+// build is forced on so the selection scatters into a dense byte mask and
+// accumulates per partition with no cross-worker merge; the predicate
+// kernels run vectorized where the host supports it. Both masked-path
+// benches pin an 8-way fan-out: the chunk-order merge the slab path
+// deletes only exists when aggregation actually chunks — at threads=1
+// the "merge" baseline degenerates to the plain serial loop and the
+// comparison measures nothing.
+void BM_MaskedGroupByRadix(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(8);
+  const QuerySpec q = MaskedManyKeysQuery();
+  GroupIndex::SetRadixOverrideForTesting(/*mode=*/1, /*partitions=*/8);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  GroupIndex::SetRadixOverrideForTesting(-1, 0);
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_MaskedGroupByRadix);
+
+// Pre-PR baseline in the same run: radix forced off (chunk-order merged
+// accumulators) and the scalar predicate kernels pinned, so the reported
+// gap is slab-vs-merge plus vector-vs-scalar selection on identical data.
+void BM_MaskedGroupByMerge(benchmark::State& state) {
+  const Table& t = BenchTable();
+  ScopedThreads threads(8);
+  const QuerySpec q = MaskedManyKeysQuery();
+  GroupIndex::SetRadixOverrideForTesting(/*mode=*/0);
+  simd::SetEnabledForTesting(0);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  simd::SetEnabledForTesting(1);
+  GroupIndex::SetRadixOverrideForTesting(-1, 0);
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_MaskedGroupByMerge);
+
+// Raw selection-vector production (compare -> movemask -> compressed
+// store) against the same loop with the scalar kernels pinned.
+void BM_SelectionVectorSIMD(benchmark::State& state) {
+  const Table& t = BenchTable();
+  auto pred = Predicate::Between("value", 10.0, 120.0);
+  auto cp = std::move(CompiledPredicate::Compile(t, *pred)).ValueOrDie();
+  for (auto _ : state) {
+    auto sel = cp.SelectRange(0, t.num_rows());
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_SelectionVectorSIMD);
+
+void BM_SelectionVectorScalar(benchmark::State& state) {
+  const Table& t = BenchTable();
+  auto pred = Predicate::Between("value", 10.0, 120.0);
+  auto cp = std::move(CompiledPredicate::Compile(t, *pred)).ValueOrDie();
+  simd::SetEnabledForTesting(0);
+  for (auto _ : state) {
+    auto sel = cp.SelectRange(0, t.num_rows());
+    benchmark::DoNotOptimize(sel);
+  }
+  simd::SetEnabledForTesting(1);
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_SelectionVectorScalar);
 
 void BM_StratificationBuild(benchmark::State& state) {
   const Table& t = BenchTable();

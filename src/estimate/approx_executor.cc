@@ -119,13 +119,28 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     }
   }
 
-  // Unmasked queries over a partitioned sample build accumulate into
+  // Queries over a partitioned sample build accumulate into
   // partition-owned slabs: each worker owns its partition's disjoint group
   // range, so there is no chunk merge and per-group weight sums equal the
-  // serial ascending-position sums exactly.
+  // serial ascending-position sums exactly. A WHERE selection rides the
+  // same slabs through a dense byte mask over sample positions — a group's
+  // surviving positions are still visited ascending.
   const GroupPartitions* parts =
-      !use_sel && gidx.partitions() != nullptr ? gidx.partitions().get()
-                                               : nullptr;
+      gidx.partitions() != nullptr ? gidx.partitions().get() : nullptr;
+
+  std::vector<uint8_t> sel_mask;
+  const uint8_t* mk = nullptr;
+  if (parts != nullptr && use_sel) {
+    // Selection entries are distinct positions: parallel chunks scatter to
+    // disjoint slots.
+    sel_mask.assign(m, 0);
+    uint8_t* mp = sel_mask.data();
+    ParallelForChunks(k, AggregationChunks(k, G),
+                      [&](size_t, size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) mp[selp[i]] = 1;
+                      });
+    mk = mp;
+  }
 
   // Per-group surviving-position counts and total HT weight (identical
   // across aggregates: every aggregate sees every surviving sampled row).
@@ -134,7 +149,27 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   std::vector<uint64_t> cnt(G, 0);
   std::vector<double> wcnt(G, 0.0);
   if (parts != nullptr) {
-    cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    if (mk != nullptr) {
+      // Masked counts land through the same disjoint global-id slabs as
+      // the weights (no cross-worker merge).
+      const size_t P = parts->num_partitions();
+      const uint32_t* prows = parts->part_rows.data();
+      const uint32_t* plocal = parts->part_local.data();
+      const uint32_t* l2g = parts->local_to_global.data();
+      ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+        const size_t gb = parts->group_base[p];
+        std::vector<uint64_t> local(parts->num_groups_in(p), 0);
+        for (size_t kk = parts->part_base[p]; kk < parts->part_base[p + 1];
+             ++kk) {
+          local[plocal[kk]] += mk[prows[kk]];
+        }
+        for (size_t l = 0; l < local.size(); ++l) {
+          cnt[l2g[gb + l]] = local[l];
+        }
+      });
+    } else {
+      cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    }
     const uint32_t* prows = parts->part_rows.data();
     const uint32_t* plocal = parts->part_local.data();
     AccumulatePartitioned(
@@ -142,6 +177,7 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
         [&](size_t p, double* pw, double*) {
           for (size_t kk = parts->part_base[p]; kk < parts->part_base[p + 1];
                ++kk) {
+            if (mk != nullptr && mk[prows[kk]] == 0) continue;
             pw[plocal[kk]] += w[prows[kk]];
           }
         });
@@ -188,10 +224,11 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
     double* S2 = any_var ? wsums2.data() + j * G : nullptr;
     auto accumulate = [&](auto value_at) {
       if (parts != nullptr) {
-        // Partition-owned weighted slabs (unmasked pass): identical shape
-        // to the exact executor's partition path, with Horvitz–Thompson
-        // weights folded in. Per-group (value, weight) sequences are the
-        // ascending-position serial sequences, so MEDIAN pairs land whole.
+        // Partition-owned weighted slabs: identical shape to the exact
+        // executor's partition path, with Horvitz–Thompson weights folded
+        // in. Per-group (value, weight) sequences are the ascending-
+        // position serial sequences (masked positions skipped in place),
+        // so MEDIAN pairs land whole.
         const size_t P = parts->num_partitions();
         const uint32_t* prows = parts->part_rows.data();
         const uint32_t* plocal = parts->part_local.data();
@@ -205,6 +242,7 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
             for (size_t kk = parts->part_base[p]; kk < parts->part_base[p + 1];
                  ++kk) {
               const size_t i = prows[kk];
+              if (mk != nullptr && mk[i] == 0) continue;
               bufs[plocal[kk]].emplace_back(value_at(i), w[i]);
             }
             for (size_t l = 0; l < bufs.size(); ++l) {
@@ -218,6 +256,7 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
                 for (size_t kk = parts->part_base[p];
                      kk < parts->part_base[p + 1]; ++kk) {
                   const size_t i = prows[kk];
+                  if (mk != nullptr && mk[i] == 0) continue;
                   const double v = value_at(i);
                   s[plocal[kk]] += w[i] * v;
                   if (s2 != nullptr) s2[plocal[kk]] += w[i] * v * v;

@@ -78,18 +78,29 @@ Result<std::vector<QueryResult>> ExecuteCube(const Table& table,
   agg_labels.reserve(t);
   for (const auto& a : base.aggregates) agg_labels.push_back(a.Label());
 
-  for (const QuerySpec& spec : specs) {
-    if (spec.group_by == base.group_by) {
-      // The finest grouping set IS the shared accumulation: finalize it
-      // directly (MedianOf only reorders the buffers in place, so the
-      // multisets stay intact for the coarser rollups below) and
-      // bulk-ingest through the GroupIndex — no projection, no copies.
-      const std::vector<double> finals = FinalizeGrouped(base.aggregates, &acc);
-      QueryResult result(agg_labels, spec.group_by);
-      CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, acc.cnt, finals));
-      out.push_back(std::move(result));
-      continue;
-    }
+  // The finest grouping set (specs[0] — ExpandCube emits the full set
+  // first) IS the shared accumulation: finalize it directly and
+  // bulk-ingest through the GroupIndex — no projection, no copies. It
+  // runs before the fan-out below because MedianOf reorders acc's value
+  // buffers in place; the multisets stay intact for the coarser rollups,
+  // but the mutation must not race their reads.
+  std::vector<QueryResult> results(specs.size());
+  {
+    const std::vector<double> finals = FinalizeGrouped(base.aggregates, &acc);
+    QueryResult result(agg_labels, specs[0].group_by);
+    CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, acc.cnt, finals));
+    results[0] = std::move(result);
+  }
+
+  // Coarser grouping sets fan out across the pool: each set only reads
+  // the shared finest accumulation and rolls up into its own
+  // parent-keyed accumulators, so the per-set results are the serial
+  // rollup bit for bit in any execution order.
+  const size_t coarse = specs.size() - 1;
+  std::vector<Status> statuses(specs.size(), Status::OK());
+  ParallelForChunks(coarse, coarse, [&](size_t c, size_t, size_t) {
+    const size_t si = c + 1;
+    const QuerySpec& spec = specs[si];
     // Positions of the subset attributes within the finest key.
     std::vector<size_t> positions;
     positions.reserve(spec.group_by.size());
@@ -158,13 +169,20 @@ Result<std::vector<QueryResult>> ExecuteCube(const Table& table,
       if (pacc.cnt[p] == 0) continue;
       std::vector<double> values(t);
       for (size_t j = 0; j < t; ++j) values[j] = finals[j * P + p];
-      CVOPT_RETURN_NOT_OK(result.AddGroup(
-          parent_keys[p], parent_keys[p].Render(table, parent_cols),
-          std::move(values)));
+      Status s = result.AddGroup(parent_keys[p],
+                                 parent_keys[p].Render(table, parent_cols),
+                                 std::move(values));
+      if (!s.ok()) {
+        statuses[si] = std::move(s);
+        return;
+      }
     }
-    out.push_back(std::move(result));
+    results[si] = std::move(result);
+  });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
   }
-  return out;
+  return results;
 }
 
 }  // namespace cvopt

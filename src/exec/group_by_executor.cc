@@ -44,23 +44,57 @@ Result<GroupedAccumulators> AccumulateGrouped(
   if (any_var) acc.sums2.assign(t * G, 0.0);
   acc.median_values.resize(t);
 
-  // Unmasked pass over a partitioned build: partition-owned accumulator
-  // slabs. Each worker iterates its partition's ascending row list into a
-  // slab sized to the partition's own group count, then writes the slab
-  // out at its groups' global ids — disjoint across partitions, so there
-  // is no contention and no chunk-order merge at all. Per-group sums are
-  // the serial ascending-row sums bit for bit (no reassociation), and
-  // MEDIAN buffers land whole (a group's rows live in one partition).
+  // Pass over a partitioned build: partition-owned accumulator slabs.
+  // Each worker iterates its partition's ascending row list into a slab
+  // sized to the partition's own group count, then writes the slab out at
+  // its groups' global ids — disjoint across partitions, so there is no
+  // contention and no chunk-order merge at all. Per-group sums are the
+  // serial ascending-row sums bit for bit (no reassociation), and MEDIAN
+  // buffers land whole (a group's rows live in one partition). A WHERE
+  // selection rides the same slabs through a dense byte mask: a group's
+  // surviving rows are still visited ascending, so masked sums match the
+  // serial masked loop bit for bit, and fully-filtered groups keep count
+  // zero (IngestDense omits them).
   const GroupPartitions* parts =
-      !use_sel && gidx.partitions() != nullptr ? gidx.partitions().get()
-                                               : nullptr;
+      gidx.partitions() != nullptr ? gidx.partitions().get() : nullptr;
+
+  std::vector<uint8_t> sel_mask;
+  const uint8_t* mk = nullptr;
+  if (parts != nullptr && use_sel) {
+    // Scatter the selection into row-indexed bytes. Selection entries are
+    // distinct rows, so parallel chunks write disjoint slots.
+    sel_mask.assign(n, 0);
+    uint8_t* mp = sel_mask.data();
+    const size_t m = sel->size();
+    ParallelForChunks(m, AggregationChunks(m, G),
+                      [&](size_t, size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) mp[selp[i]] = 1;
+                      });
+    mk = mp;
+  }
 
   if (parts != nullptr) {
-    acc.cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
     const size_t P = parts->num_partitions();
     const uint32_t* prows = parts->part_rows.data();
     const uint32_t* plocal = parts->part_local.data();
     const uint32_t* l2g = parts->local_to_global.data();
+    if (mk != nullptr) {
+      // Masked per-group counts through the same partition-owned slabs.
+      acc.cnt.assign(G, 0);
+      ParallelForChunks(P, P, [&](size_t p, size_t, size_t) {
+        const size_t gb = parts->group_base[p];
+        std::vector<uint64_t> local(parts->num_groups_in(p), 0);
+        for (size_t k = parts->part_base[p]; k < parts->part_base[p + 1];
+             ++k) {
+          local[plocal[k]] += mk[prows[k]];
+        }
+        for (size_t l = 0; l < local.size(); ++l) {
+          acc.cnt[l2g[gb + l]] = local[l];
+        }
+      });
+    } else {
+      acc.cnt.assign(gidx.sizes().begin(), gidx.sizes().end());
+    }
     for (size_t j = 0; j < t; ++j) {
       const AggFunc f = query.aggregates[j].func;
       const StatSource& src = bound.sources()[j];
@@ -76,6 +110,7 @@ Result<GroupedAccumulators> AccumulateGrouped(
               std::vector<std::vector<double>> bufs(parts->num_groups_in(p));
               for (size_t k = parts->part_base[p]; k < parts->part_base[p + 1];
                    ++k) {
+                if (mk != nullptr && mk[prows[k]] == 0) continue;
                 bufs[plocal[k]].push_back(value_at(prows[k]));
               }
               for (size_t l = 0; l < bufs.size(); ++l) {
@@ -89,6 +124,7 @@ Result<GroupedAccumulators> AccumulateGrouped(
                 [&](size_t p, double* s, double* s2) {
                   for (size_t k = parts->part_base[p];
                        k < parts->part_base[p + 1]; ++k) {
+                    if (mk != nullptr && mk[prows[k]] == 0) continue;
                     const double v = value_at(prows[k]);
                     s[plocal[k]] += v;
                     if (s2 != nullptr) s2[plocal[k]] += v * v;

@@ -8,6 +8,7 @@
 
 #include "src/exec/parallel.h"
 #include "src/util/hash.h"
+#include "src/util/simd.h"
 
 namespace cvopt {
 
@@ -304,7 +305,20 @@ struct FlatGroupTable {
   // load-factor check. Returns the slot's id either way.
   template <class Matches, class OnInsert>
   uint32_t FindOrInsert(uint64_t key, Matches&& matches, OnInsert&& on_insert) {
-    size_t idx = HashMix64(key) & mask;
+    return FindOrInsertHashed(HashMix64(key), key,
+                              std::forward<Matches>(matches),
+                              std::forward<OnInsert>(on_insert));
+  }
+
+  // FindOrInsert with a precomputed HashMix64(key) — the batched probe
+  // pipeline mixes hashes eight lanes at a time and prefetches the home
+  // slots before probing. The probe start is recomputed from the CURRENT
+  // mask, so a Grow() triggered earlier in the same batch (which moves
+  // every slot) is handled naturally; only the prefetches go stale.
+  template <class Matches, class OnInsert>
+  uint32_t FindOrInsertHashed(uint64_t hash, uint64_t key, Matches&& matches,
+                              OnInsert&& on_insert) {
+    size_t idx = static_cast<size_t>(hash) & mask;
     while (slots[idx].id != kEmptyId) {
       if (slots[idx].key == key && matches(slots[idx].id)) {
         return slots[idx].id;
@@ -321,6 +335,39 @@ struct FlatGroupTable {
   size_t capacity = 0;
   size_t mask = 0;
 };
+
+// 8-wide hash + prefetch pipeline over a packed-key probe loop: pack the
+// block's keys, mix all eight (one SIMD call when a backend is active,
+// scalar HashMix64 otherwise — identical bits either way, see simd.h),
+// prefetch each key's home slot, then run `probe(i, key, hash)` in
+// position order. The probes stay scalar and sequential, so ids and table
+// state evolve exactly as in the one-row-at-a-time loop; the batch only
+// overlaps the cache-miss latency of the eight home-slot reads.
+template <class PackAt, class Probe>
+void BatchedPackedProbe(size_t lo, size_t hi, const FlatGroupTable& t,
+                        PackAt pack_at, Probe probe) {
+  constexpr size_t kBatch = 8;
+  const simd::Ops* ops = simd::ActiveOps();
+  uint64_t keys[kBatch];
+  uint64_t hashes[kBatch];
+  size_t i = lo;
+  for (; i + kBatch <= hi; i += kBatch) {
+    for (size_t j = 0; j < kBatch; ++j) keys[j] = pack_at(i + j);
+    if (ops != nullptr) {
+      ops->hash_mix64_x8(keys, hashes);
+    } else {
+      for (size_t j = 0; j < kBatch; ++j) hashes[j] = HashMix64(keys[j]);
+    }
+    for (size_t j = 0; j < kBatch; ++j) {
+      simd::PrefetchRead(&t.slots[static_cast<size_t>(hashes[j]) & t.mask]);
+    }
+    for (size_t j = 0; j < kBatch; ++j) probe(i + j, keys[j], hashes[j]);
+  }
+  for (; i < hi; ++i) {
+    const uint64_t key = pack_at(i);
+    probe(i, key, HashMix64(key));
+  }
+}
 
 // Strided-sample distinct-group probe for the radix decision: builds a
 // small local table over min(n, kRadixSampleMax) evenly-strided positions
@@ -578,19 +625,21 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
           [&](size_t, const uint32_t* pos, size_t cnt, uint32_t* local_out,
               std::vector<uint32_t>* lf, std::vector<uint64_t>* ls) {
             FlatGroupTable t(std::min<uint64_t>(expected, cnt));
-            for (size_t k = 0; k < cnt; ++k) {
-              const size_t r = row_at(pos[k]);
-              const uint32_t id = t.FindOrInsert(
-                  pack(r), [](uint32_t) { return true; },
-                  [&] {
-                    const uint32_t fresh = static_cast<uint32_t>(lf->size());
-                    lf->push_back(pos[k]);
-                    ls->push_back(0);
-                    return std::make_pair(fresh, lf->size());
-                  });
-              local_out[k] = id;
-              (*ls)[id]++;
-            }
+            BatchedPackedProbe(
+                0, cnt, t, [&](size_t k) { return pack(row_at(pos[k])); },
+                [&](size_t k, uint64_t key, uint64_t hash) {
+                  const uint32_t id = t.FindOrInsertHashed(
+                      hash, key, [](uint32_t) { return true; },
+                      [&] {
+                        const uint32_t fresh =
+                            static_cast<uint32_t>(lf->size());
+                        lf->push_back(pos[k]);
+                        ls->push_back(0);
+                        return std::make_pair(fresh, lf->size());
+                      });
+                  local_out[k] = id;
+                  (*ls)[id]++;
+                });
           },
           &out);
       return out;
@@ -599,19 +648,21 @@ BuildOutput BuildImpl(const Table& table, const std::vector<size_t>& cols,
     ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
       LocalGroups& lg = locals[c];
       FlatGroupTable t(std::min<uint64_t>(expected, hi - lo));
-      for (size_t i = lo; i < hi; ++i) {
-        const size_t r = row_at(i);
-        const uint32_t id = t.FindOrInsert(
-            pack(r), [](uint32_t) { return true; },
-            [&] {
-              const uint32_t fresh = static_cast<uint32_t>(lg.rep_rows.size());
-              lg.rep_rows.push_back(static_cast<uint32_t>(r));
-              lg.sizes.push_back(0);
-              return std::make_pair(fresh, lg.rep_rows.size());
-            });
-        rg[i] = id;
-        lg.sizes[id]++;
-      }
+      BatchedPackedProbe(
+          lo, hi, t, [&](size_t i) { return pack(row_at(i)); },
+          [&](size_t i, uint64_t key, uint64_t hash) {
+            const uint32_t id = t.FindOrInsertHashed(
+                hash, key, [](uint32_t) { return true; },
+                [&] {
+                  const uint32_t fresh =
+                      static_cast<uint32_t>(lg.rep_rows.size());
+                  lg.rep_rows.push_back(static_cast<uint32_t>(row_at(i)));
+                  lg.sizes.push_back(0);
+                  return std::make_pair(fresh, lg.rep_rows.size());
+                });
+            rg[i] = id;
+            lg.sizes[id]++;
+          });
     });
     out.tier = GroupIndex::Tier::kPacked;
     size_t local_total = 0;
@@ -985,6 +1036,67 @@ uint32_t StreamGroupRouter::Route(uint32_t row) {
     return Insert(idx, key, row);
   }
   return RouteWide(row);
+}
+
+void StreamGroupRouter::RouteBatch(const uint32_t* rows, size_t n,
+                                   uint32_t* out) {
+  if (plans_.empty()) {
+    if (groups_ == 0 && n > 0) groups_ = 1;
+    std::fill(out, out + n, 0u);
+    return;
+  }
+  constexpr size_t kBatch = 8;
+  const simd::Ops* ops = simd::ActiveOps();
+  uint64_t keys[kBatch];
+  uint64_t hashes[kBatch];
+  size_t i = 0;
+  while (i + kBatch <= n && !wide_) {
+    // Pack the whole block under the current field layout. A code that
+    // outgrows its field sends the entire block through per-row Route —
+    // no probes have run yet, so the widen/retry sequence (and any group
+    // ids it assigns) is exactly what the serial loop would produce.
+    bool overflow = false;
+    for (size_t j = 0; j < kBatch && !overflow; ++j) {
+      uint64_t key = 0;
+      for (const ColPlan& p : plans_) {
+        const uint64_t code = PackedCode(p, rows[i + j]);
+        if (p.bits < 64 && (code >> p.bits) != 0) {
+          overflow = true;
+          break;
+        }
+        key |= code << p.shift;
+      }
+      keys[j] = key;
+    }
+    if (overflow) {
+      for (size_t j = 0; j < kBatch; ++j) out[i + j] = Route(rows[i + j]);
+      i += kBatch;
+      continue;
+    }
+    if (ops != nullptr) {
+      ops->hash_mix64_x8(keys, hashes);
+    } else {
+      for (size_t j = 0; j < kBatch; ++j) hashes[j] = HashMix64(keys[j]);
+    }
+    for (size_t j = 0; j < kBatch; ++j) {
+      simd::PrefetchRead(&slots_[static_cast<size_t>(hashes[j]) & mask_]);
+    }
+    // Probe in position order; Insert may GrowSlots mid-block, so each
+    // probe recomputes its start index from the current mask (the stale
+    // prefetches above are harmless).
+    for (size_t j = 0; j < kBatch; ++j) {
+      size_t idx = static_cast<size_t>(hashes[j]) & mask_;
+      while (slots_[idx].id != kEmptyId) {
+        if (slots_[idx].key == keys[j]) break;
+        idx = (idx + 1) & mask_;
+      }
+      out[i + j] = slots_[idx].id != kEmptyId
+                       ? slots_[idx].id
+                       : Insert(idx, keys[j], rows[i + j]);
+    }
+    i += kBatch;
+  }
+  for (; i < n; ++i) out[i] = Route(rows[i]);
 }
 
 uint32_t StreamGroupRouter::RouteWide(uint32_t row) {

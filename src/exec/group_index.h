@@ -215,6 +215,12 @@ class StreamGroupRouter {
   /// (`Route(r) == num_groups()-before` detects a new group).
   uint32_t Route(uint32_t row);
 
+  /// Batched Route: writes out[i] = Route(rows[i]) for i in [0, n), with
+  /// identical id assignment and tier transitions to the per-row loop (the
+  /// batch pipelines key packing + hashing + slot prefetch on the packed
+  /// tier and degrades to per-row Route on widening or the wide tier).
+  void RouteBatch(const uint32_t* rows, size_t n, uint32_t* out);
+
   size_t num_groups() const { return groups_; }
   size_t arity() const { return plans_.size(); }
   /// False once the router has fallen back to the wide (hash + compare)

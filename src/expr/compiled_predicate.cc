@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "src/expr/compare_plan.h"
+#include "src/util/simd.h"
 
 namespace cvopt {
 
@@ -126,6 +127,138 @@ struct NotK {
   bool Test(size_t r) const { return !k.Test(r); }
 };
 
+// ------------------------------------------------------ SIMD kernel bridge
+// Vec<K> maps a scalar kernel POD onto the portable SIMD layer's function
+// table (src/util/simd.h); the drivers below consult it once per loop and
+// fall through to their scalar bodies when no backend is active. Kernels
+// without a vector counterpart — dictionary code tables, sorted IN lists,
+// NOT-wrapped kernels — keep kOk = false and always run scalar. NaN
+// literals never reach these kernels (compilation folds them to
+// constants), so the backends' ordered comparison semantics match the
+// scalar Test()s row-for-row.
+
+template <class Op>
+struct SimdOp;
+template <>
+struct SimdOp<OpEq> { static constexpr int kIdx = simd::kEq; };
+template <>
+struct SimdOp<OpNe> { static constexpr int kIdx = simd::kNe; };
+template <>
+struct SimdOp<OpLt> { static constexpr int kIdx = simd::kLt; };
+template <>
+struct SimdOp<OpLe> { static constexpr int kIdx = simd::kLe; };
+template <>
+struct SimdOp<OpGt> { static constexpr int kIdx = simd::kGt; };
+template <>
+struct SimdOp<OpGe> { static constexpr int kIdx = simd::kGe; };
+
+template <class K>
+struct Vec {
+  static constexpr bool kOk = false;
+};
+
+template <class Op>
+struct Vec<IntCmpK<Op>> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const IntCmpK<Op>& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_cmp_i64[SimdOp<Op>::kIdx](k.v, k.lit, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const IntCmpK<Op>& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_cmp_i64[SimdOp<Op>::kIdx](k.v, k.lit, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const IntCmpK<Op>& k, size_t lo,
+                   size_t hi, uint8_t* out) {
+    o.mask_cmp_i64[SimdOp<Op>::kIdx](k.v, k.lit, lo, hi, out);
+  }
+};
+
+template <class Op>
+struct Vec<DblCmpK<Op>> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const DblCmpK<Op>& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_cmp_f64[SimdOp<Op>::kIdx](k.v, k.lit, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const DblCmpK<Op>& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_cmp_f64[SimdOp<Op>::kIdx](k.v, k.lit, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const DblCmpK<Op>& k, size_t lo,
+                   size_t hi, uint8_t* out) {
+    o.mask_cmp_f64[SimdOp<Op>::kIdx](k.v, k.lit, lo, hi, out);
+  }
+};
+
+template <>
+struct Vec<DblNeK> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const DblNeK& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_cmp_f64[simd::kNe](k.v, k.lit, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const DblNeK& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_cmp_f64[simd::kNe](k.v, k.lit, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const DblNeK& k, size_t lo, size_t hi,
+                   uint8_t* out) {
+    o.mask_cmp_f64[simd::kNe](k.v, k.lit, lo, hi, out);
+  }
+};
+
+template <>
+struct Vec<IntBetweenK> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const IntBetweenK& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_between_i64(k.v, k.lo, k.span, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const IntBetweenK& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_between_i64(k.v, k.lo, k.span, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const IntBetweenK& k, size_t lo,
+                   size_t hi, uint8_t* out) {
+    o.mask_between_i64(k.v, k.lo, k.span, lo, hi, out);
+  }
+};
+
+template <>
+struct Vec<DblBetweenK> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const DblBetweenK& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_between_f64(k.v, k.lo, k.hi, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const DblBetweenK& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_between_f64(k.v, k.lo, k.hi, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const DblBetweenK& k, size_t lo,
+                   size_t hi, uint8_t* out) {
+    o.mask_between_f64(k.v, k.lo, k.hi, lo, hi, out);
+  }
+};
+
+template <>
+struct Vec<IntInBitsetK> {
+  static constexpr bool kOk = true;
+  static size_t Select(const simd::Ops& o, const IntInBitsetK& k, size_t lo,
+                       size_t hi, uint32_t* out) {
+    return o.select_in_bitset_i64(k.v, k.base, k.span, k.bits, lo, hi, out);
+  }
+  static size_t Refine(const simd::Ops& o, const IntInBitsetK& k,
+                       const uint32_t* rows, uint32_t* sel, size_t n) {
+    return o.refine_in_bitset_i64(k.v, k.base, k.span, k.bits, rows, sel, n);
+  }
+  static void Mask(const simd::Ops& o, const IntInBitsetK& k, size_t lo,
+                   size_t hi, uint8_t* out) {
+    o.mask_in_bitset_i64(k.v, k.base, k.span, k.bits, lo, hi, out);
+  }
+};
+
 // ----------------------------------------------------------- loop drivers
 
 template <class K>
@@ -133,9 +266,15 @@ void MaskLoop(const K& k, const uint32_t* rows, size_t base, size_t n,
               uint8_t* out) {
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) out[i] = k.Test(rows[i]) ? 1 : 0;
-  } else {
-    for (size_t i = 0; i < n; ++i) out[i] = k.Test(base + i) ? 1 : 0;
+    return;
   }
+  if constexpr (Vec<K>::kOk) {
+    if (const simd::Ops* ops = simd::ActiveOps()) {
+      Vec<K>::Mask(*ops, k, base, base + n, out);
+      return;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = k.Test(base + i) ? 1 : 0;
 }
 
 template <class K>
@@ -173,6 +312,12 @@ void RefineLoop(const K& k, const uint32_t* rows,
                 std::vector<uint32_t>* sel) {
   uint32_t* s = sel->data();
   const size_t n = sel->size();
+  if constexpr (Vec<K>::kOk) {
+    if (const simd::Ops* ops = simd::ActiveOps()) {
+      sel->resize(Vec<K>::Refine(*ops, k, rows, s, n));
+      return;
+    }
+  }
   size_t w = 0;
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) {
@@ -195,6 +340,21 @@ void SelectLoop(const K& k, const uint32_t* rows, size_t n,
                 std::vector<uint32_t>* out) {
   out->resize(n);
   uint32_t* o = out->data();
+  if constexpr (Vec<K>::kOk) {
+    if (const simd::Ops* ops = simd::ActiveOps()) {
+      size_t vw;
+      if (rows == nullptr) {
+        // Positions are rows: a dense scan emits them directly.
+        vw = Vec<K>::Select(*ops, k, 0, n, o);
+      } else {
+        // Seed the identity positions, then gather-refine through `rows`.
+        std::iota(out->begin(), out->end(), 0u);
+        vw = Vec<K>::Refine(*ops, k, rows, o, n);
+      }
+      out->resize(vw);
+      return;
+    }
+  }
   size_t w = 0;
   if (rows != nullptr) {
     for (size_t i = 0; i < n; ++i) {
@@ -217,6 +377,12 @@ void SelectRangeLoop(const K& k, size_t lo, size_t hi,
                      std::vector<uint32_t>* out) {
   out->resize(hi - lo);
   uint32_t* o = out->data();
+  if constexpr (Vec<K>::kOk) {
+    if (const simd::Ops* ops = simd::ActiveOps()) {
+      out->resize(Vec<K>::Select(*ops, k, lo, hi, o));
+      return;
+    }
+  }
   size_t w = 0;
   for (size_t r = lo; r < hi; ++r) {
     o[w] = static_cast<uint32_t>(r);

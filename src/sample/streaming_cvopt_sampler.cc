@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <numeric>
 
 #include "src/core/lemma1.h"
 #include "src/core/stratification.h"
@@ -26,7 +27,33 @@ StreamingCvoptBuilder::StreamingCvoptBuilder(const Table* table,
 void StreamingCvoptBuilder::Offer(uint32_t row) {
   // Filter path: one scalar kernel test per offered row, no allocation.
   if (filter_ != nullptr && !filter_->MatchesRow(row)) return;
-  const uint32_t stratum = router_.Route(row);
+  Admit(row, router_.Route(row));
+}
+
+void StreamingCvoptBuilder::OfferRange(size_t lo, size_t hi) {
+  // Blockwise pipeline: vector-kernel filter -> batched stratum routing ->
+  // in-order admission. The router assigns new stratum ids in routing
+  // order, which is admission order, so the `stratum == strata_.size()`
+  // first-sight check in Admit holds exactly as in the per-row loop.
+  constexpr size_t kBlock = 1024;
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> strata;
+  for (size_t b = lo; b < hi; b += kBlock) {
+    const size_t e = std::min(hi, b + kBlock);
+    if (filter_ != nullptr) {
+      rows = filter_->SelectRange(b, e);
+    } else {
+      rows.resize(e - b);
+      std::iota(rows.begin(), rows.end(), static_cast<uint32_t>(b));
+    }
+    if (rows.empty()) continue;
+    strata.resize(rows.size());
+    router_.RouteBatch(rows.data(), rows.size(), strata.data());
+    for (size_t i = 0; i < rows.size(); ++i) Admit(rows[i], strata[i]);
+  }
+}
+
+void StreamingCvoptBuilder::Admit(uint32_t row, uint32_t stratum) {
   if (stratum == strata_.size()) {
     strata_.emplace_back();
     // Admit-all-then-subsample: a new stratum keeps every row until the
@@ -145,9 +172,7 @@ Result<StratifiedSample> StreamingCvoptSampler::Build(
     CVOPT_ASSIGN_OR_RETURN(filter, CompilePredicateCached(table, shared_where));
     builder.set_filter(filter.get());
   }
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    builder.Offer(static_cast<uint32_t>(row));
-  }
+  builder.OfferRange(0, table.num_rows());
   return std::move(builder).Finish();
 }
 

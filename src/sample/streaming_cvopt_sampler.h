@@ -53,6 +53,13 @@ class StreamingCvoptBuilder {
   /// Offers the next stream row (by base-table row id).
   void Offer(uint32_t row);
 
+  /// Offers the contiguous row range [lo, hi) in order — equivalent to
+  /// calling Offer on each row, but filters blockwise through the
+  /// predicate's vector kernels and routes strata through the router's
+  /// batched probe. Bit-identical to the per-row loop: routing order,
+  /// stratum id assignment, and every RNG draw are unchanged.
+  void OfferRange(size_t lo, size_t hi);
+
   /// Rows currently held across all reservoirs, with HT weights n_c / s_c
   /// computed from the stream counts seen so far.
   StratifiedSample Finish() &&;
@@ -68,6 +75,9 @@ class StreamingCvoptBuilder {
     uint64_t seen = 0;
   };
 
+  // Everything Offer does after routing (stats, reservoir step, replan
+  // cadence) — shared by the per-row and batched paths.
+  void Admit(uint32_t row, uint32_t stratum);
   void Replan();
 
   const Table* table_;

@@ -1,0 +1,354 @@
+// NEON (aarch64) backend of the portable SIMD kernel layer. NEON is
+// architectural on aarch64, so no runtime feature check is needed; the
+// dense scan kernels use 2-lane vector compares while the gather-shaped
+// refinement loops and the hash mix stay scalar (aarch64 has no vector
+// gather and no 64-bit lane multiply) — still honoring the exact
+// bit-identity contract in simd.h.
+#include "src/util/simd.h"
+
+#if defined(CVOPT_SIMD_ENABLED) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace cvopt {
+namespace simd {
+namespace {
+
+// ------------------------------------------------------------- kernels
+// Each kernel exposes Mask2At(r) — 2-bit match mask for contiguous rows
+// [r, r+2) — and Test(r), the scalar form with identical semantics.
+
+inline int Bits2(uint64x2_t m) {
+  return static_cast<int>(vgetq_lane_u64(m, 0) & 1) |
+         (static_cast<int>(vgetq_lane_u64(m, 1) & 1) << 1);
+}
+
+template <int OP>
+struct CmpI64 {
+  const int64_t* v;
+  int64x2_t vlit;
+  int64_t lit;
+  CmpI64(const int64_t* v_in, int64_t lit_in)
+      : v(v_in), vlit(vdupq_n_s64(lit_in)), lit(lit_in) {}
+  int Mask2At(size_t r) const {
+    const int64x2_t x = vld1q_s64(v + r);
+    uint64x2_t m;
+    if constexpr (OP == kEq) m = vceqq_s64(x, vlit);
+    if constexpr (OP == kNe) m = vceqq_s64(x, vlit);
+    if constexpr (OP == kLt) m = vcltq_s64(x, vlit);
+    if constexpr (OP == kLe) m = vcleq_s64(x, vlit);
+    if constexpr (OP == kGt) m = vcgtq_s64(x, vlit);
+    if constexpr (OP == kGe) m = vcgeq_s64(x, vlit);
+    const int bits = Bits2(m);
+    return OP == kNe ? bits ^ 0x3 : bits;
+  }
+  bool Test(size_t r) const {
+    const int64_t x = v[r];
+    if constexpr (OP == kEq) return x == lit;
+    if constexpr (OP == kNe) return x != lit;
+    if constexpr (OP == kLt) return x < lit;
+    if constexpr (OP == kLe) return x <= lit;
+    if constexpr (OP == kGt) return x > lit;
+    return x >= lit;
+  }
+};
+
+template <int OP>
+struct CmpF64 {
+  const double* v;
+  float64x2_t vlit;
+  double lit;
+  CmpF64(const double* v_in, double lit_in)
+      : v(v_in), vlit(vdupq_n_f64(lit_in)), lit(lit_in) {}
+  int Mask2At(size_t r) const {
+    const float64x2_t x = vld1q_f64(v + r);
+    uint64x2_t m;
+    if constexpr (OP == kEq) m = vceqq_f64(x, vlit);
+    if constexpr (OP == kNe) {
+      // Ordered !=: NaN never matches, so AND the negated equality with
+      // x == x (a plain vceqq negation would make NaN lanes match).
+      m = vbicq_u64(vceqq_f64(x, x), vceqq_f64(x, vlit));
+      if (lit != lit) m = vdupq_n_u64(0);
+    }
+    if constexpr (OP == kLt) m = vcltq_f64(x, vlit);
+    if constexpr (OP == kLe) m = vcleq_f64(x, vlit);
+    if constexpr (OP == kGt) m = vcgtq_f64(x, vlit);
+    if constexpr (OP == kGe) m = vcgeq_f64(x, vlit);
+    return Bits2(m);
+  }
+  bool Test(size_t r) const {
+    const double x = v[r];
+    if constexpr (OP == kEq) return x == lit;
+    if constexpr (OP == kNe) return x == x && lit == lit && x != lit;
+    if constexpr (OP == kLt) return x < lit;
+    if constexpr (OP == kLe) return x <= lit;
+    if constexpr (OP == kGt) return x > lit;
+    return x >= lit;
+  }
+};
+
+struct BetweenI64 {
+  const int64_t* v;
+  int64x2_t vlo;
+  uint64x2_t vspan;
+  int64_t lo;
+  uint64_t span;
+  BetweenI64(const int64_t* v_in, int64_t lo_in, uint64_t span_in)
+      : v(v_in),
+        vlo(vdupq_n_s64(lo_in)),
+        vspan(vdupq_n_u64(span_in)),
+        lo(lo_in),
+        span(span_in) {}
+  int Mask2At(size_t r) const {
+    const uint64x2_t d =
+        vreinterpretq_u64_s64(vsubq_s64(vld1q_s64(v + r), vlo));
+    return Bits2(vcleq_u64(d, vspan));
+  }
+  bool Test(size_t r) const {
+    return static_cast<uint64_t>(v[r]) - static_cast<uint64_t>(lo) <= span;
+  }
+};
+
+struct BetweenF64 {
+  const double* v;
+  float64x2_t vlo, vhi;
+  double lo, hi;
+  BetweenF64(const double* v_in, double lo_in, double hi_in)
+      : v(v_in),
+        vlo(vdupq_n_f64(lo_in)),
+        vhi(vdupq_n_f64(hi_in)),
+        lo(lo_in),
+        hi(hi_in) {}
+  int Mask2At(size_t r) const {
+    const float64x2_t x = vld1q_f64(v + r);
+    return Bits2(vandq_u64(vcgeq_f64(x, vlo), vcleq_f64(x, vhi)));
+  }
+  bool Test(size_t r) const {
+    const double x = v[r];
+    return x >= lo && x <= hi;
+  }
+};
+
+struct BitsetI64 {
+  const int64_t* v;
+  const uint64_t* bits;
+  int64_t base;
+  uint64_t span;
+  BitsetI64(const int64_t* v_in, int64_t base_in, uint64_t span_in,
+            const uint64_t* bits_in)
+      : v(v_in), bits(bits_in), base(base_in), span(span_in) {}
+  int Mask2At(size_t r) const {
+    return (Test(r) ? 1 : 0) | (Test(r + 1) ? 2 : 0);
+  }
+  bool Test(size_t r) const {
+    const uint64_t off =
+        static_cast<uint64_t>(v[r]) - static_cast<uint64_t>(base);
+    return off <= span && ((bits[off >> 6] >> (off & 63)) & 1) != 0;
+  }
+};
+
+// ------------------------------------------------------------- drivers
+
+template <class K>
+size_t SelectDense(const K& k, size_t lo, size_t hi, uint32_t* out) {
+  size_t w = 0;
+  size_t r = lo;
+  for (; r + 2 <= hi; r += 2) {
+    const int m = k.Mask2At(r);
+    out[w] = static_cast<uint32_t>(r);
+    w += m & 1;
+    out[w] = static_cast<uint32_t>(r + 1);
+    w += (m >> 1) & 1;
+  }
+  for (; r < hi; ++r) {
+    out[w] = static_cast<uint32_t>(r);
+    w += k.Test(r) ? 1 : 0;
+  }
+  return w;
+}
+
+// No vector gather on aarch64 — refinement is the scalar compaction loop,
+// kept here so the dispatch table stays total.
+template <class K>
+size_t RefineSel(const K& k, const uint32_t* rows, uint32_t* sel, size_t n) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = sel[i];
+    sel[w] = p;
+    w += k.Test(rows != nullptr ? rows[p] : p) ? 1 : 0;
+  }
+  return w;
+}
+
+template <class K>
+void MaskDense(const K& k, size_t lo, size_t hi, uint8_t* out) {
+  size_t r = lo;
+  uint8_t* o = out;
+  for (; r + 2 <= hi; r += 2, o += 2) {
+    const int m = k.Mask2At(r);
+    o[0] = static_cast<uint8_t>(m & 1);
+    o[1] = static_cast<uint8_t>((m >> 1) & 1);
+  }
+  for (; r < hi; ++r, ++o) *o = k.Test(r) ? 1 : 0;
+}
+
+// ----------------------------------------------------- exported wrappers
+
+template <int OP>
+size_t SelCmpI64(const int64_t* v, int64_t lit, size_t lo, size_t hi,
+                 uint32_t* out) {
+  return SelectDense(CmpI64<OP>(v, lit), lo, hi, out);
+}
+template <int OP>
+size_t SelCmpF64(const double* v, double lit, size_t lo, size_t hi,
+                 uint32_t* out) {
+  return SelectDense(CmpF64<OP>(v, lit), lo, hi, out);
+}
+size_t SelBetweenI64(const int64_t* v, int64_t vlo, uint64_t span, size_t lo,
+                     size_t hi, uint32_t* out) {
+  return SelectDense(BetweenI64(v, vlo, span), lo, hi, out);
+}
+size_t SelBetweenF64(const double* v, double vlo, double vhi, size_t lo,
+                     size_t hi, uint32_t* out) {
+  return SelectDense(BetweenF64(v, vlo, vhi), lo, hi, out);
+}
+size_t SelBitsetI64(const int64_t* v, int64_t base, uint64_t span,
+                    const uint64_t* bits, size_t lo, size_t hi,
+                    uint32_t* out) {
+  return SelectDense(BitsetI64(v, base, span, bits), lo, hi, out);
+}
+
+template <int OP>
+size_t RefCmpI64(const int64_t* v, int64_t lit, const uint32_t* rows,
+                 uint32_t* sel, size_t n) {
+  return RefineSel(CmpI64<OP>(v, lit), rows, sel, n);
+}
+template <int OP>
+size_t RefCmpF64(const double* v, double lit, const uint32_t* rows,
+                 uint32_t* sel, size_t n) {
+  return RefineSel(CmpF64<OP>(v, lit), rows, sel, n);
+}
+size_t RefBetweenI64(const int64_t* v, int64_t vlo, uint64_t span,
+                     const uint32_t* rows, uint32_t* sel, size_t n) {
+  return RefineSel(BetweenI64(v, vlo, span), rows, sel, n);
+}
+size_t RefBetweenF64(const double* v, double vlo, double vhi,
+                     const uint32_t* rows, uint32_t* sel, size_t n) {
+  return RefineSel(BetweenF64(v, vlo, vhi), rows, sel, n);
+}
+size_t RefBitsetI64(const int64_t* v, int64_t base, uint64_t span,
+                    const uint64_t* bits, const uint32_t* rows, uint32_t* sel,
+                    size_t n) {
+  return RefineSel(BitsetI64(v, base, span, bits), rows, sel, n);
+}
+
+template <int OP>
+void MskCmpI64(const int64_t* v, int64_t lit, size_t lo, size_t hi,
+               uint8_t* out) {
+  MaskDense(CmpI64<OP>(v, lit), lo, hi, out);
+}
+template <int OP>
+void MskCmpF64(const double* v, double lit, size_t lo, size_t hi,
+               uint8_t* out) {
+  MaskDense(CmpF64<OP>(v, lit), lo, hi, out);
+}
+void MskBetweenI64(const int64_t* v, int64_t vlo, uint64_t span, size_t lo,
+                   size_t hi, uint8_t* out) {
+  MaskDense(BetweenI64(v, vlo, span), lo, hi, out);
+}
+void MskBetweenF64(const double* v, double vlo, double vhi, size_t lo,
+                   size_t hi, uint8_t* out) {
+  MaskDense(BetweenF64(v, vlo, vhi), lo, hi, out);
+}
+void MskBitsetI64(const int64_t* v, int64_t base, uint64_t span,
+                  const uint64_t* bits, size_t lo, size_t hi, uint8_t* out) {
+  MaskDense(BitsetI64(v, base, span, bits), lo, hi, out);
+}
+
+void HashMix64X8(const uint64_t* in, uint64_t* out) {
+  for (int j = 0; j < 8; ++j) {
+    uint64_t k = in[j];
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDULL;
+    k ^= k >> 33;
+    k *= 0xC4CEB9FE1A85EC53ULL;
+    k ^= k >> 33;
+    out[j] = k;
+  }
+}
+
+void MaskAnd(uint8_t* a, const uint8_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(a + i, vandq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; ++i) a[i] &= b[i];
+}
+
+Ops MakeOps() {
+  Ops o{};
+  o.select_cmp_i64[kEq] = &SelCmpI64<kEq>;
+  o.select_cmp_i64[kNe] = &SelCmpI64<kNe>;
+  o.select_cmp_i64[kLt] = &SelCmpI64<kLt>;
+  o.select_cmp_i64[kLe] = &SelCmpI64<kLe>;
+  o.select_cmp_i64[kGt] = &SelCmpI64<kGt>;
+  o.select_cmp_i64[kGe] = &SelCmpI64<kGe>;
+  o.select_cmp_f64[kEq] = &SelCmpF64<kEq>;
+  o.select_cmp_f64[kNe] = &SelCmpF64<kNe>;
+  o.select_cmp_f64[kLt] = &SelCmpF64<kLt>;
+  o.select_cmp_f64[kLe] = &SelCmpF64<kLe>;
+  o.select_cmp_f64[kGt] = &SelCmpF64<kGt>;
+  o.select_cmp_f64[kGe] = &SelCmpF64<kGe>;
+  o.select_between_i64 = &SelBetweenI64;
+  o.select_between_f64 = &SelBetweenF64;
+  o.select_in_bitset_i64 = &SelBitsetI64;
+
+  o.refine_cmp_i64[kEq] = &RefCmpI64<kEq>;
+  o.refine_cmp_i64[kNe] = &RefCmpI64<kNe>;
+  o.refine_cmp_i64[kLt] = &RefCmpI64<kLt>;
+  o.refine_cmp_i64[kLe] = &RefCmpI64<kLe>;
+  o.refine_cmp_i64[kGt] = &RefCmpI64<kGt>;
+  o.refine_cmp_i64[kGe] = &RefCmpI64<kGe>;
+  o.refine_cmp_f64[kEq] = &RefCmpF64<kEq>;
+  o.refine_cmp_f64[kNe] = &RefCmpF64<kNe>;
+  o.refine_cmp_f64[kLt] = &RefCmpF64<kLt>;
+  o.refine_cmp_f64[kLe] = &RefCmpF64<kLe>;
+  o.refine_cmp_f64[kGt] = &RefCmpF64<kGt>;
+  o.refine_cmp_f64[kGe] = &RefCmpF64<kGe>;
+  o.refine_between_i64 = &RefBetweenI64;
+  o.refine_between_f64 = &RefBetweenF64;
+  o.refine_in_bitset_i64 = &RefBitsetI64;
+
+  o.mask_cmp_i64[kEq] = &MskCmpI64<kEq>;
+  o.mask_cmp_i64[kNe] = &MskCmpI64<kNe>;
+  o.mask_cmp_i64[kLt] = &MskCmpI64<kLt>;
+  o.mask_cmp_i64[kLe] = &MskCmpI64<kLe>;
+  o.mask_cmp_i64[kGt] = &MskCmpI64<kGt>;
+  o.mask_cmp_i64[kGe] = &MskCmpI64<kGe>;
+  o.mask_cmp_f64[kEq] = &MskCmpF64<kEq>;
+  o.mask_cmp_f64[kNe] = &MskCmpF64<kNe>;
+  o.mask_cmp_f64[kLt] = &MskCmpF64<kLt>;
+  o.mask_cmp_f64[kLe] = &MskCmpF64<kLe>;
+  o.mask_cmp_f64[kGt] = &MskCmpF64<kGt>;
+  o.mask_cmp_f64[kGe] = &MskCmpF64<kGe>;
+  o.mask_between_i64 = &MskBetweenI64;
+  o.mask_between_f64 = &MskBetweenF64;
+  o.mask_in_bitset_i64 = &MskBitsetI64;
+
+  o.hash_mix64_x8 = &HashMix64X8;
+  o.mask_and = &MaskAnd;
+  return o;
+}
+
+const Ops kNeonOps = MakeOps();
+
+}  // namespace
+
+const Ops* NeonOps() { return &kNeonOps; }
+
+}  // namespace simd
+}  // namespace cvopt
+
+#endif  // CVOPT_SIMD_ENABLED && __aarch64__

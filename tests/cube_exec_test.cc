@@ -87,7 +87,53 @@ TEST_P(CubeExecTest, MatchesPerSpecUnderForcedRadix) {
   ExpectCubeMatchesPerSpec(CubeTable(), CubeBase(/*filtered=*/false));
 }
 
+TEST_P(CubeExecTest, MatchesPerSpecUnderForcedRadixFiltered) {
+  // WHERE + forced radix: the masked selection accumulates through the
+  // partition-owned slabs (dense byte mask, no chunk merge).
+  ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/8);
+  ScopedExecThreads threads(GetParam());
+  ExpectCubeMatchesPerSpec(CubeTable(), CubeBase(/*filtered=*/true));
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, CubeExecTest, testing::Values(1, 8));
+
+// The rollup fan-out across grouping sets must be invisible in the output:
+// every per-set result — labels, keys, and double values compared for
+// bitwise equality, not tolerance — identical at every thread count, with
+// and without a WHERE clause. Each coarser set reads the shared finest
+// accumulation and rolls up independently in deterministic g-order, and
+// the forced partition-owned build (fixed partition count) makes the
+// finest accumulation itself thread-count-independent — unlike the
+// chunk-merged path, whose chunk decomposition follows the thread count.
+TEST(CubeExecTest, FanOutBitIdenticalAcrossThreadCounts) {
+  ScopedRadixOverride radix(/*mode=*/1, /*partitions=*/8);
+  for (const bool filtered : {false, true}) {
+    const QuerySpec base = CubeBase(filtered);
+    std::vector<QueryResult> serial = [&] {
+      ScopedExecThreads one(1);
+      return std::move(ExecuteCube(CubeTable(), base)).ValueOrDie();
+    }();
+    for (const int threads : {2, 3, 8}) {
+      ScopedExecThreads scope(threads);
+      ASSERT_OK_AND_ASSIGN(std::vector<QueryResult> par,
+                           ExecuteCube(CubeTable(), base));
+      ASSERT_EQ(par.size(), serial.size());
+      for (size_t s = 0; s < serial.size(); ++s) {
+        ASSERT_EQ(par[s].num_groups(), serial[s].num_groups())
+            << "threads=" << threads << " set " << s;
+        for (size_t i = 0; i < serial[s].num_groups(); ++i) {
+          ASSERT_EQ(par[s].label(i), serial[s].label(i));
+          ASSERT_EQ(par[s].key(i).codes, serial[s].key(i).codes);
+          for (size_t j = 0; j < serial[s].num_aggregates(); ++j) {
+            ASSERT_EQ(par[s].value(i, j), serial[s].value(i, j))
+                << "threads=" << threads << " set " << s << " group "
+                << serial[s].label(i) << " agg " << j;
+          }
+        }
+      }
+    }
+  }
+}
 
 TEST(CubeExecTest, EmptyGroupByFallsBackToSingleSpec) {
   QuerySpec base;

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <unordered_map>
 
 #include "src/table/table_builder.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 #include "tests/test_util.h"
 
 namespace cvopt {
@@ -349,6 +351,116 @@ TEST(RadixBuildTest, AutoHeuristicEngagesOnHugeCardinality) {
   EXPECT_EQ(par.row_groups(), serial.row_groups());
   EXPECT_EQ(par.sizes(), serial.sizes());
 }
+
+// --------------------------------------------- SIMD-vs-scalar parity
+
+// The batched packed probe (8-lane hash mix + slot prefetch) must leave no
+// trace in the output: builds with the vector backend forced off and on
+// assign bit-identical first-seen ids, sizes, and keys across every tier,
+// the forced-radix path, and subset builds. On hosts without a vector
+// backend both passes are scalar.
+class GroupBuildSimdParityFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(GroupBuildSimdParityFuzz, BuildsBitIdenticalScalarVsVector) {
+  Rng rng(6600 + GetParam());
+  const size_t n = 500 + rng.Uniform(400);
+  std::vector<int64_t> small(n), wide(n);
+  std::vector<std::string> strs(n);
+  const char* names[] = {"aa", "bb", "cc", "dd", "ee", "ff", "gg"};
+  for (size_t r = 0; r < n; ++r) {
+    small[r] = static_cast<int64_t>(rng.Uniform(25)) - 12;
+    wide[r] = (static_cast<int64_t>(rng.Uniform(9)) - 4) * (int64_t{1} << 40) +
+              static_cast<int64_t>(rng.Uniform(5));
+    strs[r] = names[rng.Uniform(7)];
+  }
+  Table t = MakeTypedTable(small, wide, strs);
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < n / 2; ++i) {
+    rows.push_back(static_cast<uint32_t>(rng.Uniform(n)));
+  }
+  const std::vector<std::vector<std::string>> attr_sets = {
+      {"s"}, {"s", "i"}, {"s", "w"}, {"i", "w"}, {"w", "w"}};
+  for (const int radix_mode : {0, 1}) {
+    ScopedRadixOverride radix(radix_mode, /*partitions=*/radix_mode ? 8 : 0);
+    for (const auto& attrs : attr_sets) {
+      simd::SetEnabledForTesting(0);
+      ASSERT_OK_AND_ASSIGN(GroupIndex scalar, GroupIndex::Build(t, attrs));
+      ASSERT_OK_AND_ASSIGN(GroupIndex scalar_sub,
+                           GroupIndex::BuildForRows(t, attrs, rows));
+      simd::SetEnabledForTesting(1);
+      ASSERT_OK_AND_ASSIGN(GroupIndex vec, GroupIndex::Build(t, attrs));
+      ASSERT_OK_AND_ASSIGN(GroupIndex vec_sub,
+                           GroupIndex::BuildForRows(t, attrs, rows));
+      EXPECT_EQ(vec.row_groups(), scalar.row_groups());
+      EXPECT_EQ(vec.sizes(), scalar.sizes());
+      EXPECT_EQ(vec_sub.row_groups(), scalar_sub.row_groups());
+      EXPECT_EQ(vec_sub.sizes(), scalar_sub.sizes());
+      for (size_t g = 0; g < vec.num_groups(); ++g) {
+        ASSERT_EQ(vec.KeyOf(g), scalar.KeyOf(g)) << "group " << g;
+      }
+    }
+  }
+  simd::SetEnabledForTesting(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupBuildSimdParityFuzz, testing::Range(0, 4));
+
+// RouteBatch must be observationally identical to per-row Route — same ids
+// in the same order, same group count and keys — including mid-stream field
+// widening (values that outgrow their packed field) and the wide-tier
+// fallback (keys that cannot pack at all), at batch boundaries that leave
+// ragged tails, with the vector backend both off and on.
+class RouterBatchParityFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(RouterBatchParityFuzz, RouteBatchMatchesPerRowRoute) {
+  Rng rng(7700 + GetParam());
+  const size_t n = 700 + rng.Uniform(300);
+  std::vector<int64_t> small(n), wide(n);
+  std::vector<std::string> strs(n);
+  const char* names[] = {"aa", "bb", "cc", "dd", "ee"};
+  for (size_t r = 0; r < n; ++r) {
+    // Growing magnitudes force Widen mid-stream; occasional huge values
+    // push the composite key past 64 bits into the wide tier.
+    const int64_t mag = int64_t{1} << rng.Uniform(r < n / 2 ? 20 : 44);
+    small[r] = static_cast<int64_t>(rng.Uniform(9)) - 4;
+    wide[r] = (rng.NextBernoulli(0.5) ? -1 : 1) * (mag + static_cast<int64_t>(rng.Uniform(3)));
+    strs[r] = names[rng.Uniform(5)];
+  }
+  Table t = MakeTypedTable(small, wide, strs);
+  const std::vector<std::vector<std::string>> attr_sets = {
+      {"s"}, {"i", "w"}, {"s", "i", "w"}, {"w", "w"}, {}};
+  for (const int simd_mode : {0, 1}) {
+    simd::SetEnabledForTesting(simd_mode);
+    for (const auto& attrs : attr_sets) {
+      ASSERT_OK_AND_ASSIGN(std::vector<size_t> cols,
+                           GroupIndex::Resolve(t, attrs));
+      StreamGroupRouter serial(&t, cols);
+      StreamGroupRouter batched(&t, cols);
+      std::vector<uint32_t> want(n), got(n);
+      for (size_t r = 0; r < n; ++r) {
+        want[r] = serial.Route(static_cast<uint32_t>(r));
+      }
+      // Uneven blocks exercise full 8-row batches and ragged tails.
+      std::vector<uint32_t> ids(n);
+      std::iota(ids.begin(), ids.end(), 0u);
+      size_t lo = 0;
+      while (lo < n) {
+        const size_t len = std::min<size_t>(n - lo, 1 + rng.Uniform(37));
+        batched.RouteBatch(ids.data() + lo, len, got.data() + lo);
+        lo += len;
+      }
+      EXPECT_EQ(got, want);
+      ASSERT_EQ(batched.num_groups(), serial.num_groups());
+      EXPECT_EQ(batched.packed(), serial.packed());
+      for (size_t g = 0; g < serial.num_groups(); ++g) {
+        ASSERT_EQ(batched.KeyOf(g), serial.KeyOf(g)) << "group " << g;
+      }
+    }
+  }
+  simd::SetEnabledForTesting(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterBatchParityFuzz, testing::Range(0, 4));
 
 TEST(GroupKeyInternerTest, AssignsDenseFirstSeenIds) {
   GroupKeyInterner interner;

@@ -22,8 +22,10 @@
 #include "src/sample/congress_sampler.h"
 #include "src/sample/cvopt_sampler.h"
 #include "src/sample/senate_sampler.h"
+#include "src/sample/streaming_cvopt_sampler.h"
 #include "src/sample/uniform_sampler.h"
 #include "src/stats/stats_collector.h"
+#include "src/util/simd.h"
 #include "tests/test_util.h"
 
 namespace cvopt {
@@ -455,6 +457,69 @@ TEST_P(ParallelExecTest, SamplersBitIdenticalWithForcedRadix) {
     EXPECT_EQ(par.rows(), serial.rows()) << sampler->name();
     EXPECT_EQ(par.weights(), serial.weights()) << sampler->name();
   }
+}
+
+TEST_P(ParallelExecTest, ExecutorsBitIdenticalSimdOnVsOff) {
+  // The vector kernels' determinism contract: with the SIMD backends
+  // pinned off, exact and approx executors — masked and unmasked, default
+  // and forced-radix builds — produce bitwise-identical values (not
+  // tolerance-equal) at every thread count. Selection vectors keep the
+  // same rows in the same order, so every float accumulates in the same
+  // sequence. On hosts without a vector backend both passes are scalar.
+  const Table& t = TestTable();
+  Rng srng(42);
+  UniformSampler sampler;
+  ASSERT_OK_AND_ASSIGN(StratifiedSample sample,
+                       sampler.Build(t, {AllAggregatesQuery(false)}, 20000,
+                                     &srng));
+  ScopedExecThreads threads(GetParam());
+  for (const int radix_mode : {0, 1}) {
+    ScopedRadixOverride radix(radix_mode, /*partitions=*/radix_mode ? 8 : 0);
+    for (const bool filtered : {false, true}) {
+      const QuerySpec q = AllAggregatesQuery(filtered);
+      simd::SetEnabledForTesting(0);
+      ASSERT_OK_AND_ASSIGN(QueryResult exact_scalar, ExecuteExact(t, q));
+      ASSERT_OK_AND_ASSIGN(QueryResult approx_scalar,
+                           ExecuteApprox(sample, q));
+      simd::SetEnabledForTesting(1);
+      ASSERT_OK_AND_ASSIGN(QueryResult exact_vec, ExecuteExact(t, q));
+      ASSERT_OK_AND_ASSIGN(QueryResult approx_vec, ExecuteApprox(sample, q));
+      auto expect_bitwise = [&](const QueryResult& a, const QueryResult& b) {
+        ASSERT_EQ(a.num_groups(), b.num_groups());
+        for (size_t i = 0; i < a.num_groups(); ++i) {
+          ASSERT_EQ(a.label(i), b.label(i));
+          for (size_t j = 0; j < a.num_aggregates(); ++j) {
+            ASSERT_EQ(a.value(i, j), b.value(i, j))
+                << "radix=" << radix_mode << " filtered=" << filtered
+                << " group " << a.label(i) << " agg " << j;
+          }
+        }
+      };
+      expect_bitwise(exact_scalar, exact_vec);
+      expect_bitwise(approx_scalar, approx_vec);
+    }
+  }
+}
+
+TEST_P(ParallelExecTest, StreamingBuilderBitIdenticalSimdOnVsOff) {
+  // The streaming builder's batched offer path (blockwise filter kernels +
+  // RouteBatch) must reproduce the per-row Offer loop exactly: same rows,
+  // same weights, same RNG consumption — with the vector backend off and
+  // on.
+  const Table& t = TestTable();
+  const QuerySpec q = AllAggregatesQuery(true);
+  ScopedExecThreads threads(GetParam());
+  StreamingCvoptSampler sampler(10'000);
+  StratifiedSample scalar = [&] {
+    simd::SetEnabledForTesting(0);
+    Rng rng(777);
+    return std::move(sampler.Build(t, {q}, 5000, &rng)).ValueOrDie();
+  }();
+  simd::SetEnabledForTesting(1);
+  Rng rng(777);
+  ASSERT_OK_AND_ASSIGN(StratifiedSample vec, sampler.Build(t, {q}, 5000, &rng));
+  EXPECT_EQ(vec.rows(), scalar.rows());
+  EXPECT_EQ(vec.weights(), scalar.weights());
 }
 
 TEST_P(ParallelExecTest, EmptyAndTinyTables) {

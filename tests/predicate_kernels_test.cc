@@ -11,6 +11,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
 
 #include "src/core/stratification.h"
 #include "src/exec/group_by_executor.h"
@@ -19,6 +20,7 @@
 #include "src/sample/sampler.h"
 #include "src/sample/streaming_cvopt_sampler.h"
 #include "src/stats/stats_collector.h"
+#include "src/util/simd.h"
 #include "tests/test_util.h"
 
 namespace cvopt {
@@ -516,6 +518,121 @@ TEST(IngestDenseTest, RejectsCollisionsWithExistingGroups) {
   EXPECT_FALSE(dup.ok());
   EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
 }
+
+// ------------------------------------------- SIMD-vs-scalar parity fuzz
+
+// Forces the scalar kernels for a scope, restoring auto-detection on exit.
+class ScopedScalarKernels {
+ public:
+  ScopedScalarKernels() { simd::SetEnabledForTesting(0); }
+  ~ScopedScalarKernels() { simd::SetEnabledForTesting(1); }
+};
+
+// Table whose double column concentrates the lanes the vector compares
+// must get right: NaN, +0.0 vs -0.0, denormals, infinities; the int column
+// mixes small values with both int64 extremes.
+Table MakeSimdEdgeTable(uint64_t seed, size_t rows) {
+  Schema schema({{"s", DataType::kString},
+                 {"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"v", DataType::kDouble}});
+  TableBuilder b(schema);
+  Rng rng(seed);
+  const char* cats[] = {"a", "bb", "c"};
+  const double edge[] = {kNaN,   0.0,  -0.0, 5e-324, -5e-324,
+                         kInf,   -kInf, 1e300, -1e300};
+  const int64_t iedge[] = {0, -1, 1, std::numeric_limits<int64_t>::max(),
+                           std::numeric_limits<int64_t>::min()};
+  for (size_t r = 0; r < rows; ++r) {
+    const double dv = rng.NextBernoulli(0.4) ? edge[rng.Uniform(9)]
+                                             : rng.UniformDouble(-4, 4);
+    const int64_t iv = rng.NextBernoulli(0.2)
+                           ? iedge[rng.Uniform(5)]
+                           : static_cast<int64_t>(rng.Uniform(16)) - 8;
+    Status st = b.AppendRow({Value(cats[rng.Uniform(3)]), Value(iv),
+                             Value(dv), Value(rng.UniformDouble(0, 10))});
+    CVOPT_CHECK(st.ok(), "append failed");
+  }
+  return std::move(b).Finish();
+}
+
+// Every predicate entry point, evaluated twice — scalar kernels forced,
+// then auto (vector where the host supports it) — must produce identical
+// bytes and identical selection vectors: same rows, same order. The sweep
+// covers unaligned range bases (all 8 start offsets), ragged tails (a
+// prime row count), all-match and no-match predicates, and the NaN /
+// signed-zero / denormal lanes baked into the table. On hosts without a
+// vector backend both passes are scalar and the test degenerates to
+// self-consistency.
+class SimdScalarParityFuzz : public testing::TestWithParam<int> {};
+
+TEST_P(SimdScalarParityFuzz, EntryPointsBitIdentical) {
+  Table t = MakeSimdEdgeTable(6100 + GetParam(), 997);  // prime: ragged tail
+  const size_t n = t.num_rows();
+  Rng rng(8300 + GetParam());
+
+  std::vector<PredicatePtr> preds;
+  for (int trial = 0; trial < 12; ++trial) {
+    preds.push_back(RandomRefPred(&rng, 2).Build());
+  }
+  // Degenerate selectivities: every row, and no row.
+  preds.push_back(Predicate::Between("i", std::numeric_limits<int64_t>::min(),
+                                     std::numeric_limits<int64_t>::max()));
+  preds.push_back(Predicate::Compare("v", CompareOp::kLt, -1.0));
+
+  for (const PredicatePtr& p : preds) {
+    ASSERT_OK_AND_ASSIGN(CompiledPredicate cp,
+                         CompiledPredicate::Compile(t, *p));
+    std::vector<uint32_t> rows;
+    for (size_t j = 0; j < 193; ++j) {
+      rows.push_back(static_cast<uint32_t>(rng.Uniform(n)));
+    }
+    std::vector<uint32_t> sel0(rows.size());
+    std::iota(sel0.begin(), sel0.end(), 0u);
+
+    struct Capture {
+      std::vector<std::vector<uint8_t>> masks;
+      std::vector<std::vector<uint32_t>> sels;
+    };
+    auto run = [&]() {
+      Capture c;
+      for (size_t off = 0; off < 8; ++off) {
+        std::vector<uint8_t> mask(n - off);
+        cp.EvalMaskRange(off, n, mask.data());
+        c.masks.push_back(std::move(mask));
+        c.sels.push_back(cp.SelectRange(off, n - off));
+      }
+      c.sels.push_back(cp.Select());
+      std::vector<uint8_t> sub(rows.size());
+      cp.EvalMask(rows.data(), rows.size(), sub.data());
+      c.masks.push_back(std::move(sub));
+      c.sels.push_back(cp.SelectPositions(rows.data(), rows.size()));
+      std::vector<uint32_t> refined = sel0;
+      cp.Refine(rows.data(), &refined);
+      c.sels.push_back(std::move(refined));
+      return c;
+    };
+
+    Capture scalar;
+    {
+      ScopedScalarKernels force_scalar;
+      scalar = run();
+    }
+    const Capture vec = run();
+    ASSERT_EQ(scalar.masks.size(), vec.masks.size());
+    for (size_t j = 0; j < scalar.masks.size(); ++j) {
+      ASSERT_EQ(scalar.masks[j], vec.masks[j])
+          << "mask " << j << " of " << p->ToString();
+    }
+    ASSERT_EQ(scalar.sels.size(), vec.sels.size());
+    for (size_t j = 0; j < scalar.sels.size(); ++j) {
+      ASSERT_EQ(scalar.sels[j], vec.sels[j])
+          << "selection " << j << " of " << p->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdScalarParityFuzz, testing::Range(0, 6));
 
 // ------------------------------------------------ streaming filter path
 

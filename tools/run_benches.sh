@@ -106,7 +106,12 @@ doc["description"] = (
     "scheduler); interpret them against hardware_concurrency. Values are "
     "per-bench medians across `repeats` runs of the whole suite "
     "(single-run host noise is ±15-25%; regenerate with "
-    "tools/run_benches.sh --repeats 5)."
+    "tools/run_benches.sh --repeats 5). BM_MaskedGroupByRadix vs "
+    "BM_MaskedGroupByMerge is the masked partition-slab path against the "
+    "pre-SIMD chunk-merge baseline (radix off, scalar kernels) on the same "
+    "data, both pinned to an 8-way fan-out (the merge only exists when "
+    "aggregation chunks); BM_SelectionVectorSIMD vs ...Scalar isolates the vector "
+    "selection kernels (host_cpu records the silicon they dispatched on)."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
@@ -114,6 +119,31 @@ commit = subprocess.run(
 doc["commit"] = commit.stdout.strip() or "unknown"
 doc["repeats"] = repeats
 doc["hardware_concurrency"] = os.cpu_count() or 1
+
+# Host CPU identity: throughput numbers (and especially the SIMD-vs-scalar
+# gaps) are only comparable across runs on the same silicon, so record the
+# model and the vector ISAs the kernels can dispatch to.
+def host_cpu():
+    info = {"arch": os.uname().machine, "model": "unknown", "simd": []}
+    try:
+        with open("/proc/cpuinfo") as f:
+            flags = set()
+            for line in f:
+                key, _, val = line.partition(":")
+                key, val = key.strip(), val.strip()
+                if key in ("model name", "Model") and info["model"] == "unknown":
+                    info["model"] = val
+                elif key in ("flags", "Features"):
+                    flags.update(val.split())
+            info["simd"] = sorted(
+                f for f in ("sse4_2", "avx", "avx2", "avx512f", "asimd", "neon")
+                if f in flags
+            )
+    except OSError:
+        pass
+    return info
+
+doc["host_cpu"] = host_cpu()
 doc["current_items_per_second"] = current
 def parallel_key(name):
     # "BM_Foo Parallel/<threads>[/real_time]" -> (bench, thread count)
