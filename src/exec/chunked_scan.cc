@@ -1,0 +1,311 @@
+#include "src/exec/chunked_scan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/group_by_executor.h"
+#include "src/expr/compiled_predicate.h"
+#include "src/stats/group_key.h"
+#include "src/util/string_util.h"
+
+namespace cvopt {
+
+namespace {
+
+// Per-aggregate binding against the mapped schema (the streaming analogue
+// of BoundAggregates::Bind, without materialized indicator vectors).
+struct MappedAggBinding {
+  bool constant_one = false;        // COUNT: answered by cnt[] directly
+  const Predicate* filter = nullptr;  // COUNT_IF
+  size_t col = 0;                   // value column otherwise
+};
+
+// Builds a zero-row Table with the mapped schema (string columns carry the
+// file dictionaries) — the compile target for zone-map classification of
+// the WHERE clause before any chunk is decoded. The compiled plan's column
+// data pointers are empty and never dereferenced; only its literal /
+// match-table leaves and column indexes feed ClassifyZones.
+Table MakePrototype(const MappedTable& mt) {
+  std::vector<Column> cols;
+  cols.reserve(mt.num_columns());
+  for (size_t c = 0; c < mt.num_columns(); ++c) {
+    Column col(mt.schema().field(c).type);
+    if (col.type() == DataType::kString) {
+      col.AdoptDictionary(mt.dictionary(c));
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table(mt.schema(), std::move(cols));
+}
+
+// Builds the in-memory mini-Table for one decoded chunk: every column of
+// the schema at chunk height, sharing the file dictionaries. Compilation
+// targets (WHERE, COUNT_IF filters) resolve columns by name against it, so
+// it must mirror the full schema.
+Result<Table> MakeChunkTable(const MappedTable& mt, size_t chunk) {
+  std::vector<Column> cols;
+  cols.reserve(mt.num_columns());
+  for (size_t c = 0; c < mt.num_columns(); ++c) {
+    CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const DecodedChunk> data,
+                           mt.GetChunk(c, chunk));
+    Column col(mt.schema().field(c).type);
+    switch (col.type()) {
+      case DataType::kInt64:
+        col.AdoptInts(data->ints);
+        break;
+      case DataType::kDouble:
+        col.AdoptDoubles(data->doubles);
+        break;
+      case DataType::kString:
+        col.AdoptDictionary(mt.dictionary(c));
+        col.AdoptCodes(data->codes);
+        break;
+    }
+    cols.push_back(std::move(col));
+  }
+  return Table(mt.schema(), std::move(cols));
+}
+
+// Renders a group label exactly like GroupKey::Render does for the
+// in-memory executor (dict strings for string columns, decimal otherwise).
+std::string RenderLabel(const MappedTable& mt, const std::vector<size_t>& gcols,
+                        const GroupKey& key) {
+  std::vector<std::string> parts;
+  parts.reserve(key.codes.size());
+  for (size_t i = 0; i < key.codes.size(); ++i) {
+    if (mt.schema().field(gcols[i]).type == DataType::kString) {
+      const auto& dict = mt.dictionary(gcols[i]);
+      const auto code = static_cast<size_t>(key.codes[i]);
+      parts.push_back(code < dict.size()
+                          ? dict[code]
+                          : StrFormat("<%lld>", (long long)key.codes[i]));
+    } else {
+      parts.push_back(StrFormat("%lld", static_cast<long long>(key.codes[i])));
+    }
+  }
+  return Join(parts, "|");
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
+                                         const QuerySpec& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  const Schema& schema = mt.schema();
+  const size_t t = query.aggregates.size();
+
+  // Resolve group-by columns (discrete types only, as GroupIndex requires).
+  std::vector<size_t> gcols;
+  gcols.reserve(query.group_by.size());
+  for (const auto& name : query.group_by) {
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(name));
+    if (schema.field(idx).type == DataType::kDouble) {
+      return Status::InvalidArgument("cannot group by double column " + name);
+    }
+    gcols.push_back(idx);
+  }
+
+  // Resolve aggregates.
+  std::vector<MappedAggBinding> bindings(t);
+  bool any_var = false;
+  for (size_t j = 0; j < t; ++j) {
+    const AggSpec& a = query.aggregates[j];
+    any_var |= a.func == AggFunc::kVariance;
+    if (a.func == AggFunc::kCount) {
+      bindings[j].constant_one = true;
+      continue;
+    }
+    if (a.func == AggFunc::kCountIf) {
+      if (a.filter == nullptr) {
+        return Status::InvalidArgument("COUNT_IF requires a filter");
+      }
+      bindings[j].filter = a.filter.get();
+      continue;
+    }
+    CVOPT_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(a.column));
+    if (schema.field(idx).type == DataType::kString) {
+      return Status::InvalidArgument("cannot aggregate string column " +
+                                     a.column);
+    }
+    bindings[j].col = idx;
+  }
+  const bool any_countif = std::any_of(
+      bindings.begin(), bindings.end(),
+      [](const MappedAggBinding& b) { return b.filter != nullptr; });
+
+  // Compile the WHERE clause once against a zero-row prototype: this
+  // validates it and yields the zone classifier used before any decode.
+  // (Kept alive for the whole scan — the plan borrows its zone index.)
+  Table proto = MakePrototype(mt);
+  std::unique_ptr<CompiledPredicate> proto_where;
+  if (query.where != nullptr) {
+    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
+                           CompiledPredicate::Compile(proto, *query.where));
+    proto_where = std::make_unique<CompiledPredicate>(std::move(cp));
+  }
+  // Validate COUNT_IF filters up front the same way.
+  for (const auto& b : bindings) {
+    if (b.filter != nullptr) {
+      CVOPT_RETURN_NOT_OK(
+          CompiledPredicate::Compile(proto, *b.filter).status());
+    }
+  }
+
+  // Dense first-occurrence group ids over UNMASKED rows — the same order
+  // GroupIndex::Build produces, so group emission matches ExecuteExact even
+  // when a group's first row sits in a predicate-skipped chunk.
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> gid_of;
+  std::vector<GroupKey> group_keys;
+  std::vector<uint64_t> cnt;
+  std::vector<std::vector<double>> sums(t);
+  std::vector<std::vector<double>> sums2(any_var ? t : 0);
+  std::vector<std::vector<std::vector<double>>> medians(t);
+
+  GroupKey scratch;
+  scratch.codes.resize(gcols.size());
+  auto assign_gid = [&](const GroupKey& key) -> uint32_t {
+    auto it = gid_of.find(key);
+    if (it != gid_of.end()) return it->second;
+    const uint32_t gid = static_cast<uint32_t>(group_keys.size());
+    gid_of.emplace(key, gid);
+    group_keys.push_back(key);
+    cnt.push_back(0);
+    for (size_t j = 0; j < t; ++j) {
+      sums[j].push_back(0.0);
+      if (any_var) sums2[j].push_back(0.0);
+      if (query.aggregates[j].func == AggFunc::kMedian) {
+        medians[j].emplace_back();
+      }
+    }
+    return gid;
+  };
+
+  const bool zones_on = ZoneMapPruningEnabled();
+  for (size_t k = 0; k < mt.num_chunks(); ++k) {
+    const size_t n = mt.ChunkRowCount(k);
+
+    ChunkVerdict verdict = ChunkVerdict::kResidual;
+    if (proto_where != nullptr && zones_on) {
+      verdict = proto_where->ClassifyZones(
+          [&](uint32_t col) -> const ZoneMap& {
+            return mt.zone_index().zone(col, k);
+          });
+      RecordZoneVerdict(verdict);
+    }
+
+    if (verdict == ChunkVerdict::kSkip) {
+      // No row survives the WHERE clause: only group discovery remains.
+      // Decode just the group-by columns and register first occurrences.
+      std::vector<std::shared_ptr<const DecodedChunk>> gdata(gcols.size());
+      for (size_t i = 0; i < gcols.size(); ++i) {
+        CVOPT_ASSIGN_OR_RETURN(gdata[i], mt.GetChunk(gcols[i], k));
+      }
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t i = 0; i < gcols.size(); ++i) {
+          scratch.codes[i] = gdata[i]->type == DataType::kString
+                                 ? gdata[i]->codes[r]
+                                 : gdata[i]->ints[r];
+        }
+        assign_gid(scratch);
+      }
+      continue;
+    }
+
+    // Decode the chunk into a mini-Table (all columns, so by-name predicate
+    // compilation sees the full schema).
+    CVOPT_ASSIGN_OR_RETURN(Table chunk_table, MakeChunkTable(mt, k));
+
+    // Survivor mask: all-ones for a provably-true chunk or no WHERE,
+    // kernel evaluation otherwise.
+    std::vector<uint8_t> smask(n, 1);
+    if (proto_where != nullptr && verdict != ChunkVerdict::kTakeAll) {
+      CVOPT_ASSIGN_OR_RETURN(
+          CompiledPredicate cp,
+          CompiledPredicate::Compile(chunk_table, *query.where));
+      cp.EvalMaskRange(0, n, smask.data());
+    }
+
+    // COUNT_IF indicators for this chunk.
+    std::vector<std::vector<uint8_t>> indicators(t);
+    if (any_countif) {
+      for (size_t j = 0; j < t; ++j) {
+        if (bindings[j].filter == nullptr) continue;
+        indicators[j].resize(n);
+        CVOPT_ASSIGN_OR_RETURN(
+            CompiledPredicate cp,
+            CompiledPredicate::Compile(chunk_table, *bindings[j].filter));
+        cp.EvalMaskRange(0, n, indicators[j].data());
+      }
+    }
+
+    // One serial ascending pass: gid assignment over every row,
+    // accumulation over survivors — per-group addition order is exactly
+    // the exact executor's serial ascending-row order.
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < gcols.size(); ++i) {
+        scratch.codes[i] = chunk_table.column(gcols[i]).GroupCode(r);
+      }
+      const uint32_t gid = assign_gid(scratch);
+      if (smask[r] == 0) continue;
+      cnt[gid]++;
+      for (size_t j = 0; j < t; ++j) {
+        const MappedAggBinding& b = bindings[j];
+        if (b.constant_one) continue;
+        double v;
+        if (b.filter != nullptr) {
+          v = indicators[j][r] ? 1.0 : 0.0;
+        } else {
+          const Column& col = chunk_table.column(b.col);
+          v = col.type() == DataType::kDouble
+                  ? col.doubles()[r]
+                  : static_cast<double>(col.ints()[r]);
+        }
+        sums[j][gid] += v;
+        if (any_var) sums2[j][gid] += v * v;
+        if (query.aggregates[j].func == AggFunc::kMedian) {
+          medians[j][gid].push_back(v);
+        }
+      }
+    }
+  }
+
+  // Finalize through the exact executor's own rules, then emit groups in
+  // first-occurrence order, omitting fully-filtered groups (IngestDense
+  // semantics).
+  const size_t G = group_keys.size();
+  GroupedAccumulators acc;
+  acc.num_groups = G;
+  acc.cnt = std::move(cnt);
+  acc.sums.assign(t * G, 0.0);
+  if (any_var) acc.sums2.assign(t * G, 0.0);
+  acc.median_values.resize(t);
+  for (size_t j = 0; j < t; ++j) {
+    std::copy(sums[j].begin(), sums[j].end(), acc.sums.begin() + j * G);
+    if (any_var) {
+      std::copy(sums2[j].begin(), sums2[j].end(), acc.sums2.begin() + j * G);
+    }
+    if (query.aggregates[j].func == AggFunc::kMedian) {
+      acc.median_values[j] = std::move(medians[j]);
+    }
+  }
+  std::vector<double> finals = FinalizeGrouped(query.aggregates, &acc);
+
+  std::vector<std::string> agg_labels;
+  agg_labels.reserve(t);
+  for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
+  QueryResult result(std::move(agg_labels), query.group_by);
+  for (size_t g = 0; g < G; ++g) {
+    if (acc.cnt[g] == 0) continue;
+    std::vector<double> values(t);
+    for (size_t j = 0; j < t; ++j) values[j] = finals[j * G + g];
+    CVOPT_RETURN_NOT_OK(result.AddGroup(group_keys[g],
+                                        RenderLabel(mt, gcols, group_keys[g]),
+                                        std::move(values)));
+  }
+  return result;
+}
+
+}  // namespace cvopt

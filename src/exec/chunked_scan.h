@@ -1,0 +1,37 @@
+// Out-of-core group-by execution over an mmap-backed chunked table file.
+//
+// ExecuteGroupByMapped streams a MappedTable chunk by chunk through a
+// group-by query without ever materializing the table: per chunk it first
+// consults the file's zone maps — a chunk the WHERE clause provably
+// rejects is skipped with only its group-by columns decoded (group
+// discovery must still see every row so group emission order matches the
+// in-memory executor), a provably-accepted chunk skips predicate
+// evaluation, and only residual chunks evaluate the compiled WHERE over
+// decoded data. Decoded chunks flow through the process-wide LRU chunk
+// cache (CVOPT_CHUNK_CACHE_BYTES), so peak memory is one chunk's worth of
+// columns plus the cache budget regardless of table size.
+//
+// Determinism contract: the scan visits rows in ascending order in one
+// pass, assigns dense group ids on first (unmasked) occurrence, and
+// accumulates with the same per-group serial sums as the exact executor —
+// the QueryResult is bitwise identical (groups, order, labels, values) to
+// ExecuteExact on the materialized table.
+#ifndef CVOPT_EXEC_CHUNKED_SCAN_H_
+#define CVOPT_EXEC_CHUNKED_SCAN_H_
+
+#include "src/exec/query.h"
+#include "src/exec/query_result.h"
+#include "src/table/mapped_table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Runs `query` exactly over the mapped table. Supports the full aggregate
+/// set of ExecuteExact; group-by columns must be int64 or string,
+/// aggregated columns numeric.
+Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mapped,
+                                         const QuerySpec& query);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_EXEC_CHUNKED_SCAN_H_

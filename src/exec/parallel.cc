@@ -235,6 +235,29 @@ void ParallelForChunks(size_t n, size_t chunks,
   }
 }
 
+namespace {
+
+// Morsel boundaries for an n-row scan split into `chunks` morsels, with
+// interior boundaries rounded down to multiples of `align` (the table's
+// storage-chunk granularity) so no storage chunk straddles two morsels and
+// each chunk is zone-classified exactly once per scan. Rounding down keeps
+// the sequence monotonic; a collapsed (empty) morsel is harmless. Verdicts
+// restrict to subranges, so this is a throughput choice, not a correctness
+// requirement — and it cannot change results: concatenation order is by
+// morsel index either way.
+std::vector<size_t> MorselBounds(size_t n, size_t chunks, size_t align) {
+  std::vector<size_t> b(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) b[c] = ChunkBegin(n, chunks, c);
+  if (align > 1) {
+    for (size_t c = 1; c < chunks; ++c) {
+      b[c] = std::max(b[c] - (b[c] % align), b[c - 1]);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
 std::vector<uint32_t> ParallelSelect(const CompiledPredicate& cp,
                                      int num_threads) {
   const size_t n = cp.table_rows();
@@ -245,9 +268,11 @@ std::vector<uint32_t> ParallelSelect(const CompiledPredicate& cp,
   // Per-morsel selection vectors, then one ordered concatenation: chunk c
   // holds exactly the matching rows in [lo_c, hi_c), so the concatenated
   // result is cp.Select() bit for bit.
+  const std::vector<size_t> bounds =
+      MorselBounds(n, chunks, cp.zone_chunk_rows());
   std::vector<std::vector<uint32_t>> parts(chunks);
-  ParallelForChunks(n, chunks, [&](size_t c, size_t lo, size_t hi) {
-    parts[c] = cp.SelectRange(lo, hi);
+  ParallelForChunks(n, chunks, [&](size_t c, size_t, size_t) {
+    parts[c] = cp.SelectRange(bounds[c], bounds[c + 1]);
   });
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
@@ -259,14 +284,23 @@ std::vector<uint32_t> ParallelSelect(const CompiledPredicate& cp,
 
 void ParallelEvalMask(const CompiledPredicate& cp, const uint32_t* base_rows,
                       size_t n, uint8_t* out, int num_threads) {
-  ParallelFor(
-      n,
+  const size_t chunks =
+      ParallelChunkCount(n, ResolveThreads(num_threads), 0);
+  if (base_rows == nullptr) {
+    const std::vector<size_t> bounds =
+        MorselBounds(n, chunks, cp.zone_chunk_rows());
+    ParallelForChunks(
+        n, chunks,
+        [&](size_t c, size_t, size_t) {
+          cp.EvalMaskRange(bounds[c], bounds[c + 1], out + bounds[c]);
+        },
+        num_threads);
+    return;
+  }
+  ParallelForChunks(
+      n, chunks,
       [&](size_t, size_t lo, size_t hi) {
-        if (base_rows == nullptr) {
-          cp.EvalMaskRange(lo, hi, out + lo);
-        } else {
-          cp.EvalMask(base_rows + lo, hi - lo, out + lo);
-        }
+        cp.EvalMask(base_rows + lo, hi - lo, out + lo);
       },
       num_threads);
 }

@@ -1,14 +1,51 @@
 #include "src/expr/compiled_predicate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 
 #include "src/expr/compare_plan.h"
 #include "src/util/simd.h"
 
 namespace cvopt {
+
+namespace {
+
+// --------------------------------------------------- zone-skip observability
+
+std::atomic<uint64_t> g_zone_chunks{0};
+std::atomic<uint64_t> g_zone_skipped{0};
+std::atomic<uint64_t> g_zone_take_all{0};
+
+inline void CountVerdict(ChunkVerdict v) {
+  g_zone_chunks.fetch_add(1, std::memory_order_relaxed);
+  if (v == ChunkVerdict::kSkip) {
+    g_zone_skipped.fetch_add(1, std::memory_order_relaxed);
+  } else if (v == ChunkVerdict::kTakeAll) {
+    g_zone_take_all.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ZoneSkipStats GetZoneSkipStats() {
+  ZoneSkipStats s;
+  s.chunks = g_zone_chunks.load(std::memory_order_relaxed);
+  s.skipped = g_zone_skipped.load(std::memory_order_relaxed);
+  s.take_all = g_zone_take_all.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetZoneSkipStats() {
+  g_zone_chunks.store(0, std::memory_order_relaxed);
+  g_zone_skipped.store(0, std::memory_order_relaxed);
+  g_zone_take_all.store(0, std::memory_order_relaxed);
+}
+
+void RecordZoneVerdict(ChunkVerdict v) { CountVerdict(v); }
 
 namespace {
 
@@ -662,22 +699,245 @@ bool CompiledPredicate::TestNode(uint32_t node, size_t row) const {
   return false;
 }
 
+// -------------------------------------------------- zone-map classification
+//
+// Three-valued evaluation of the plan tree against per-chunk zone maps.
+// Soundness contract (what keeps chunk skipping bit-identical to the flat
+// scan): kSkip is returned only when the zone range proves NO row of the
+// chunk can match, kTakeAll only when it proves EVERY row matches. NaN is
+// the one subtlety — a NaN value matches no Compare/BETWEEN/IN leaf, so
+// for double leaves kSkip stays valid whatever nan_count is, while
+// kTakeAll additionally requires nan_count == 0 (and an all-NaN chunk is
+// always kSkip, since its min/max summarize zero values).
+
+namespace {
+
+ChunkVerdict InvertVerdict(ChunkVerdict v) {
+  // Exact because the verdicts are exact row-set statements: "no row
+  // matches P" == "every row matches NOT P" and vice versa.
+  if (v == ChunkVerdict::kSkip) return ChunkVerdict::kTakeAll;
+  if (v == ChunkVerdict::kTakeAll) return ChunkVerdict::kSkip;
+  return ChunkVerdict::kResidual;
+}
+
+template <typename T>
+ChunkVerdict ClassifyCmpZone(CompareOp op, T zmin, T zmax, T lit,
+                             bool exact_all) {
+  // exact_all gates kTakeAll (false when the chunk holds NaNs, which never
+  // match); kSkip implications hold regardless.
+  switch (op) {
+    case CompareOp::kEq:
+      if (lit < zmin || lit > zmax) return ChunkVerdict::kSkip;
+      if (exact_all && zmin == zmax && zmin == lit)
+        return ChunkVerdict::kTakeAll;
+      break;
+    case CompareOp::kNe:
+      if (zmin == zmax && zmin == lit) return ChunkVerdict::kSkip;
+      if (exact_all && (lit < zmin || lit > zmax))
+        return ChunkVerdict::kTakeAll;
+      break;
+    case CompareOp::kLt:
+      if (zmin >= lit) return ChunkVerdict::kSkip;
+      if (exact_all && zmax < lit) return ChunkVerdict::kTakeAll;
+      break;
+    case CompareOp::kLe:
+      if (zmin > lit) return ChunkVerdict::kSkip;
+      if (exact_all && zmax <= lit) return ChunkVerdict::kTakeAll;
+      break;
+    case CompareOp::kGt:
+      if (zmax <= lit) return ChunkVerdict::kSkip;
+      if (exact_all && zmin > lit) return ChunkVerdict::kTakeAll;
+      break;
+    case CompareOp::kGe:
+      if (zmax < lit) return ChunkVerdict::kSkip;
+      if (exact_all && zmin >= lit) return ChunkVerdict::kTakeAll;
+      break;
+  }
+  return ChunkVerdict::kResidual;
+}
+
+// Sorted-literal IN list vs a zone range: kSkip when no literal lies in
+// [zmin, zmax]; kTakeAll when the chunk is single-valued on a literal.
+template <typename T>
+ChunkVerdict ClassifyInZone(const std::vector<T>& sorted_vals, T zmin, T zmax,
+                            bool exact_all) {
+  auto it = std::lower_bound(sorted_vals.begin(), sorted_vals.end(), zmin);
+  if (it == sorted_vals.end() || *it > zmax) return ChunkVerdict::kSkip;
+  if (exact_all && zmin == zmax) return ChunkVerdict::kTakeAll;  // *it==zmin
+  return ChunkVerdict::kResidual;
+}
+
+// Dictionary-range scans longer than this stay kResidual: classification
+// must cost far less than the chunk scan it replaces.
+constexpr size_t kMaxCodeRangeScan = 4096;
+
+}  // namespace
+
+ChunkVerdict CompiledPredicate::ClassifyLeafZone(const Leaf& L,
+                                                 const ZoneMap& z) {
+  switch (L.kind) {
+    case LeafKind::kIntCmp:
+      return ClassifyCmpZone<int64_t>(L.op, z.imin, z.imax, L.ilit, true);
+    case LeafKind::kDblCmp: {
+      if (z.nan_count == z.rows) return ChunkVerdict::kSkip;
+      return ClassifyCmpZone<double>(L.op, z.dmin, z.dmax, L.dlit,
+                                     z.nan_count == 0);
+    }
+    case LeafKind::kIntBetween:
+      if (z.imax < L.ilo || z.imin > L.ihi) return ChunkVerdict::kSkip;
+      if (z.imin >= L.ilo && z.imax <= L.ihi) return ChunkVerdict::kTakeAll;
+      return ChunkVerdict::kResidual;
+    case LeafKind::kDblBetween:
+      if (z.nan_count == z.rows) return ChunkVerdict::kSkip;
+      if (z.dmax < L.dlo || z.dmin > L.dhi) return ChunkVerdict::kSkip;
+      if (z.nan_count == 0 && z.dmin >= L.dlo && z.dmax <= L.dhi) {
+        return ChunkVerdict::kTakeAll;
+      }
+      return ChunkVerdict::kResidual;
+    case LeafKind::kCodeTable: {
+      if (z.cmin < 0 ||
+          static_cast<size_t>(z.cmax) >= L.match_table.size() ||
+          static_cast<size_t>(z.cmax - z.cmin) > kMaxCodeRangeScan) {
+        return ChunkVerdict::kResidual;
+      }
+      bool any = false, all = true;
+      for (int32_t c = z.cmin; c <= z.cmax; ++c) {
+        if (L.match_table[static_cast<size_t>(c)] != 0) {
+          any = true;
+        } else {
+          all = false;
+        }
+      }
+      if (!any) return ChunkVerdict::kSkip;
+      if (all) return ChunkVerdict::kTakeAll;
+      return ChunkVerdict::kResidual;
+    }
+    case LeafKind::kIntInBitset:
+    case LeafKind::kIntInSorted:
+      return ClassifyInZone<int64_t>(L.ivals, z.imin, z.imax, true);
+    case LeafKind::kDblInSorted:
+      if (z.nan_count == z.rows) return ChunkVerdict::kSkip;
+      return ClassifyInZone<double>(L.dvals, z.dmin, z.dmax,
+                                    z.nan_count == 0);
+  }
+  return ChunkVerdict::kResidual;
+}
+
+ChunkVerdict CompiledPredicate::ClassifyNode(uint32_t node,
+                                             const ZoneOfColumn& zones) const {
+  const Node& nd = nodes_[node];
+  switch (nd.kind) {
+    case NodeKind::kConst:
+      return nd.value ? ChunkVerdict::kTakeAll : ChunkVerdict::kSkip;
+    case NodeKind::kLeaf: {
+      const Leaf& L = leaves_[nd.leaf];
+      return ClassifyLeafZone(L, zones(L.col));
+    }
+    case NodeKind::kAnd: {
+      ChunkVerdict v = ChunkVerdict::kTakeAll;
+      for (uint32_t c = 0; c < nd.child_count; ++c) {
+        const ChunkVerdict cv =
+            ClassifyNode(child_ids_[nd.child_begin + c], zones);
+        if (cv == ChunkVerdict::kSkip) return ChunkVerdict::kSkip;
+        if (cv == ChunkVerdict::kResidual) v = ChunkVerdict::kResidual;
+      }
+      return v;
+    }
+    case NodeKind::kOr: {
+      ChunkVerdict v = ChunkVerdict::kSkip;
+      for (uint32_t c = 0; c < nd.child_count; ++c) {
+        const ChunkVerdict cv =
+            ClassifyNode(child_ids_[nd.child_begin + c], zones);
+        if (cv == ChunkVerdict::kTakeAll) return ChunkVerdict::kTakeAll;
+        if (cv == ChunkVerdict::kResidual) v = ChunkVerdict::kResidual;
+      }
+      return v;
+    }
+    case NodeKind::kNot:
+      return InvertVerdict(ClassifyNode(child_ids_[nd.child_begin], zones));
+  }
+  return ChunkVerdict::kResidual;
+}
+
+ChunkVerdict CompiledPredicate::ClassifyZones(
+    const ZoneOfColumn& zone_of_col) const {
+  return ClassifyNode(root_, zone_of_col);
+}
+
+ChunkVerdict CompiledPredicate::ClassifyChunk(size_t chunk) const {
+  if (zones_ == nullptr || chunk >= zones_->num_chunks) {
+    return ChunkVerdict::kResidual;
+  }
+  return ClassifyNode(root_, [&](uint32_t col) -> const ZoneMap& {
+    return zones_->zone(col, chunk);
+  });
+}
+
+size_t CompiledPredicate::zone_chunk_rows() const {
+  if (zones_ == nullptr || zones_->num_chunks == 0 ||
+      !ZoneMapPruningEnabled()) {
+    return 0;
+  }
+  return zones_->chunk_rows;
+}
+
 // ------------------------------------------------------------- public API
 
 std::vector<uint32_t> CompiledPredicate::Select() const {
+  if (zone_chunk_rows() != 0) return SelectRange(0, n_);
   return SelectPositions(nullptr, n_);
 }
 
 std::vector<uint32_t> CompiledPredicate::SelectRange(size_t lo,
                                                      size_t hi) const {
   std::vector<uint32_t> out;
-  SeedSelectRange(root_, lo, hi, &out);
+  const size_t cr = zone_chunk_rows();
+  if (cr == 0 || lo >= hi) {
+    SeedSelectRange(root_, lo, hi, &out);
+    return out;
+  }
+  // Chunk-at-a-time drive: a verdict for a chunk covers any subrange of it
+  // (all-rows / no-rows statements restrict), so morsel boundaries that
+  // split a chunk still classify correctly.
+  std::vector<uint32_t> part;
+  for (size_t k = lo / cr; k * cr < hi; ++k) {
+    const size_t clo = std::max(lo, k * cr);
+    const size_t chi = std::min(hi, (k + 1) * cr);
+    const ChunkVerdict v = ClassifyChunk(k);
+    CountVerdict(v);
+    if (v == ChunkVerdict::kSkip) continue;
+    if (v == ChunkVerdict::kTakeAll) {
+      const size_t w = out.size();
+      out.resize(w + (chi - clo));
+      std::iota(out.begin() + w, out.end(), static_cast<uint32_t>(clo));
+      continue;
+    }
+    SeedSelectRange(root_, clo, chi, &part);
+    out.insert(out.end(), part.begin(), part.end());
+  }
   return out;
 }
 
 void CompiledPredicate::EvalMaskRange(size_t lo, size_t hi,
                                       uint8_t* out) const {
-  EvalMaskNode(root_, nullptr, lo, hi - lo, out);
+  const size_t cr = zone_chunk_rows();
+  if (cr == 0 || lo >= hi) {
+    EvalMaskNode(root_, nullptr, lo, hi - lo, out);
+    return;
+  }
+  for (size_t k = lo / cr; k * cr < hi; ++k) {
+    const size_t clo = std::max(lo, k * cr);
+    const size_t chi = std::min(hi, (k + 1) * cr);
+    const ChunkVerdict v = ClassifyChunk(k);
+    CountVerdict(v);
+    if (v == ChunkVerdict::kSkip) {
+      std::memset(out + (clo - lo), 0, chi - clo);
+    } else if (v == ChunkVerdict::kTakeAll) {
+      std::memset(out + (clo - lo), 1, chi - clo);
+    } else {
+      EvalMaskNode(root_, nullptr, clo, chi - clo, out + (clo - lo));
+    }
+  }
 }
 
 std::vector<uint32_t> CompiledPredicate::SelectPositions(
@@ -771,7 +1031,8 @@ uint32_t CompiledPredicate::AddNotNode(uint32_t child) {
 
 Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
                                                    const Predicate& pred) {
-  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  CVOPT_ASSIGN_OR_RETURN(size_t cidx, table.ColumnIndex(pred.column_));
+  const Column* col = &table.column(cidx);
   if (col->type() == DataType::kString) {
     if (!pred.literal_.is_string()) {
       return Status::InvalidArgument("string column '" + pred.column_ +
@@ -782,6 +1043,7 @@ Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
     const auto& dict = col->dictionary();
     Leaf L;
     L.kind = LeafKind::kCodeTable;
+    L.col = static_cast<uint32_t>(cidx);
     L.codes = col->codes().data();
     L.match_table.resize(dict.size());
     if (pred.op_ == CompareOp::kEq || pred.op_ == CompareOp::kNe) {
@@ -816,6 +1078,7 @@ Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
     }
     Leaf L;
     L.kind = LeafKind::kIntCmp;
+    L.col = static_cast<uint32_t>(cidx);
     L.i64 = col->ints().data();
     L.op = plan.op;
     L.ilit = plan.lit;
@@ -825,6 +1088,7 @@ Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
   if (std::isnan(d)) return AddConst(false);  // NaN literal matches nothing
   Leaf L;
   L.kind = LeafKind::kDblCmp;
+  L.col = static_cast<uint32_t>(cidx);
   L.f64 = col->doubles().data();
   L.op = pred.op_;
   L.dlit = d;
@@ -833,7 +1097,8 @@ Result<uint32_t> CompiledPredicate::CompileCompare(const Table& table,
 
 Result<uint32_t> CompiledPredicate::CompileBetween(const Table& table,
                                                    const Predicate& pred) {
-  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  CVOPT_ASSIGN_OR_RETURN(size_t cidx, table.ColumnIndex(pred.column_));
+  const Column* col = &table.column(cidx);
   if (col->type() == DataType::kString) {
     return Status::InvalidArgument("BETWEEN is not supported on strings");
   }
@@ -846,6 +1111,7 @@ Result<uint32_t> CompiledPredicate::CompileBetween(const Table& table,
     if (plan.empty) return AddConst(false);
     Leaf L;
     L.kind = LeafKind::kIntBetween;
+    L.col = static_cast<uint32_t>(cidx);
     L.i64 = col->ints().data();
     L.ilo = plan.lo;
     L.ihi = plan.hi;
@@ -854,6 +1120,7 @@ Result<uint32_t> CompiledPredicate::CompileBetween(const Table& table,
   if (std::isnan(lo) || std::isnan(hi) || lo > hi) return AddConst(false);
   Leaf L;
   L.kind = LeafKind::kDblBetween;
+  L.col = static_cast<uint32_t>(cidx);
   L.f64 = col->doubles().data();
   L.dlo = lo;
   L.dhi = hi;
@@ -862,10 +1129,12 @@ Result<uint32_t> CompiledPredicate::CompileBetween(const Table& table,
 
 Result<uint32_t> CompiledPredicate::CompileIn(const Table& table,
                                               const Predicate& pred) {
-  CVOPT_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(pred.column_));
+  CVOPT_ASSIGN_OR_RETURN(size_t cidx, table.ColumnIndex(pred.column_));
+  const Column* col = &table.column(cidx);
   if (col->type() == DataType::kString) {
     Leaf L;
     L.kind = LeafKind::kCodeTable;
+    L.col = static_cast<uint32_t>(cidx);
     L.codes = col->codes().data();
     L.match_table.resize(col->dictionary().size());
     for (const auto& v : pred.values_) {
@@ -897,6 +1166,7 @@ Result<uint32_t> CompiledPredicate::CompileIn(const Table& table,
     if (span <= 65535) {
       Leaf L;
       L.kind = LeafKind::kIntInBitset;
+      L.col = static_cast<uint32_t>(cidx);
       L.i64 = col->ints().data();
       L.base = vals.front();
       L.bits.assign((span >> 6) + 1, 0);
@@ -905,10 +1175,14 @@ Result<uint32_t> CompiledPredicate::CompileIn(const Table& table,
             static_cast<uint64_t>(v) - static_cast<uint64_t>(L.base);
         L.bits[d >> 6] |= uint64_t{1} << (d & 63);
       }
+      // Keep the sorted literals too: zone classification binary-searches
+      // them instead of walking the bitset.
+      L.ivals = std::move(vals);
       return AddLeaf(std::move(L));
     }
     Leaf L;
     L.kind = LeafKind::kIntInSorted;
+    L.col = static_cast<uint32_t>(cidx);
     L.i64 = col->ints().data();
     L.ivals = std::move(vals);
     return AddLeaf(std::move(L));
@@ -929,6 +1203,7 @@ Result<uint32_t> CompiledPredicate::CompileIn(const Table& table,
   if (vals.empty()) return AddConst(false);
   Leaf L;
   L.kind = LeafKind::kDblInSorted;
+  L.col = static_cast<uint32_t>(cidx);
   L.f64 = col->doubles().data();
   L.dvals = std::move(vals);
   return AddLeaf(std::move(L));
@@ -968,6 +1243,7 @@ Result<CompiledPredicate> CompiledPredicate::Compile(const Table& table,
                                                      const Predicate& pred) {
   CompiledPredicate cp;
   cp.n_ = table.num_rows();
+  cp.zones_ = table.zone_index();
   CVOPT_ASSIGN_OR_RETURN(cp.root_, cp.CompileNode(table, pred));
   return cp;
 }
@@ -977,6 +1253,7 @@ Result<CompiledPredicate> CompiledPredicate::Compile(const Table& table,
   if (pred == nullptr) {
     CompiledPredicate cp;
     cp.n_ = table.num_rows();
+    cp.zones_ = table.zone_index();
     cp.root_ = cp.AddConst(true);
     return cp;
   }

@@ -21,6 +21,16 @@
 // differential tests): a NaN column value matches no Compare / BETWEEN / IN
 // predicate — including `!=` — and a NaN literal or bound matches nothing.
 //
+// Zone-map chunk skipping: the plan also borrows the Table's per-chunk
+// ZoneMapIndex. Select / SelectRange / EvalMaskRange classify each storage
+// chunk through the plan tree with three-valued logic — a provably-false
+// chunk is skipped without touching row data, a provably-true chunk emits
+// a dense run of row ids, and only residual chunks hit the columnar
+// kernels. Classification is an exact implication (NaN rows never match,
+// pinned by the nan_count zone field), so the output is bit-identical to
+// the flat scan for every chunk size; SetZoneMapPruningEnabled(false)
+// forces the flat path (the differential oracle and bench baseline).
+//
 // The compiled plan borrows raw pointers into the Table's column storage;
 // the Table must outlive the CompiledPredicate and must not be appended to
 // while the plan is in use.
@@ -28,6 +38,7 @@
 #define CVOPT_EXPR_COMPILED_PREDICATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/expr/predicate.h"
@@ -35,6 +46,27 @@
 #include "src/util/status.h"
 
 namespace cvopt {
+
+/// Three-valued zone-map verdict for one storage chunk.
+enum class ChunkVerdict : uint8_t {
+  kResidual = 0,  // zone maps cannot decide; run the kernels
+  kSkip = 1,      // provably no row in the chunk matches
+  kTakeAll = 2,   // provably every row in the chunk matches
+};
+
+/// Process-wide zone-skip observability (benches, tests). `chunks` counts
+/// every chunk classified by a Select/EvalMask driver; `skipped` and
+/// `take_all` the chunks resolved without running kernels.
+struct ZoneSkipStats {
+  uint64_t chunks = 0;
+  uint64_t skipped = 0;
+  uint64_t take_all = 0;
+};
+ZoneSkipStats GetZoneSkipStats();
+void ResetZoneSkipStats();
+/// Records a verdict in the process-wide stats — for chunk loops that live
+/// outside the predicate drivers (the out-of-core scan).
+void RecordZoneVerdict(ChunkVerdict v);
 
 class CompiledPredicate {
  public:
@@ -79,6 +111,21 @@ class CompiledPredicate {
   /// Allocation-free scalar evaluation of one table row.
   bool MatchesRow(size_t row) const;
 
+  /// Zone-map verdict via a caller-supplied zone source (column index ->
+  /// that column's ZoneMap for one chunk). Exact implications: kSkip means
+  /// no row matches, kTakeAll every row. Used directly by the out-of-core
+  /// scan, whose zone maps live in the file rather than in a Table.
+  using ZoneOfColumn = std::function<const ZoneMap&(uint32_t col)>;
+  ChunkVerdict ClassifyZones(const ZoneOfColumn& zone_of_col) const;
+
+  /// Zone-map verdict for chunk `chunk` of the compiled-against table
+  /// (kResidual when the table has no zone index).
+  ChunkVerdict ClassifyChunk(size_t chunk) const;
+
+  /// Storage-chunk granularity the zone-skipping drivers operate at, or 0
+  /// when pruning is unavailable/disabled (morsel alignment consults this).
+  size_t zone_chunk_rows() const;
+
  private:
   enum class LeafKind {
     kIntCmp,       // int64 column <op> int64 literal
@@ -94,6 +141,7 @@ class CompiledPredicate {
   struct Leaf {
     LeafKind kind = LeafKind::kIntCmp;
     CompareOp op = CompareOp::kEq;
+    uint32_t col = 0;  // table column index (zone-map classification)
     const int64_t* i64 = nullptr;
     const double* f64 = nullptr;
     const int32_t* codes = nullptr;
@@ -104,7 +152,7 @@ class CompiledPredicate {
     int64_t base = 0;                  // kIntInBitset
     std::vector<uint64_t> bits;        // kIntInBitset
     std::vector<uint8_t> match_table;  // kCodeTable, indexed by code
-    std::vector<int64_t> ivals;        // kIntInSorted
+    std::vector<int64_t> ivals;        // kIntInSorted + kIntInBitset (zones)
     std::vector<double> dvals;         // kDblInSorted
   };
 
@@ -160,11 +208,19 @@ class CompiledPredicate {
                        std::vector<uint32_t>* out) const;
   bool TestNode(uint32_t node, size_t row) const;
 
+  // Three-valued zone classification over the plan tree.
+  ChunkVerdict ClassifyNode(uint32_t node, const ZoneOfColumn& zones) const;
+  static ChunkVerdict ClassifyLeafZone(const Leaf& leaf, const ZoneMap& z);
+
   std::vector<Leaf> leaves_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> child_ids_;
   uint32_t root_ = 0;
   size_t n_ = 0;
+  // Borrowed zone index of the compiled-against table (same lifetime as the
+  // raw column spans above; survives Table moves because the index is
+  // heap-owned by the table). Null only for the default-constructed plan.
+  const ZoneMapIndex* zones_ = nullptr;
 };
 
 }  // namespace cvopt

@@ -35,21 +35,36 @@ void StreamingCvoptBuilder::OfferRange(size_t lo, size_t hi) {
   // in-order admission. The router assigns new stratum ids in routing
   // order, which is admission order, so the `stratum == strata_.size()`
   // first-sight check in Admit holds exactly as in the per-row loop.
+  //
+  // Blocks sit on the absolute storage-chunk grid whenever the filter can
+  // zone-prune, so each chunk is classified by exactly one SelectRange call
+  // and a skipped chunk costs one verdict instead of one per overlapping
+  // block. Blocking only changes where SelectRange is cut, never the row
+  // order, so the result stays bit-identical for any block size.
   constexpr size_t kBlock = 1024;
+  size_t blk = kBlock;
+  if (filter_ != nullptr) {
+    const size_t cr = filter_->zone_chunk_rows();
+    if (cr > 1) blk = cr >= kBlock ? cr : kBlock / cr * cr;
+  }
   std::vector<uint32_t> rows;
   std::vector<uint32_t> strata;
-  for (size_t b = lo; b < hi; b += kBlock) {
-    const size_t e = std::min(hi, b + kBlock);
+  for (size_t b = lo; b < hi;) {
+    const size_t e = std::min(hi, (b / blk + 1) * blk);
     if (filter_ != nullptr) {
       rows = filter_->SelectRange(b, e);
     } else {
       rows.resize(e - b);
       std::iota(rows.begin(), rows.end(), static_cast<uint32_t>(b));
     }
-    if (rows.empty()) continue;
+    if (rows.empty()) {
+      b = e;
+      continue;
+    }
     strata.resize(rows.size());
     router_.RouteBatch(rows.data(), rows.size(), strata.data());
     for (size_t i = 0; i < rows.size(); ++i) Admit(rows[i], strata[i]);
+    b = e;
   }
 }
 

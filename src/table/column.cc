@@ -40,7 +40,22 @@ Status Column::Append(const Value& v) {
   return Status::Internal("unknown column type");
 }
 
+void Column::AdoptDictionary(std::vector<std::string> dict) {
+  dict_ = std::move(dict);
+  dict_index_.clear();  // rebuilt lazily by EnsureDictIndex if ever needed
+}
+
+void Column::EnsureDictIndex() {
+  if (dict_index_.size() == dict_.size()) return;
+  dict_index_.clear();
+  dict_index_.reserve(dict_.size());
+  for (size_t i = 0; i < dict_.size(); ++i) {
+    dict_index_.emplace(dict_[i], static_cast<int32_t>(i));
+  }
+}
+
 int32_t Column::InternString(const std::string& s) {
+  EnsureDictIndex();
   auto it = dict_index_.find(s);
   if (it != dict_index_.end()) return it->second;
   const int32_t code = static_cast<int32_t>(dict_.size());
@@ -50,6 +65,13 @@ int32_t Column::InternString(const std::string& s) {
 }
 
 int32_t Column::LookupCode(const std::string& s) const {
+  if (dict_index_.size() != dict_.size()) {
+    // Adopted dictionary without an index: linear scan (compile-time only).
+    for (size_t i = 0; i < dict_.size(); ++i) {
+      if (dict_[i] == s) return static_cast<int32_t>(i);
+    }
+    return -1;
+  }
   auto it = dict_index_.find(s);
   return it == dict_index_.end() ? -1 : it->second;
 }

@@ -79,9 +79,24 @@ class Column {
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<int32_t>& codes() const { return codes_; }
 
+  // Bulk adoption for decoded-chunk loaders (the table_io v2 reader and the
+  // out-of-core scan): moves whole buffers in instead of appending row by
+  // row. AdoptDictionary installs a pre-built dictionary without paying for
+  // the hash index — LookupCode falls back to a linear scan and InternString
+  // rebuilds the index lazily if either is ever needed. Callers must keep
+  // every adopted code within the dictionary.
+  void AdoptInts(std::vector<int64_t> v) { ints_ = std::move(v); }
+  void AdoptDoubles(std::vector<double> v) { doubles_ = std::move(v); }
+  void AdoptCodes(std::vector<int32_t> v) { codes_ = std::move(v); }
+  void AdoptDictionary(std::vector<std::string> dict);
+
   void Reserve(size_t n);
 
  private:
+  // Rebuilds dict_index_ from dict_ when they have diverged (after
+  // AdoptDictionary).
+  void EnsureDictIndex();
+
   DataType type_;
   std::vector<int64_t> ints_;     // kInt64
   std::vector<double> doubles_;   // kDouble

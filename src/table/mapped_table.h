@@ -1,0 +1,122 @@
+// MappedTable: a read-only view of a version-2 table file backed by mmap.
+//
+// A v2 file stores every column as independently encoded chunks plus
+// per-chunk zone maps and a chunk directory (see table_io.h for the exact
+// layout). MappedTable maps the file, validates the header / dictionary /
+// zone / directory sections up front, and then serves decoded chunks on
+// demand through a process-wide LRU cache bounded by
+// CVOPT_CHUNK_CACHE_BYTES — so a table far larger than the cache budget
+// (or than RAM, courtesy of the page cache) can be streamed through a
+// group-by query chunk by chunk without ever being materialized.
+//
+// Validation contract (fuzzed by tests/table_io_fuzz_test.cc): Open and
+// GetChunk return a clean Status on any malformed input — truncated file,
+// corrupt counts, out-of-range directory entries, undecodable payloads,
+// out-of-dictionary codes — and never read outside the mapping.
+#ifndef CVOPT_TABLE_MAPPED_TABLE_H_
+#define CVOPT_TABLE_MAPPED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/chunk_codec.h"
+#include "src/table/schema.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// One decoded storage chunk of one column; exactly one vector is populated,
+/// matching `type`.
+struct DecodedChunk {
+  DataType type = DataType::kInt64;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<int32_t> codes;
+
+  size_t byte_size() const {
+    return ints.size() * sizeof(int64_t) + doubles.size() * sizeof(double) +
+           codes.size() * sizeof(int32_t);
+  }
+};
+
+/// Decoded-chunk cache observability (benches, the out-of-core example).
+struct ChunkCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+};
+ChunkCacheStats GetChunkCacheStats();
+void ResetChunkCacheStats();
+
+/// Cache budget in bytes: CVOPT_CHUNK_CACHE_BYTES, default 64 MiB.
+size_t ChunkCacheBudgetBytes();
+/// Testing/example override (0 restores the env/default).
+void SetChunkCacheBudgetForTesting(size_t bytes);
+
+class MappedTable {
+ public:
+  /// Maps and validates a v2 table file. The whole metadata layer (schema,
+  /// dictionaries, zone maps, chunk directory) is checked here; chunk
+  /// payloads are validated lazily on decode.
+  static Result<MappedTable> Open(const std::string& path);
+
+  MappedTable(MappedTable&& other) noexcept;
+  MappedTable& operator=(MappedTable&& other) noexcept;
+  MappedTable(const MappedTable&) = delete;
+  MappedTable& operator=(const MappedTable&) = delete;
+  ~MappedTable();
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+  size_t chunk_rows() const { return zones_.chunk_rows; }
+  size_t num_chunks() const { return zones_.num_chunks; }
+
+  /// Row count of chunk `chunk` (the last chunk may be short).
+  size_t ChunkRowCount(size_t chunk) const;
+
+  /// Zone maps read from the file (in memory; the payloads stay mapped).
+  const ZoneMapIndex& zone_index() const { return zones_; }
+
+  /// Dictionary of string column `col` (empty for numeric columns).
+  const std::vector<std::string>& dictionary(size_t col) const {
+    return dicts_[col];
+  }
+
+  /// Decodes chunk `chunk` of column `col`, consulting the process-wide
+  /// LRU cache first. String-column chunks are code-range-checked against
+  /// the dictionary before they are handed out.
+  Result<std::shared_ptr<const DecodedChunk>> GetChunk(size_t col,
+                                                       size_t chunk) const;
+
+  /// Fully decodes the file into an in-memory Table (the table_io v2 read
+  /// path). Bypasses the chunk cache: each chunk is decoded straight into
+  /// the destination column.
+  Result<Table> Materialize() const;
+
+ private:
+  MappedTable() = default;
+
+  void Reset() noexcept;  // unmap, close, invalidate cached chunks
+
+  Schema schema_;
+  size_t num_rows_ = 0;
+  ZoneMapIndex zones_;
+  std::vector<std::vector<std::string>> dicts_;  // per column (empty if numeric)
+  // Per (col, chunk): absolute payload offset and length, validated
+  // in-bounds at Open. Indexed [col * num_chunks + chunk].
+  std::vector<std::pair<uint64_t, uint64_t>> dir_;
+
+  const uint8_t* base_ = nullptr;  // mmap base (null when moved-from)
+  size_t map_size_ = 0;
+  int fd_ = -1;
+  uint64_t uid_ = 0;  // process-unique id keying the chunk cache
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_TABLE_MAPPED_TABLE_H_

@@ -11,16 +11,67 @@ uint64_t Table::NextId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Zone index of a rowless table — also what a moved-from husk points at,
+// keeping zone_index() non-null unconditionally.
+std::shared_ptr<const ZoneMapIndex> EmptyZoneIndex() {
+  static const std::shared_ptr<const ZoneMapIndex> empty = [] {
+    auto z = std::make_shared<ZoneMapIndex>();
+    z->chunk_rows = DefaultChunkRows();
+    z->num_chunks = 0;
+    return z;
+  }();
+  return empty;
+}
+
+}  // namespace
+
+std::shared_ptr<const ZoneMapIndex> Table::BuildZoneIndex(
+    const std::vector<Column>& columns, size_t num_rows) {
+  const size_t chunk_rows = DefaultChunkRows();
+  if (num_rows == 0 && chunk_rows == EmptyZoneIndex()->chunk_rows) {
+    return EmptyZoneIndex();
+  }
+  auto z = std::make_shared<ZoneMapIndex>();
+  z->chunk_rows = chunk_rows;
+  z->num_chunks = NumChunks(num_rows, chunk_rows);
+  z->columns.resize(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    auto& zones = z->columns[c];
+    zones.resize(z->num_chunks);
+    const Column& col = columns[c];
+    for (size_t k = 0; k < z->num_chunks; ++k) {
+      const size_t lo = k * chunk_rows;
+      const size_t n = std::min(chunk_rows, num_rows - lo);
+      switch (col.type()) {
+        case DataType::kInt64:
+          zones[k] = ComputeIntZone(col.ints().data() + lo, n);
+          break;
+        case DataType::kDouble:
+          zones[k] = ComputeDoubleZone(col.doubles().data() + lo, n);
+          break;
+        case DataType::kString:
+          zones[k] = ComputeCodeZone(col.codes().data() + lo, n);
+          break;
+      }
+    }
+  }
+  return z;
+}
+
 Table::Table(const Table& other)
     : schema_(other.schema_),
       columns_(other.columns_),
-      num_rows_(other.num_rows_) {}
+      num_rows_(other.num_rows_),
+      zones_(other.zones_) {}
 
 Table& Table::operator=(const Table& other) {
   if (this != &other) {
     schema_ = other.schema_;
     columns_ = other.columns_;
     num_rows_ = other.num_rows_;
+    zones_ = other.zones_;
     id_ = NextId();
   }
   return *this;
@@ -30,12 +81,14 @@ Table::Table(Table&& other) noexcept
     : schema_(std::move(other.schema_)),
       columns_(std::move(other.columns_)),
       num_rows_(other.num_rows_),
+      zones_(std::move(other.zones_)),
       id_(other.id_) {
   // The moved-from husk must not keep a live (id, num_rows) cache key: a
   // later plan compile against it would silently hit this table's cached
   // plans (and their raw column pointers).
   other.columns_.clear();
   other.num_rows_ = 0;
+  other.zones_ = EmptyZoneIndex();
   other.id_ = NextId();
 }
 
@@ -44,9 +97,11 @@ Table& Table::operator=(Table&& other) noexcept {
     schema_ = std::move(other.schema_);
     columns_ = std::move(other.columns_);
     num_rows_ = other.num_rows_;
+    zones_ = std::move(other.zones_);
     id_ = other.id_;
     other.columns_.clear();
     other.num_rows_ = 0;
+    other.zones_ = EmptyZoneIndex();
     other.id_ = NextId();
   }
   return *this;
@@ -60,6 +115,7 @@ Table::Table(Schema schema, std::vector<Column> columns)
   for (const auto& c : columns_) {
     CVOPT_CHECK(c.size() == num_rows_, "ragged columns");
   }
+  zones_ = BuildZoneIndex(columns_, num_rows_);
 }
 
 Result<const Column*> Table::ColumnByName(const std::string& name) const {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/table/chunk_codec.h"
 #include "src/table/column.h"
 #include "src/table/schema.h"
 #include "src/util/status.h"
@@ -55,14 +56,29 @@ class Table {
   /// (used by the Table 6 scale-up experiment, mirroring OpenAQ-25x).
   Table Duplicate(size_t factor) const;
 
+  /// Per-(column, chunk) zone maps, built at construction over
+  /// DefaultChunkRows()-sized chunks. Heap-owned and shared by copies (the
+  /// underlying data is identical), so a compiled plan's pointer to it
+  /// stays valid across Table moves — the same lifetime contract as the
+  /// raw column spans the plan borrows. Never null; num_chunks == 0 for an
+  /// empty table.
+  const ZoneMapIndex* zone_index() const { return zones_.get(); }
+
+  /// Storage chunk granularity this table was built with.
+  size_t chunk_rows() const { return zones_->chunk_rows; }
+  size_t num_chunks() const { return zones_->num_chunks; }
+
   std::string ToString(size_t max_rows = 10) const;
 
  private:
   static uint64_t NextId();
+  static std::shared_ptr<const ZoneMapIndex> BuildZoneIndex(
+      const std::vector<Column>& columns, size_t num_rows);
 
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_;
+  std::shared_ptr<const ZoneMapIndex> zones_;
   uint64_t id_ = NextId();
 };
 

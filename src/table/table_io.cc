@@ -1,9 +1,12 @@
 #include "src/table/table_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "src/table/chunk_codec.h"
+#include "src/table/mapped_table.h"
 #include "src/table/table_builder.h"
 #include "src/util/string_util.h"
 
@@ -11,7 +14,8 @@ namespace cvopt {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'V', 'T', 'B'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 
 class FileCloser {
  public:
@@ -67,15 +71,114 @@ Result<std::string> ReadString(std::FILE* f) {
   return s;
 }
 
+// --------------------------------------------------------------- v2 writer
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void AppendLenString(std::string* out, const std::string& s) {
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void AppendZoneRecord(std::string* out, const ZoneMap& z) {
+  AppendPod<int64_t>(out, z.imin);
+  AppendPod<int64_t>(out, z.imax);
+  AppendPod<double>(out, z.dmin);
+  AppendPod<double>(out, z.dmax);
+  AppendPod<int32_t>(out, z.cmin);
+  AppendPod<int32_t>(out, z.cmax);
+  AppendPod<uint32_t>(out, z.rows);
+  AppendPod<uint32_t>(out, z.nan_count);
+}
+
+Result<Table> ReadTableFileV1Body(std::FILE* f, const std::string& path);
+
 }  // namespace
 
 Status WriteTableFile(const Table& table, const std::string& path) {
+  const size_t num_cols = table.num_columns();
+  const size_t num_rows = table.num_rows();
+  const size_t chunk_rows = table.chunk_rows();
+  const size_t num_chunks = table.num_chunks();
+
+  // Header + column metadata.
+  std::string head;
+  head.append(kMagic, sizeof(kMagic));
+  AppendPod<uint32_t>(&head, kVersionV2);
+  AppendPod<uint64_t>(&head, num_rows);
+  AppendPod<uint32_t>(&head, static_cast<uint32_t>(num_cols));
+  AppendPod<uint64_t>(&head, chunk_rows);
+  for (size_t c = 0; c < num_cols; ++c) {
+    const Column& col = table.column(c);
+    AppendLenString(&head, table.schema().field(c).name);
+    AppendPod<uint8_t>(&head, static_cast<uint8_t>(col.type()));
+    if (col.type() == DataType::kString) {
+      const auto& dict = col.dictionary();
+      AppendPod<uint32_t>(&head, static_cast<uint32_t>(dict.size()));
+      for (const auto& s : dict) AppendLenString(&head, s);
+    }
+  }
+
+  // Zone maps come straight from the table's in-memory index — the reader
+  // trusts (and cross-checks) them, so the file and the resident table
+  // prune identically.
+  const ZoneMapIndex* zones = table.zone_index();
+  for (size_t c = 0; c < num_cols; ++c) {
+    for (size_t k = 0; k < num_chunks; ++k) {
+      AppendZoneRecord(&head, zones->zone(c, k));
+    }
+  }
+
+  // Encode every chunk, then lay out directory + payloads.
+  std::vector<std::string> enc(num_cols * num_chunks);
+  for (size_t c = 0; c < num_cols; ++c) {
+    const Column& col = table.column(c);
+    for (size_t k = 0; k < num_chunks; ++k) {
+      const size_t lo = k * chunk_rows;
+      const size_t n = std::min(chunk_rows, num_rows - lo);
+      std::string* out = &enc[c * num_chunks + k];
+      switch (col.type()) {
+        case DataType::kInt64:
+          EncodeI64Chunk(col.ints().data() + lo, n, out);
+          break;
+        case DataType::kDouble:
+          EncodeF64Chunk(col.doubles().data() + lo, n, out);
+          break;
+        case DataType::kString:
+          EncodeCodeChunk(col.codes().data() + lo, n, out);
+          break;
+      }
+    }
+  }
+  std::string dir;
+  uint64_t offset = head.size() + num_cols * num_chunks * 16;
+  for (const auto& payload : enc) {
+    AppendPod<uint64_t>(&dir, offset);
+    AppendPod<uint64_t>(&dir, payload.size());
+    offset += payload.size();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open for write: " + path);
+  FileCloser closer(f);
+  CVOPT_RETURN_NOT_OK(WriteBytes(f, head.data(), head.size()));
+  CVOPT_RETURN_NOT_OK(WriteBytes(f, dir.data(), dir.size()));
+  for (const auto& payload : enc) {
+    CVOPT_RETURN_NOT_OK(WriteBytes(f, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Status WriteTableFileV1(const Table& table, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::Internal("cannot open for write: " + path);
   FileCloser closer(f);
 
   CVOPT_RETURN_NOT_OK(WriteBytes(f, kMagic, sizeof(kMagic)));
-  CVOPT_RETURN_NOT_OK(WritePod<uint32_t>(f, kVersion));
+  CVOPT_RETURN_NOT_OK(WritePod<uint32_t>(f, kVersionV1));
   CVOPT_RETURN_NOT_OK(WritePod<uint64_t>(f, table.num_rows()));
   CVOPT_RETURN_NOT_OK(
       WritePod<uint32_t>(f, static_cast<uint32_t>(table.num_columns())));
@@ -107,21 +210,9 @@ Status WriteTableFile(const Table& table, const std::string& path) {
   return Status::OK();
 }
 
-Result<Table> ReadTableFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
-  FileCloser closer(f);
+namespace {
 
-  char magic[4];
-  CVOPT_RETURN_NOT_OK(ReadBytes(f, magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a cvopt table file: " + path);
-  }
-  CVOPT_ASSIGN_OR_RETURN(uint32_t version, ReadPod<uint32_t>(f));
-  if (version != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("unsupported table file version %u", version));
-  }
+Result<Table> ReadTableFileV1Body(std::FILE* f, const std::string& path) {
   CVOPT_ASSIGN_OR_RETURN(uint64_t num_rows, ReadPod<uint64_t>(f));
   CVOPT_ASSIGN_OR_RETURN(uint32_t num_cols, ReadPod<uint32_t>(f));
   if (num_cols > (1u << 16)) return Status::Internal("corrupt column count");
@@ -175,7 +266,32 @@ Result<Table> ReadTableFile(const std::string& path) {
     }
     columns.push_back(std::move(col));
   }
+  (void)path;
   return Table(Schema(std::move(fields)), std::move(columns));
+}
+
+}  // namespace
+
+Result<Table> ReadTableFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
+  FileCloser closer(f);
+
+  char magic[4];
+  CVOPT_RETURN_NOT_OK(ReadBytes(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a cvopt table file: " + path);
+  }
+  CVOPT_ASSIGN_OR_RETURN(uint32_t version, ReadPod<uint32_t>(f));
+  if (version == kVersionV1) return ReadTableFileV1Body(f, path);
+  if (version == kVersionV2) {
+    // The chunked format goes through the mmap reader; materialization
+    // decodes every chunk into a fresh in-memory Table.
+    CVOPT_ASSIGN_OR_RETURN(MappedTable mapped, MappedTable::Open(path));
+    return mapped.Materialize();
+  }
+  return Status::InvalidArgument(
+      StrFormat("unsupported table file version %u", version));
 }
 
 }  // namespace cvopt

@@ -3,12 +3,31 @@
 // frontends; this module provides the (de)serialization for that step and
 // for checkpointing expensive synthetic datasets.
 //
-// Format (little-endian, version 1):
-//   magic "CVTB" | u32 version | u64 num_rows | u32 num_cols
+// Two formats, both little-endian:
+//
+// Version 1 (legacy, still readable):
+//   magic "CVTB" | u32 version=1 | u64 num_rows | u32 num_cols
 //   per column: u32 name_len | name | u8 type |
 //     int64:  raw int64 values
 //     double: raw double values
 //     string: u32 dict_size | (u32 len | bytes)* | raw int32 codes
+//
+// Version 2 (chunked, written by WriteTableFile, mmap-friendly):
+//   magic "CVTB" | u32 version=2 | u64 num_rows | u32 num_cols |
+//   u64 chunk_rows
+//   column metadata, per column:
+//     u32 name_len | name | u8 type | [string: u32 dict_size |
+//     (u32 len | bytes)*]
+//   zone maps: per column, per chunk, one 48-byte record
+//     (i64 imin | i64 imax | f64 dmin | f64 dmax | i32 cmin | i32 cmax |
+//      u32 rows | u32 nan_count)
+//   chunk directory: per column, per chunk, u64 offset | u64 length
+//     (absolute file offsets into the payload region)
+//   payloads: encoded chunks (tag byte + body, see chunk_codec.h)
+//
+// Chunk geometry is the table's own chunk_rows (CVOPT_CHUNK_ROWS at table
+// build). ReadTableFile dispatches on the version field; v2 files can also
+// be opened without materialization via MappedTable (mapped_table.h).
 #ifndef CVOPT_TABLE_TABLE_IO_H_
 #define CVOPT_TABLE_TABLE_IO_H_
 
@@ -18,10 +37,16 @@
 
 namespace cvopt {
 
-/// Writes the table to `path`, overwriting any existing file.
+/// Writes the table to `path` in the chunked v2 format, overwriting any
+/// existing file.
 Status WriteTableFile(const Table& table, const std::string& path);
 
-/// Reads a table previously written by WriteTableFile.
+/// Writes the legacy flat v1 format (compatibility fixture for old readers
+/// and the version-dispatch test).
+Status WriteTableFileV1(const Table& table, const std::string& path);
+
+/// Reads a table previously written by WriteTableFile / WriteTableFileV1,
+/// dispatching on the file's version field.
 Result<Table> ReadTableFile(const std::string& path);
 
 }  // namespace cvopt

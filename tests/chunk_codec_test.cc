@@ -1,0 +1,263 @@
+// Per-encoding round-trip property tests for the chunk codecs: every
+// encoder output must decode to the exact input (bit patterns for doubles),
+// and every decoder must reject malformed payloads with a clean Status.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/table/chunk_codec.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+// ------------------------------------------------------------- round trips
+
+void RoundTripI64(const std::vector<int64_t>& in) {
+  std::string enc;
+  EncodeI64Chunk(in.data(), in.size(), &enc);
+  ASSERT_GE(enc.size(), 1u);
+  std::vector<int64_t> out(in.size(), ~int64_t{0});
+  ASSERT_OK(DecodeI64Chunk(reinterpret_cast<const uint8_t*>(enc.data()),
+                           enc.size(), in.size(), out.data()));
+  EXPECT_EQ(in, out);
+}
+
+void RoundTripF64(const std::vector<double>& in) {
+  std::string enc;
+  EncodeF64Chunk(in.data(), in.size(), &enc);
+  std::vector<double> out(in.size(), 12345.0);
+  ASSERT_OK(DecodeF64Chunk(reinterpret_cast<const uint8_t*>(enc.data()),
+                           enc.size(), in.size(), out.data()));
+  // Bit-pattern equality: NaN payloads and -0.0 must survive.
+  ASSERT_EQ(in.size(), out.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    uint64_t a, b;
+    std::memcpy(&a, &in[i], 8);
+    std::memcpy(&b, &out[i], 8);
+    EXPECT_EQ(a, b) << "index " << i;
+  }
+}
+
+void RoundTripCode(const std::vector<int32_t>& in) {
+  std::string enc;
+  EncodeCodeChunk(in.data(), in.size(), &enc);
+  std::vector<int32_t> out(in.size(), -7);
+  ASSERT_OK(DecodeCodeChunk(reinterpret_cast<const uint8_t*>(enc.data()),
+                            enc.size(), in.size(), out.data()));
+  EXPECT_EQ(in, out);
+}
+
+TEST(ChunkCodecTest, I64EmptyChunk) { RoundTripI64({}); }
+
+TEST(ChunkCodecTest, I64SingleValue) {
+  RoundTripI64({0});
+  RoundTripI64({-1});
+  RoundTripI64({std::numeric_limits<int64_t>::min()});
+  RoundTripI64({std::numeric_limits<int64_t>::max()});
+}
+
+TEST(ChunkCodecTest, I64ConstantChunk) {
+  RoundTripI64(std::vector<int64_t>(1000, 42));
+  RoundTripI64(std::vector<int64_t>(1000, std::numeric_limits<int64_t>::min()));
+}
+
+TEST(ChunkCodecTest, I64SmallRangeUsesForVarint) {
+  // Narrow range around a large base: FOR + varint territory.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 4096; ++i) v.push_back(1'000'000'000'000 + i % 100);
+  std::string enc;
+  EncodeI64Chunk(v.data(), v.size(), &enc);
+  EXPECT_LT(enc.size(), v.size() * sizeof(int64_t));  // actually compressed
+  RoundTripI64(v);
+}
+
+TEST(ChunkCodecTest, I64ExtremeSpanFallsBackToRaw) {
+  // min..max span overflows any delta scheme; raw must carry it.
+  std::vector<int64_t> v = {std::numeric_limits<int64_t>::min(), 0,
+                            std::numeric_limits<int64_t>::max(), -1, 1};
+  RoundTripI64(v);
+}
+
+TEST(ChunkCodecTest, I64RandomChunks) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.Uniform(3000);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) {
+      x = static_cast<int64_t>(rng.Next64());
+      if (trial % 2 == 0) x %= 1000;  // half the trials: narrow range
+    }
+    RoundTripI64(v);
+  }
+}
+
+TEST(ChunkCodecTest, F64EmptyAndSingle) {
+  RoundTripF64({});
+  RoundTripF64({0.0});
+  RoundTripF64({-0.0});
+  RoundTripF64({std::numeric_limits<double>::quiet_NaN()});
+}
+
+TEST(ChunkCodecTest, F64SpecialValues) {
+  RoundTripF64({0.0, -0.0, std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::quiet_NaN(),
+                std::numeric_limits<double>::denorm_min(),
+                std::numeric_limits<double>::max(), 1.0, -1.0});
+}
+
+TEST(ChunkCodecTest, F64ConstantChunkPreservesBits) {
+  RoundTripF64(std::vector<double>(500, -0.0));
+  RoundTripF64(std::vector<double>(500, std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(ChunkCodecTest, F64RandomChunks) {
+  Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 1 + rng.Uniform(2000);
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.NextGaussian() * 1e6;
+    RoundTripF64(v);
+  }
+}
+
+TEST(ChunkCodecTest, CodeEmptySingleConstant) {
+  RoundTripCode({});
+  RoundTripCode({0});
+  RoundTripCode({std::numeric_limits<int32_t>::max()});
+  RoundTripCode(std::vector<int32_t>(777, 5));
+}
+
+TEST(ChunkCodecTest, CodeRandomChunks) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 1 + rng.Uniform(3000);
+    std::vector<int32_t> v(n);
+    for (auto& x : v) x = static_cast<int32_t>(rng.Uniform(1u << 20));
+    RoundTripCode(v);
+  }
+}
+
+// -------------------------------------------------------- malformed inputs
+
+TEST(ChunkCodecTest, DecodeRejectsUnknownTag) {
+  const uint8_t bad[] = {0xEE, 0, 0, 0};
+  int64_t out[1];
+  EXPECT_FALSE(DecodeI64Chunk(bad, sizeof(bad), 1, out).ok());
+  double dout[1];
+  EXPECT_FALSE(DecodeF64Chunk(bad, sizeof(bad), 1, dout).ok());
+  int32_t cout[1];
+  EXPECT_FALSE(DecodeCodeChunk(bad, sizeof(bad), 1, cout).ok());
+}
+
+TEST(ChunkCodecTest, DecodeRejectsEmptyPayloadForNonzeroCount) {
+  int64_t out[1];
+  EXPECT_FALSE(DecodeI64Chunk(nullptr, 0, 1, out).ok());
+}
+
+TEST(ChunkCodecTest, DecodeRejectsWrongPayloadLength) {
+  std::vector<int64_t> v = {1, 2, 3, 4};
+  std::string enc;
+  EncodeI64Chunk(v.data(), v.size(), &enc);
+  std::vector<int64_t> out(v.size());
+  const auto* p = reinterpret_cast<const uint8_t*>(enc.data());
+  // Truncate payload at every length: decode must fail cleanly, never read
+  // past the buffer (sanitizer-checked).
+  for (size_t len = 0; len < enc.size(); ++len) {
+    EXPECT_FALSE(DecodeI64Chunk(p, len, v.size(), out.data()).ok())
+        << "len " << len;
+  }
+  // Wrong expected count also fails (payload/count mismatch).
+  EXPECT_FALSE(DecodeI64Chunk(p, enc.size(), v.size() + 1, out.data()).ok());
+}
+
+TEST(ChunkCodecTest, DecodeRejectsTruncatedDoublePayload) {
+  std::vector<double> v = {1.5, 2.5, 3.5};
+  std::string enc;
+  EncodeF64Chunk(v.data(), v.size(), &enc);
+  std::vector<double> out(v.size());
+  const auto* p = reinterpret_cast<const uint8_t*>(enc.data());
+  for (size_t len = 0; len < enc.size(); ++len) {
+    EXPECT_FALSE(DecodeF64Chunk(p, len, v.size(), out.data()).ok());
+  }
+}
+
+// ------------------------------------------------------- varint primitives
+
+TEST(ChunkCodecTest, VarintRoundTrip) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            ~0ull};
+  for (uint64_t v : cases) {
+    std::string s;
+    PutVarint64(v, &s);
+    const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+    const uint8_t* end = p + s.size();
+    uint64_t back = 0;
+    ASSERT_TRUE(GetVarint64(&p, end, &back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(p, end) << "no trailing bytes for " << v;
+  }
+}
+
+TEST(ChunkCodecTest, VarintRejectsTruncation) {
+  std::string s;
+  PutVarint64(~0ull, &s);
+  for (size_t len = 0; len < s.size(); ++len) {
+    const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+    uint64_t out;
+    EXPECT_FALSE(GetVarint64(&p, p + len, &out)) << "len " << len;
+  }
+}
+
+TEST(ChunkCodecTest, VarintRejectsOverlongEncoding) {
+  // 11 continuation bytes can never be a valid varint64.
+  const uint8_t overlong[11] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                0x80, 0x80, 0x80, 0x80, 0x80};
+  const uint8_t* p = overlong;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&p, p + sizeof(overlong), &out));
+}
+
+// ---------------------------------------------------------------- zone maps
+
+TEST(ChunkCodecTest, IntZoneRange) {
+  const int64_t v[] = {5, -3, 8, 0};
+  const ZoneMap z = ComputeIntZone(v, 4);
+  EXPECT_EQ(z.imin, -3);
+  EXPECT_EQ(z.imax, 8);
+  EXPECT_EQ(z.rows, 4u);
+}
+
+TEST(ChunkCodecTest, DoubleZoneCountsNans) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double v[] = {1.5, nan, -2.5, nan};
+  const ZoneMap z = ComputeDoubleZone(v, 4);
+  EXPECT_EQ(z.dmin, -2.5);
+  EXPECT_EQ(z.dmax, 1.5);
+  EXPECT_EQ(z.rows, 4u);
+  EXPECT_EQ(z.nan_count, 2u);
+  const double all_nan[] = {nan, nan};
+  const ZoneMap zn = ComputeDoubleZone(all_nan, 2);
+  EXPECT_EQ(zn.nan_count, zn.rows);
+}
+
+TEST(ChunkCodecTest, CodeZoneRange) {
+  const int32_t v[] = {7, 2, 9};
+  const ZoneMap z = ComputeCodeZone(v, 3);
+  EXPECT_EQ(z.cmin, 2);
+  EXPECT_EQ(z.cmax, 9);
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -46,7 +46,7 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro_groupby bench_micro_sampling >/dev/null
+  --target bench_micro_groupby bench_micro_sampling bench_micro_storage >/dev/null
 
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -57,6 +57,8 @@ for ((rep = 0; rep < REPEATS; rep++)); do
     --benchmark_format=json --benchmark_min_time=1 >"$TMP_DIR/groupby_$rep.json"
   "$BUILD_DIR"/bench_micro_sampling \
     --benchmark_format=json >"$TMP_DIR/sampling_$rep.json"
+  "$BUILD_DIR"/bench_micro_storage \
+    --benchmark_format=json >"$TMP_DIR/storage_$rep.json"
 done
 
 python3 - "$TMP_DIR" "$REPEATS" "$OUT" <<'PY'
@@ -83,6 +85,7 @@ for rep in range(repeats):
     run = {}
     run.update(items_per_second(os.path.join(tmp_dir, f"groupby_{rep}.json")))
     run.update(items_per_second(os.path.join(tmp_dir, f"sampling_{rep}.json")))
+    run.update(items_per_second(os.path.join(tmp_dir, f"storage_{rep}.json")))
     runs.append(run)
 measured = {
     name: round(statistics.median(run[name] for run in runs if name in run))
@@ -111,7 +114,12 @@ doc["description"] = (
     "pre-SIMD chunk-merge baseline (radix off, scalar kernels) on the same "
     "data, both pinned to an 8-way fan-out (the merge only exists when "
     "aggregation chunks); BM_SelectionVectorSIMD vs ...Scalar isolates the vector "
-    "selection kernels (host_cpu records the silicon they dispatched on)."
+    "selection kernels (host_cpu records the silicon they dispatched on). "
+    "BM_ZoneMapSkipScan vs BM_FlatScanBaseline is the zone-map chunk-skip "
+    "path against the same 1%-selectivity clustered scan with pruning "
+    "disabled (skip_rate is reported as a bench counter); "
+    "BM_OutOfCoreGroupBy streams the mmap-backed v2 file through the "
+    "chunked scan vs the resident BM_InMemoryGroupByBaseline."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True

@@ -4,8 +4,12 @@
 #
 # Pass 1 — ASan+UBSan: the guard rail for the predicate engine's contracts
 # (NaN-free strict weak orderings in IN-list sorting, in-bounds raw-span
-# column access, overflow-free int64 range kernels). Run before merging
-# changes to src/expr/ or src/table/.
+# column access, overflow-free int64 range kernels) and for the v2 table
+# file reader — tests/table_io_fuzz_test.cc sweeps every truncation and
+# byte-flip of a chunked file through MappedTable::Open / GetChunk /
+# ReadTableFile, and this pass is what turns "clean Status" into "no
+# out-of-bounds read, ever". Run before merging changes to src/expr/ or
+# src/table/.
 #
 # Pass 2 — TSan: the guard rail for the parallel execution engine
 # (chunk-disjoint writes in the executors, the GroupIndex build, and the
