@@ -1,0 +1,88 @@
+// Governance overhead micro-benchmarks: the same exact group-by as
+// bench_micro_groupby's BM_ExactGroupBy, run ungoverned and under a
+// permissive QueryContext (far deadline, roomy budget), so the cost of the
+// morsel-boundary abort checks and budget reservations is measured on an
+// identical workload in one binary. The acceptance bar is the governed /
+// ungoverned gap, not absolute throughput. Two pure-substrate probes
+// (a single deadline check, an inactive fail-point site) bound the
+// per-checkpoint cost itself.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "src/datagen/openaq_gen.h"
+#include "src/exec/group_by_executor.h"
+#include "src/exec/query_context.h"
+#include "src/util/failpoint.h"
+
+namespace cvopt {
+namespace {
+
+const Table& BenchTable() {
+  static const Table* t = [] {
+    OpenAqOptions opts;
+    opts.num_rows = 500'000;
+    return new Table(GenerateOpenAq(opts));
+  }();
+  return *t;
+}
+
+QuerySpec GroupQuery() {
+  QuerySpec q;
+  q.group_by = {"country", "parameter"};
+  q.aggregates = {AggSpec::Avg("value")};
+  return q;
+}
+
+void BM_ExactGroupByUngoverned(benchmark::State& state) {
+  const Table& t = BenchTable();
+  const QuerySpec q = GroupQuery();
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByUngoverned);
+
+void BM_ExactGroupByGoverned(benchmark::State& state) {
+  const Table& t = BenchTable();
+  const QuerySpec q = GroupQuery();
+  QueryContext ctx;
+  ctx.set_timeout(std::chrono::hours(24));
+  ctx.set_memory_limit(uint64_t{1} << 40);
+  ScopedQueryContext install(&ctx);
+  for (auto _ : state) {
+    auto result = ExecuteExact(t, q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_ExactGroupByGoverned);
+
+// One deadline/cancellation check: the unit cost paid at every morsel
+// boundary and every kCheckEvery rows of a serial loop.
+void BM_GovernanceCheck(benchmark::State& state) {
+  QueryContext ctx;
+  ctx.set_timeout(std::chrono::hours(24));
+  for (auto _ : state) {
+    Status st = ctx.Check();
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GovernanceCheck);
+
+// An inactive fail-point site: one relaxed load and a predicted branch —
+// the cost every production call path pays when CVOPT_FAILPOINTS is unset.
+void BM_FailpointInactive(benchmark::State& state) {
+  for (auto _ : state) {
+    Status st = CVOPT_FAILPOINT_STATUS("bench.site");
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointInactive);
+
+}  // namespace
+}  // namespace cvopt

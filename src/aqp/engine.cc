@@ -61,6 +61,9 @@ Result<ErrorReport> AqpEngine::Evaluate(const std::string& sample_name,
   // distinguish sampled error from trivially-exact strata.
   report.total_strata = sample->stratum_exhaustive().size();
   report.exhaustive_strata = sample->num_exhaustive_strata();
+  // A deadline-degraded draw skipped strata outright; their groups show up
+  // above as missing-group error, and the count names the cause.
+  report.degraded_strata = sample->num_degraded_strata();
   return report;
 }
 

@@ -38,6 +38,13 @@ class AqpEngine {
   /// The stored sample, or error if absent.
   Result<const StratifiedSample*> GetSample(const std::string& name) const;
 
+  /// Registers an externally drawn sample under `name` (replaces any
+  /// previous one) — e.g. a governed partial draw whose degradation the
+  /// caller wants surfaced through Evaluate.
+  void AddSample(const std::string& name, StratifiedSample sample) {
+    samples_.insert_or_assign(name, std::move(sample));
+  }
+
   /// Exact answer over the full table.
   Result<QueryResult> AnswerExact(const QuerySpec& query) const;
 

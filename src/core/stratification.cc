@@ -4,6 +4,7 @@
 
 #include "src/exec/group_index.h"
 #include "src/exec/parallel.h"
+#include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/expr/plan_cache.h"
 
@@ -13,6 +14,7 @@ constexpr uint32_t Stratification::kNoStratum;
 
 Result<Stratification> Stratification::Build(const Table& table,
                                              std::vector<std::string> attrs) {
+ return GovernedSection([&]() -> Result<Stratification> {
   Stratification out;
   out.table_ = &table;
   out.attrs_ = std::move(attrs);
@@ -27,12 +29,14 @@ Result<Stratification> Stratification::Build(const Table& table,
   // come straight from the partitions instead of a counting-sort pass.
   out.lists_->parts = gidx.partitions();
   return out;
+ });
 }
 
 Result<Stratification> Stratification::Build(const Table& table,
                                              std::vector<std::string> attrs,
                                              const PredicatePtr& where) {
   if (where == nullptr) return Build(table, std::move(attrs));
+ return GovernedSection([&]() -> Result<Stratification> {
   Stratification out;
   out.table_ = &table;
   out.attrs_ = std::move(attrs);
@@ -64,6 +68,7 @@ Result<Stratification> Stratification::Build(const Table& table,
     out.lists_->sel_rows = std::move(rows);
   }
   return out;
+ });
 }
 
 const std::vector<uint32_t>& Stratification::stratum_rows() const {
@@ -84,6 +89,11 @@ void Stratification::MaterializeStratumRows() const {
     for (size_t s = 0; s < r; ++s) {
       c.base[s + 1] = c.base[s] + static_cast<size_t>(sizes_[s]);
     }
+    // Charged to the ambient query's budget while the lists are built; the
+    // cached lists themselves are table-lifetime state, not query state.
+    MemoryReservation res = ReserveMemoryOrThrow(
+        c.base[r] * sizeof(uint32_t) + (r + 1) * sizeof(size_t),
+        "stratum row lists");
     c.rows.resize(c.base[r]);
     uint32_t* out = c.rows.data();
     if (c.parts != nullptr) {

@@ -4,6 +4,7 @@
 
 #include "src/exec/group_index.h"
 #include "src/exec/parallel.h"
+#include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/expr/plan_cache.h"
 
@@ -41,9 +42,11 @@ double WeightedMedianOf(std::vector<std::pair<double, double>>* pairs,
 
 Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
                                   const QuerySpec& query) {
+ return GovernedSection([&]() -> Result<QueryResult> {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
+  CVOPT_RETURN_NOT_OK(CheckQueryAborted());
   const Table& table = sample.base();
   const std::vector<uint32_t>& rows = sample.rows();
   const std::vector<double>& weights = sample.weights();
@@ -210,6 +213,12 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   // Struct-of-arrays weighted accumulators, aggregate-major: wsums[j*G+g].
   bool any_var = false;
   for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
+  // Dominant working memory of the approximate pass, charged to the
+  // query's budget for the duration of the accumulation.
+  MemoryReservation slab_res = ReserveMemoryOrThrow(
+      (t * G * sizeof(double)) * (any_var ? 2 : 1) +
+          G * (sizeof(uint64_t) + sizeof(double)),
+      "approx accumulator slabs");
   std::vector<double> wsums(t * G, 0.0);
   std::vector<double> wsums2;
   if (any_var) wsums2.assign(t * G, 0.0);
@@ -362,6 +371,7 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   QueryResult result(std::move(agg_labels), query.group_by);
   CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, cnt, finals));
   return result;
+ });
 }
 
 }  // namespace cvopt

@@ -42,6 +42,9 @@ std::string ErrorReport::ToString() const {
     out += StrFormat(" [strata served exactly: %zu/%zu]", exhaustive_strata,
                      total_strata);
   }
+  if (degraded_strata > 0) {
+    out += StrFormat(" [strata skipped by deadline: %zu]", degraded_strata);
+  }
   return out;
 }
 

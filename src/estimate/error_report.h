@@ -32,6 +32,10 @@ struct ErrorReport {
   /// the comparison was not given a sample (plain CompareResults).
   size_t exhaustive_strata = 0;
   size_t total_strata = 0;
+  /// Strata the draw skipped under a governance deadline with allow_partial
+  /// set (DrawStratified's partial-draw degradation): answers over them are
+  /// missing, not estimated. 0 for complete draws.
+  size_t degraded_strata = 0;
 
   double MaxError() const;
   double AvgError() const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "src/exec/parallel.h"
+#include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/expr/plan_cache.h"
+#include "src/util/failpoint.h"
 
 namespace cvopt {
 
@@ -27,6 +29,7 @@ double MedianOf(std::vector<double>* vs) {
 Result<GroupedAccumulators> AccumulateGrouped(
     const Table& table, const QuerySpec& query, const GroupIndex& gidx,
     const std::vector<uint32_t>* sel) {
+ return GovernedSection([&]() -> Result<GroupedAccumulators> {
   CVOPT_ASSIGN_OR_RETURN(BoundAggregates bound,
                          BoundAggregates::Bind(table, query.aggregates));
   const size_t n = table.num_rows();
@@ -40,6 +43,14 @@ Result<GroupedAccumulators> AccumulateGrouped(
   acc.num_groups = G;
   bool any_var = false;
   for (const auto& a : query.aggregates) any_var |= a.func == AggFunc::kVariance;
+  // The accumulator slabs are the aggregation's dominant working memory;
+  // reserve them against the query's budget before touching them (the
+  // fail-point lets tests force the kResourceExhausted path without a real
+  // budget). Held until the accumulators are returned to the caller.
+  CVOPT_FAILPOINT("exec.groupby.alloc");
+  MemoryReservation slab_res = ReserveMemoryOrThrow(
+      (t * G * sizeof(double)) * (any_var ? 2 : 1) + G * sizeof(uint64_t),
+      "group-by accumulator slabs");
   acc.sums.assign(t * G, 0.0);
   if (any_var) acc.sums2.assign(t * G, 0.0);
   acc.median_values.resize(t);
@@ -234,6 +245,7 @@ Result<GroupedAccumulators> AccumulateGrouped(
     }
   }
   return acc;
+ });
 }
 
 std::vector<double> FinalizeGrouped(const std::vector<AggSpec>& aggs,
@@ -279,9 +291,11 @@ std::vector<double> FinalizeGrouped(const std::vector<AggSpec>& aggs,
 }
 
 Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
+ return GovernedSection([&]() -> Result<QueryResult> {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
+  CVOPT_RETURN_NOT_OK(CheckQueryAborted());
   CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
                          GroupIndex::Build(table, query.group_by));
 
@@ -291,9 +305,13 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   // the mask branch is hoisted out of every accumulation loop.
   const bool use_sel = query.where != nullptr;
   std::vector<uint32_t> sel;
+  MemoryReservation sel_res;
   if (use_sel) {
     CVOPT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledPredicate> where,
                            CompilePredicateCached(table, query.where));
+    // Upper bound: every row survives.
+    sel_res = ReserveMemoryOrThrow(table.num_rows() * sizeof(uint32_t),
+                                   "selection vector");
     sel = ParallelSelect(*where);
   }
 
@@ -316,6 +334,7 @@ Result<QueryResult> ExecuteExact(const Table& table, const QuerySpec& query) {
   QueryResult result(std::move(agg_labels), query.group_by);
   CVOPT_RETURN_NOT_OK(result.IngestDense(gidx, acc.cnt, finals));
   return result;
+ });
 }
 
 }  // namespace cvopt

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "src/exec/parallel.h"
+#include "src/exec/query_context.h"
+#include "src/util/failpoint.h"
 #include "src/util/hash.h"
 #include "src/util/simd.h"
 
@@ -785,10 +787,17 @@ Result<std::vector<size_t>> GroupIndex::Resolve(
 
 Result<GroupIndex> GroupIndex::Build(const Table& table,
                                      const std::vector<std::string>& attrs) {
+ return GovernedSection([&]() -> Result<GroupIndex> {
   CVOPT_ASSIGN_OR_RETURN(std::vector<size_t> cols, Resolve(table, attrs));
   GroupIndex out;
   out.table_ = &table;
   out.cols_ = std::move(cols);
+  // The row->group mapping is the build's dominant working memory; the
+  // serial, chunk-local, and radix passes below all check governance at
+  // their morsel boundaries through the shared scheduler.
+  CVOPT_FAILPOINT("exec.group_index.alloc");
+  MemoryReservation res = ReserveMemoryOrThrow(
+      table.num_rows() * sizeof(uint32_t), "GroupIndex row->group mapping");
   BuildOutput built = BuildImpl(table, out.cols_, table.num_rows(),
                                 [](size_t i) { return i; });
   out.tier_ = built.tier;
@@ -797,15 +806,20 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
   out.sizes_ = std::move(built.sizes);
   out.partitions_ = std::move(built.partitions);
   return out;
+ });
 }
 
 Result<GroupIndex> GroupIndex::BuildForRows(const Table& table,
                                             const std::vector<std::string>& attrs,
                                             const std::vector<uint32_t>& rows) {
+ return GovernedSection([&]() -> Result<GroupIndex> {
   CVOPT_ASSIGN_OR_RETURN(std::vector<size_t> cols, Resolve(table, attrs));
   GroupIndex out;
   out.table_ = &table;
   out.cols_ = std::move(cols);
+  CVOPT_FAILPOINT("exec.group_index.alloc");
+  MemoryReservation res = ReserveMemoryOrThrow(
+      rows.size() * sizeof(uint32_t), "GroupIndex row->group mapping");
   const uint32_t* r = rows.data();
   BuildOutput built =
       BuildImpl(table, out.cols_, rows.size(),
@@ -816,6 +830,7 @@ Result<GroupIndex> GroupIndex::BuildForRows(const Table& table,
   out.sizes_ = std::move(built.sizes);
   out.partitions_ = std::move(built.partitions);
   return out;
+ });
 }
 
 GroupKey GroupIndex::KeyOf(size_t g) const {

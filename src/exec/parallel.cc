@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
 
 namespace cvopt {
@@ -61,6 +62,10 @@ class ThreadPool {
     auto batch = std::make_shared<Batch>();
     batch->fn = &fn;
     batch->total = num_tasks;
+    // Pool workers run on their own threads, so the submitting thread's
+    // governance context is captured here and re-installed around every
+    // task — morsel bodies see CurrentQueryContext() as if they ran inline.
+    batch->ctx = CurrentQueryContext();
     {
       std::lock_guard<std::mutex> l(mutex_);
       EnsureWorkersLocked(std::min(workers, num_tasks - 1));
@@ -91,13 +96,23 @@ class ThreadPool {
   struct Batch {
     const std::function<void(size_t)>* fn = nullptr;
     size_t total = 0;
+    const QueryContext* ctx = nullptr;  // submitting thread's governance
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    // First exception thrown by any task; rethrown from Run after every
-    // task has checked out (so the caller's lambda is never destroyed
-    // while a worker might still dereference it).
+    // Shared early-exit flag, set by the first failing task and by
+    // governance aborts (deadline / cancellation): siblings observe it at
+    // their next morsel boundary and check remaining tasks out WITHOUT
+    // running them, so one poisoned morsel halts the whole batch promptly
+    // instead of letting every queued morsel run to completion. The first
+    // exception is rethrown from Run after every task has checked out (so
+    // the caller's lambda is never destroyed while a worker might still
+    // dereference it) — no deadlock: skipped tasks still count as done.
     std::atomic<bool> failed{false};
     std::exception_ptr error;
+
+    void RecordFailure(std::exception_ptr e) {
+      if (!failed.exchange(true)) error = std::move(e);
+    }
   };
 
   ThreadPool() = default;
@@ -110,6 +125,10 @@ class ThreadPool {
   }
 
   void DrainBatch(Batch& batch) {
+    // Tasks observe the submitting thread's governance context (workers
+    // have none of their own; the draining caller already carries it, and
+    // re-installing the same pointer is harmless).
+    ScopedQueryContext scope(batch.ctx);
     size_t finished = 0;
     while (true) {
       const size_t t = batch.next.fetch_add(1, std::memory_order_relaxed);
@@ -117,12 +136,15 @@ class ThreadPool {
       // A throwing task must still count as finished — otherwise Run waits
       // forever — and must not unwind through WorkerLoop (std::terminate).
       // The first exception is stashed and rethrown by Run once the batch
-      // has fully drained.
-      try {
-        (*batch.fn)(t);
-      } catch (...) {
-        if (!batch.failed.exchange(true)) {
-          batch.error = std::current_exception();
+      // has fully drained. Once any task has failed (or governance aborts
+      // the query), the remaining tasks are checked out unrun — the morsel-
+      // boundary early exit.
+      if (!batch.failed.load(std::memory_order_relaxed)) {
+        try {
+          CheckQueryAbortedOrThrow();
+          (*batch.fn)(t);
+        } catch (...) {
+          batch.RecordFailure(std::current_exception());
         }
       }
       ++finished;
@@ -208,6 +230,9 @@ void ParallelForChunks(size_t n, size_t chunks,
                        const std::function<void(size_t, size_t, size_t)>& fn,
                        int num_threads) {
   if (chunks <= 1) {
+    // One morsel: a single governance check up front (throws under an
+    // expired/cancelled context; no-op when ungoverned).
+    CheckQueryAbortedOrThrow();
     fn(0, 0, n);
     return;
   }
@@ -228,8 +253,10 @@ void ParallelForChunks(size_t n, size_t chunks,
   if (!ran) {
     // Another top-level caller owns the pool; run the same chunks inline
     // rather than idling behind its batch. Identical results — partials
-    // depend on chunk boundaries, not on which thread computes them.
+    // depend on chunk boundaries, not on which thread computes them. The
+    // per-chunk governance check mirrors the pool's morsel-boundary check.
     for (size_t c = 0; c < chunks; ++c) {
+      CheckQueryAbortedOrThrow();
       fn(c, ChunkBegin(n, chunks, c), ChunkBegin(n, chunks, c + 1));
     }
   }
@@ -263,7 +290,10 @@ std::vector<uint32_t> ParallelSelect(const CompiledPredicate& cp,
   const size_t n = cp.table_rows();
   const size_t chunks =
       ParallelChunkCount(n, ResolveThreads(num_threads), 0);
-  if (chunks <= 1) return cp.Select();
+  if (chunks <= 1) {
+    CheckQueryAbortedOrThrow();
+    return cp.Select();
+  }
 
   // Per-morsel selection vectors, then one ordered concatenation: chunk c
   // holds exactly the matching rows in [lo_c, hi_c), so the concatenated

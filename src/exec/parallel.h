@@ -12,6 +12,14 @@
 // summation reassociation (the documented float-summation tolerance). With
 // a resolved thread count of 1 the loop body runs inline on the calling
 // thread over the full range — the exact serial path, no pool involvement.
+//
+// Governance: morsel boundaries double as the engine's cancellation /
+// deadline checkpoints. Workers re-install the submitting thread's
+// QueryContext (see query_context.h) per task, check it before each morsel,
+// and a morsel that throws — a governance abort or any task failure —
+// poisons its batch via a shared early-exit flag: sibling morsels still
+// check out (no deadlock) but skip their bodies, and the first exception is
+// rethrown on the submitting thread once the batch has drained.
 #ifndef CVOPT_EXEC_PARALLEL_H_
 #define CVOPT_EXEC_PARALLEL_H_
 

@@ -63,6 +63,25 @@ class StratifiedSample {
     return n;
   }
 
+  /// Optional: per-stratum degradation flags (aligned with the
+  /// stratification's strata). Flag c is 1 when the draw was cut short by a
+  /// governance deadline / cancellation before stratum c drew, under a
+  /// QueryContext with allow_partial set: the stratum contributed no rows
+  /// and answers over it are missing rather than estimated. Empty when the
+  /// draw completed every stratum.
+  void set_stratum_degraded(std::vector<uint8_t> flags) {
+    stratum_degraded_ = std::move(flags);
+  }
+  const std::vector<uint8_t>& stratum_degraded() const {
+    return stratum_degraded_;
+  }
+  /// Number of strata skipped by a partial (deadline-degraded) draw.
+  size_t num_degraded_strata() const {
+    size_t n = 0;
+    for (uint8_t f : stratum_degraded_) n += f;
+    return n;
+  }
+
   /// Copies the sampled rows into a standalone Table (for export or for
   /// engines that want a physical sample table).
   Table Materialize() const { return base_->TakeRows(rows_); }
@@ -74,6 +93,7 @@ class StratifiedSample {
   std::string method_;
   std::shared_ptr<const Stratification> strat_;
   std::vector<uint8_t> stratum_exhaustive_;
+  std::vector<uint8_t> stratum_degraded_;
 };
 
 }  // namespace cvopt

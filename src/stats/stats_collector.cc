@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/exec/parallel.h"
+#include "src/exec/query_context.h"
 
 namespace cvopt {
 
@@ -125,7 +126,9 @@ size_t DeterministicStatChunks(size_t n, size_t strata) {
 Result<GroupStatsTable> CollectImpl(const Stratification& strat,
                                     const std::vector<StatSource>& sources,
                                     int num_threads) {
+ return GovernedSection([&]() -> Result<GroupStatsTable> {
   CVOPT_RETURN_NOT_OK(ValidateSources(strat, sources));
+  CVOPT_RETURN_NOT_OK(CheckQueryAborted());
   const size_t n = strat.table().num_rows();
   const size_t strata = strat.num_strata();
   const uint32_t* row_strata = strat.row_strata().data();
@@ -150,6 +153,9 @@ Result<GroupStatsTable> CollectImpl(const Stratification& strat,
     return stats;
   }
 
+  MemoryReservation partials_res = ReserveMemoryOrThrow(
+      chunks * strata * sources.size() * sizeof(RunningStats),
+      "per-chunk statistics tables");
   std::vector<GroupStatsTable> partials(
       chunks, GroupStatsTable(strata, sources.size()));
   ParallelForChunks(
@@ -171,6 +177,7 @@ Result<GroupStatsTable> CollectImpl(const Stratification& strat,
     CVOPT_RETURN_NOT_OK(merged.Merge(partials[c]));
   }
   return merged;
+ });
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "src/table/table_builder.h"
+#include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -182,10 +183,17 @@ Result<Table> TableFromCsvFile(const std::string& path, const Schema& schema,
   if (f == nullptr) return Status::NotFound("cannot open: " + path);
   std::fseek(f, 0, SEEK_END);
   const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot size: " + path);
+  }
   std::fseek(f, 0, SEEK_SET);
   std::string text(static_cast<size_t>(size), '\0');
   const size_t got = std::fread(text.data(), 1, text.size(), f);
   std::fclose(f);
+  // Fault-injection stand-in for a truncated read; exercised by the
+  // CVOPT_FAILPOINTS test sweep to prove the loader's error path is clean.
+  CVOPT_FAILPOINT("csv.read");
   if (got != text.size()) return Status::Internal("short read: " + path);
   return TableFromCsv(text, schema, options);
 }

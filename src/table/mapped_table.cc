@@ -13,6 +13,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 
 namespace cvopt {
@@ -247,6 +248,7 @@ Result<MappedTable> MappedTable::Open(const std::string& path) {
   t.uid_ = NextMappedUid();
   // From here on, any validation failure destroys `t`, which unmaps.
 
+  CVOPT_FAILPOINT("mapped.open");
   MapReader r(t.base_, size);
   char magic[4];
   CVOPT_RETURN_NOT_OK(r.ReadBytes(magic, sizeof(magic)));
@@ -404,6 +406,7 @@ Result<std::shared_ptr<const DecodedChunk>> MappedTable::GetChunk(
   const CacheKey key{uid_, static_cast<uint32_t>(col),
                      static_cast<uint32_t>(chunk)};
   if (auto hit = ChunkCache::Global().Get(key)) return hit;
+  CVOPT_FAILPOINT("mapped.chunk_decode");
 
   const auto [off, len] = dir_[col * num_chunks() + chunk];
   const uint8_t* p = base_ + off;

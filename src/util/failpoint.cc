@@ -1,0 +1,187 @@
+#include "src/util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace cvopt {
+namespace failpoint {
+
+std::atomic<bool> g_active{false};
+
+namespace {
+
+enum class Action { kOff, kInternal, kResource, kDeadline, kCancel };
+
+struct Policy {
+  Action action = Action::kOff;
+  // 0 = fire on every hit; N > 0 = fire only on the Nth hit (1-based).
+  uint64_t nth = 0;
+  bool once = false;  // fire on the first hit only
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Policy> armed;
+  std::map<std::string, uint64_t> hits;
+  bool env_loaded = false;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: process lifetime
+  return *r;
+}
+
+Status InjectedStatus(Action a, const char* name) {
+  const std::string msg = StrFormat("injected fault at failpoint '%s'", name);
+  switch (a) {
+    case Action::kResource:
+      return Status::ResourceExhausted(msg);
+    case Action::kDeadline:
+      return Status::DeadlineExceeded(msg);
+    case Action::kCancel:
+      return Status::Cancelled(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+// Parses "error", "error@3", "resource", "deadline@2", "cancel", "once",
+// "off" into a Policy.
+Status ParsePolicy(const std::string& text, Policy* out) {
+  std::string head = text;
+  uint64_t nth = 0;
+  const size_t at = text.find('@');
+  if (at != std::string::npos) {
+    head = text.substr(0, at);
+    const std::string num = text.substr(at + 1);
+    if (num.empty()) return Status::InvalidArgument("empty @N in: " + text);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(num.c_str(), &end, 10);
+    if (end != num.c_str() + num.size() || v == 0) {
+      return Status::InvalidArgument("bad @N in failpoint policy: " + text);
+    }
+    nth = static_cast<uint64_t>(v);
+  }
+  Policy p;
+  p.nth = nth;
+  if (head == "error") {
+    p.action = Action::kInternal;
+  } else if (head == "resource") {
+    p.action = Action::kResource;
+  } else if (head == "deadline") {
+    p.action = Action::kDeadline;
+  } else if (head == "cancel") {
+    p.action = Action::kCancel;
+  } else if (head == "once") {
+    if (nth != 0) return Status::InvalidArgument("once does not take @N");
+    p.action = Action::kInternal;
+    p.once = true;
+  } else if (head == "off") {
+    p.action = Action::kOff;
+  } else {
+    return Status::InvalidArgument("unknown failpoint policy: " + text);
+  }
+  *out = p;
+  return Status::OK();
+}
+
+Status ParseSpec(const std::string& spec, std::map<std::string, Policy>* out) {
+  out->clear();
+  if (spec.empty()) return Status::OK();
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("failpoint entry needs name:policy: " +
+                                     entry);
+    }
+    Policy p;
+    CVOPT_RETURN_NOT_OK(ParsePolicy(entry.substr(colon + 1), &p));
+    (*out)[entry.substr(0, colon)] = p;
+  }
+  return Status::OK();
+}
+
+// Loads CVOPT_FAILPOINTS once, lazily, under the registry mutex. A bad env
+// spec aborts: silently ignoring it would un-inject every fault a CI sweep
+// thought it was testing.
+void EnsureEnvLoadedLocked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const char* env = std::getenv("CVOPT_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  Status st = ParseSpec(env, &r.armed);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bad CVOPT_FAILPOINTS: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  g_active.store(!r.armed.empty(), std::memory_order_relaxed);
+}
+
+// One-time activation probe: flips g_active on if the env var is set, so
+// sites start taking the slow path. Runs before main-thread queries via any
+// first call into Active() consumers… but those only call Evaluate when
+// Active() is already true. So activation is driven from a static
+// initializer here instead.
+struct EnvActivation {
+  EnvActivation() {
+    const char* env = std::getenv("CVOPT_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      std::lock_guard<std::mutex> l(Reg().mutex);
+      EnsureEnvLoadedLocked(Reg());
+    }
+  }
+};
+EnvActivation g_env_activation;
+
+}  // namespace
+
+Status Evaluate(const char* name) {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> l(r.mutex);
+  EnsureEnvLoadedLocked(r);
+  const uint64_t hit = ++r.hits[name];
+  auto it = r.armed.find(name);
+  if (it == r.armed.end()) return Status::OK();
+  const Policy& p = it->second;
+  if (p.action == Action::kOff) return Status::OK();
+  if (p.once && hit != 1) return Status::OK();
+  if (p.nth != 0 && hit != p.nth) return Status::OK();
+  return InjectedStatus(p.action, name);
+}
+
+Status SetForTesting(const std::string& spec) {
+  std::map<std::string, Policy> parsed;
+  CVOPT_RETURN_NOT_OK(ParseSpec(spec, &parsed));
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> l(r.mutex);
+  r.env_loaded = true;  // a test spec overrides the env configuration
+  r.armed = std::move(parsed);
+  r.hits.clear();
+  g_active.store(!r.armed.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ClearForTesting() {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> l(r.mutex);
+  r.env_loaded = true;
+  r.armed.clear();
+  r.hits.clear();
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& r = Reg();
+  std::lock_guard<std::mutex> l(r.mutex);
+  auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+}  // namespace failpoint
+}  // namespace cvopt

@@ -1,0 +1,84 @@
+// Fail-point fault-injection substrate. A fail point is a named site in
+// production code where a test (or an operator reproducing an incident) can
+// force a typed failure without touching the code: set
+//
+//   CVOPT_FAILPOINTS=<name>:<policy>[,<name>:<policy>...]
+//
+// and every CVOPT_FAILPOINT(<name>) site whose name matches returns the
+// injected Status to its caller. Policies:
+//
+//   error[@N]     inject kInternal           (on every hit / only the Nth hit)
+//   resource[@N]  inject kResourceExhausted  (forces the memory-degradation
+//                                             ladder, e.g. the in-memory ->
+//                                             out-of-core group-by retry)
+//   deadline[@N]  inject kDeadlineExceeded
+//   cancel[@N]    inject kCancelled
+//   once          inject kInternal on the first hit only
+//   off           count hits, inject nothing (site coverage probes)
+//
+// `@N` is 1-based over the process-lifetime hit count of that site. Sites in
+// repeated paths (per-chunk decode, per-allocation) combine with `@N` to
+// fail "the third chunk" or "the first allocation after warm-up".
+//
+// Cost when inactive: one relaxed atomic load and a predicted-not-taken
+// branch per site — CVOPT_FAILPOINTS unset (the production configuration)
+// never takes the slow path, acquires no locks, and allocates nothing, so
+// sites are safe on hot(ish) per-chunk paths. Sites must still never sit in
+// per-row loops.
+#ifndef CVOPT_UTIL_FAILPOINT_H_
+#define CVOPT_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace cvopt {
+namespace failpoint {
+
+/// True iff any fail point is armed (env at first use, or SetForTesting).
+/// Inline fast path: sites guard on this before the name lookup.
+extern std::atomic<bool> g_active;
+inline bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+/// Slow path of CVOPT_FAILPOINT: bumps the site's hit count and returns the
+/// injected Status if the site is armed and its policy fires, OK otherwise.
+/// Thread-safe; unknown names only count hits.
+Status Evaluate(const char* name);
+
+/// Arms fail points from a spec string ("name:policy,name:policy"); replaces
+/// any previous configuration (env or test). Empty spec disarms everything.
+/// Returns InvalidArgument on a malformed spec (configuration unchanged).
+Status SetForTesting(const std::string& spec);
+
+/// Disarms all fail points and forgets hit counts.
+void ClearForTesting();
+
+/// Process-lifetime hit count of a site (counted whenever any fail point is
+/// armed, whatever the site's own policy — including `off`). 0 when the
+/// substrate was never active or the site never executed.
+uint64_t HitCount(const std::string& name);
+
+}  // namespace failpoint
+}  // namespace cvopt
+
+// Injects a failure at a named site in a function returning Status or
+// Result<T>. No-op (one relaxed load) when no fail point is armed.
+#define CVOPT_FAILPOINT(name)                                        \
+  do {                                                               \
+    if (__builtin_expect(::cvopt::failpoint::Active(), 0)) {         \
+      ::cvopt::Status _fp_st = ::cvopt::failpoint::Evaluate(name);   \
+      if (!_fp_st.ok()) return _fp_st;                               \
+    }                                                                \
+  } while (0)
+
+// Same, for void-returning / non-Status contexts inside governed sections:
+// evaluates to the injected Status (OK when inactive) for the caller to
+// route (e.g. throw through the morsel pool as a QueryAbortedError).
+#define CVOPT_FAILPOINT_STATUS(name)                       \
+  (__builtin_expect(::cvopt::failpoint::Active(), 0)       \
+       ? ::cvopt::failpoint::Evaluate(name)                \
+       : ::cvopt::Status::OK())
+
+#endif  // CVOPT_UTIL_FAILPOINT_H_

@@ -20,6 +20,11 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kUnimplemented,
+  // Governance codes (QueryContext): the query exceeded its wall-clock
+  // deadline, was cooperatively cancelled, or exceeded its memory budget.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -52,6 +57,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/table/csv_loader.h"
+#include "src/util/failpoint.h"
 #include "tests/test_util.h"
 
 namespace cvopt {
@@ -115,6 +116,25 @@ TEST(CsvLoaderTest, InferenceWidensBeyondSample) {
   opts.inference_rows = 2;
   std::string csv = "v\n1\n2\nnot_a_number\n";
   EXPECT_FALSE(TableFromCsvInferred(csv, opts).ok());
+}
+
+TEST(CsvLoaderTest, TruncatedReadFailpointSurfacesCleanly) {
+  // The csv.read fail point stands in for a truncated file read: the
+  // loader must surface a clean typed Status (no crash, no partial table)
+  // and recover fully once the fault clears.
+  const std::string path = testing::TempDir() + "/cvopt_loader_fp.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs(kCsv, f);
+  fclose(f);
+  ASSERT_OK(failpoint::SetForTesting("csv.read:error"));
+  Result<Table> r = TableFromCsvFile(path, ExplicitSchema());
+  failpoint::ClearForTesting();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  ASSERT_OK_AND_ASSIGN(Table t, TableFromCsvFile(path, ExplicitSchema()));
+  EXPECT_EQ(t.num_rows(), 3u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

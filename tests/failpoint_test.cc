@@ -1,0 +1,120 @@
+// Fail-point substrate: spec parsing, policy semantics (every-hit, @N,
+// once, off), hit counting, and the inactive fast path.
+#include "src/util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+namespace fp = failpoint;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::ClearForTesting(); }
+};
+
+// A representative site under test, in a function shaped like production
+// callers (returns Status through CVOPT_FAILPOINT).
+Status SiteUnderTest() {
+  CVOPT_FAILPOINT("test.site");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, InactiveByDefault) {
+  fp::ClearForTesting();
+  EXPECT_FALSE(fp::Active());
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_EQ(fp::HitCount("test.site"), 0u);  // fast path: not even counted
+}
+
+TEST_F(FailpointTest, ErrorPolicyFiresEveryHit) {
+  ASSERT_OK(fp::SetForTesting("test.site:error"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(SiteUnderTest().code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(fp::HitCount("test.site"), 3u);
+}
+
+TEST_F(FailpointTest, TypedPolicies) {
+  ASSERT_OK(fp::SetForTesting("test.site:resource"));
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kResourceExhausted);
+  ASSERT_OK(fp::SetForTesting("test.site:deadline"));
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_OK(fp::SetForTesting("test.site:cancel"));
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kCancelled);
+}
+
+TEST_F(FailpointTest, NthHitOnly) {
+  ASSERT_OK(fp::SetForTesting("test.site:error@3"));
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kInternal);  // the 3rd
+  EXPECT_OK(SiteUnderTest());                                // the 4th
+}
+
+TEST_F(FailpointTest, OncePolicyFiresFirstHitOnly) {
+  ASSERT_OK(fp::SetForTesting("test.site:once"));
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kInternal);
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_OK(SiteUnderTest());
+}
+
+TEST_F(FailpointTest, OffPolicyCountsWithoutInjecting) {
+  ASSERT_OK(fp::SetForTesting("test.site:off"));
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_EQ(fp::HitCount("test.site"), 2u);
+}
+
+TEST_F(FailpointTest, UnarmedSiteCountsWhileSubstrateActive) {
+  ASSERT_OK(fp::SetForTesting("other.site:error"));
+  EXPECT_OK(SiteUnderTest());  // armed elsewhere, this site passes
+  EXPECT_EQ(fp::HitCount("test.site"), 1u);
+}
+
+TEST_F(FailpointTest, MultiSiteSpec) {
+  ASSERT_OK(fp::SetForTesting("a:error,test.site:resource,b:off"));
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FailpointTest, InjectedMessageNamesTheSite) {
+  ASSERT_OK(fp::SetForTesting("test.site:error"));
+  const Status st = SiteUnderTest();
+  EXPECT_NE(st.ToString().find("test.site"), std::string::npos);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectedWithoutSideEffects) {
+  ASSERT_OK(fp::SetForTesting("test.site:error"));
+  EXPECT_FALSE(fp::SetForTesting("nocolon").ok());
+  EXPECT_FALSE(fp::SetForTesting(":error").ok());
+  EXPECT_FALSE(fp::SetForTesting("x:bogus").ok());
+  EXPECT_FALSE(fp::SetForTesting("x:error@").ok());
+  EXPECT_FALSE(fp::SetForTesting("x:error@0").ok());
+  EXPECT_FALSE(fp::SetForTesting("x:error@12junk").ok());
+  EXPECT_FALSE(fp::SetForTesting("x:once@2").ok());
+  // The failed updates left the previous arming in place.
+  EXPECT_EQ(SiteUnderTest().code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ClearDisarmsAndForgetsCounts) {
+  ASSERT_OK(fp::SetForTesting("test.site:error"));
+  EXPECT_FALSE(SiteUnderTest().ok());
+  fp::ClearForTesting();
+  EXPECT_FALSE(fp::Active());
+  EXPECT_OK(SiteUnderTest());
+  EXPECT_EQ(fp::HitCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, StatusMacroFormForVoidContexts) {
+  ASSERT_OK(fp::SetForTesting("test.site:deadline"));
+  Status st = CVOPT_FAILPOINT_STATUS("test.site");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  fp::ClearForTesting();
+  EXPECT_OK(CVOPT_FAILPOINT_STATUS("test.site"));
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -1,0 +1,175 @@
+// QueryContext unit coverage: deadline / cancellation checks, the
+// hierarchical memory budget (charge, refusal rollback, peak), reservation
+// RAII, and the ambient thread-local installation.
+#include "src/exec/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+TEST(QueryContextTest, FreshContextPassesChecks) {
+  QueryContext ctx;
+  EXPECT_OK(ctx.Check());
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.has_deadline());
+}
+
+TEST(QueryContextTest, CancelYieldsCancelled) {
+  QueryContext ctx;
+  ctx.Cancel();
+  Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineYieldsDeadlineExceeded) {
+  QueryContext ctx;
+  ctx.set_deadline(QueryContext::Clock::now() - std::chrono::milliseconds(1));
+  Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, FutureDeadlinePasses) {
+  QueryContext ctx;
+  ctx.set_timeout(std::chrono::hours(1));
+  EXPECT_OK(ctx.Check());
+  EXPECT_TRUE(ctx.has_deadline());
+}
+
+TEST(QueryContextTest, CancellationBeatsDeadline) {
+  QueryContext ctx;
+  ctx.set_timeout(std::chrono::hours(1));
+  ctx.Cancel();
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(MemoryBudgetTest, UnlimitedBudgetTracksUsage) {
+  MemoryBudget b;
+  EXPECT_TRUE(b.TryCharge(1 << 20));
+  EXPECT_EQ(b.used(), 1u << 20);
+  EXPECT_EQ(b.peak(), 1u << 20);
+  b.Uncharge(1 << 20);
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(b.peak(), 1u << 20);  // peak is monotone
+}
+
+TEST(MemoryBudgetTest, LimitRefusesAndRollsBack) {
+  MemoryBudget b(1000, nullptr);
+  EXPECT_TRUE(b.TryCharge(600));
+  EXPECT_FALSE(b.TryCharge(500));  // 1100 > 1000
+  EXPECT_EQ(b.used(), 600u);       // refused charge left no residue
+  EXPECT_TRUE(b.TryCharge(400));
+  EXPECT_EQ(b.used(), 1000u);
+}
+
+TEST(MemoryBudgetTest, ParentRefusalRollsBackChild) {
+  MemoryBudget tenant(1000, nullptr);
+  MemoryBudget query(10000, &tenant);  // generous child, tight parent
+  EXPECT_TRUE(query.TryCharge(800));
+  EXPECT_FALSE(query.TryCharge(300));  // parent would hit 1100
+  EXPECT_EQ(query.used(), 800u);       // child rolled back too
+  EXPECT_EQ(tenant.used(), 800u);
+  query.Uncharge(800);
+  EXPECT_EQ(tenant.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ZeroChargeAlwaysFits) {
+  MemoryBudget b(1, nullptr);
+  EXPECT_TRUE(b.TryCharge(0));
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(QueryContextTest, TryReserveReturnsTypedExhaustion) {
+  QueryContext ctx;
+  ctx.set_memory_limit(1024);
+  Result<MemoryReservation> big = ctx.TryReserve(2048, "test slab");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(big.status().ToString().find("test slab"), std::string::npos);
+  EXPECT_EQ(ctx.budget().used(), 0u);  // refused reservation charged nothing
+}
+
+TEST(QueryContextTest, ReservationReleasesOnScopeExit) {
+  QueryContext ctx;
+  ctx.set_memory_limit(1024);
+  {
+    ASSERT_OK_AND_ASSIGN(MemoryReservation r, ctx.TryReserve(512, "a"));
+    EXPECT_EQ(ctx.budget().used(), 512u);
+    ASSERT_OK_AND_ASSIGN(MemoryReservation r2, ctx.TryReserve(512, "b"));
+    EXPECT_EQ(ctx.budget().used(), 1024u);
+  }
+  EXPECT_EQ(ctx.budget().used(), 0u);
+  EXPECT_EQ(ctx.budget().peak(), 1024u);
+}
+
+TEST(QueryContextTest, ReservationMoveTransfersOwnership) {
+  QueryContext ctx;
+  ctx.set_memory_limit(1024);
+  ASSERT_OK_AND_ASSIGN(MemoryReservation a, ctx.TryReserve(256, "a"));
+  MemoryReservation b = std::move(a);
+  EXPECT_EQ(ctx.budget().used(), 256u);
+  a.Release();  // moved-from: a no-op
+  EXPECT_EQ(ctx.budget().used(), 256u);
+  b.Release();
+  EXPECT_EQ(ctx.budget().used(), 0u);
+}
+
+TEST(QueryContextTest, AmbientInstallationNestsAndRestores) {
+  EXPECT_EQ(CurrentQueryContext(), nullptr);
+  QueryContext outer;
+  {
+    ScopedQueryContext s1(&outer);
+    EXPECT_EQ(CurrentQueryContext(), &outer);
+    QueryContext inner;
+    {
+      ScopedQueryContext s2(&inner);
+      EXPECT_EQ(CurrentQueryContext(), &inner);
+    }
+    EXPECT_EQ(CurrentQueryContext(), &outer);
+  }
+  EXPECT_EQ(CurrentQueryContext(), nullptr);
+}
+
+TEST(QueryContextTest, AmbientContextIsPerThread) {
+  QueryContext ctx;
+  ScopedQueryContext scope(&ctx);
+  const QueryContext* seen = &ctx;  // anything non-null
+  std::thread([&] { seen = CurrentQueryContext(); }).join();
+  EXPECT_EQ(seen, nullptr);  // plain threads do not inherit the context
+}
+
+TEST(QueryContextTest, CheckQueryAbortedUsesAmbientContext) {
+  EXPECT_OK(CheckQueryAborted());  // ungoverned: trivially OK
+  QueryContext ctx;
+  ctx.Cancel();
+  ScopedQueryContext scope(&ctx);
+  EXPECT_EQ(CheckQueryAborted().code(), StatusCode::kCancelled);
+  EXPECT_GE(ctx.checks_performed(), 1u);
+}
+
+TEST(QueryContextTest, GovernedSectionConvertsAbortToStatus) {
+  Status st = GovernedSection([]() -> Status {
+    throw QueryAbortedError(Status::DeadlineExceeded("boom"));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, ReserveMemoryOrThrowThrowsWhenOverBudget) {
+  QueryContext ctx;
+  ctx.set_memory_limit(16);
+  ScopedQueryContext scope(&ctx);
+  Status st = GovernedSection([]() -> Status {
+    MemoryReservation r = ReserveMemoryOrThrow(1 << 20, "huge");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.budget().used(), 0u);
+}
+
+}  // namespace
+}  // namespace cvopt

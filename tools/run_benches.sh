@@ -46,7 +46,8 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro_groupby bench_micro_sampling bench_micro_storage >/dev/null
+  --target bench_micro_groupby bench_micro_sampling bench_micro_storage \
+           bench_micro_governance >/dev/null
 
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -59,6 +60,9 @@ for ((rep = 0; rep < REPEATS; rep++)); do
     --benchmark_format=json >"$TMP_DIR/sampling_$rep.json"
   "$BUILD_DIR"/bench_micro_storage \
     --benchmark_format=json >"$TMP_DIR/storage_$rep.json"
+  "$BUILD_DIR"/bench_micro_governance \
+    --benchmark_format=json --benchmark_min_time=1 \
+    >"$TMP_DIR/governance_$rep.json"
 done
 
 python3 - "$TMP_DIR" "$REPEATS" "$OUT" <<'PY'
@@ -86,6 +90,7 @@ for rep in range(repeats):
     run.update(items_per_second(os.path.join(tmp_dir, f"groupby_{rep}.json")))
     run.update(items_per_second(os.path.join(tmp_dir, f"sampling_{rep}.json")))
     run.update(items_per_second(os.path.join(tmp_dir, f"storage_{rep}.json")))
+    run.update(items_per_second(os.path.join(tmp_dir, f"governance_{rep}.json")))
     runs.append(run)
 measured = {
     name: round(statistics.median(run[name] for run in runs if name in run))
@@ -119,7 +124,11 @@ doc["description"] = (
     "path against the same 1%-selectivity clustered scan with pruning "
     "disabled (skip_rate is reported as a bench counter); "
     "BM_OutOfCoreGroupBy streams the mmap-backed v2 file through the "
-    "chunked scan vs the resident BM_InMemoryGroupByBaseline."
+    "chunked scan vs the resident BM_InMemoryGroupByBaseline. "
+    "BM_ExactGroupByGoverned vs BM_ExactGroupByUngoverned is the same "
+    "group-by under a permissive QueryContext (deadline + budget checks at "
+    "morsel boundaries) vs no governance; BM_GovernanceCheck and "
+    "BM_FailpointInactive bound the per-checkpoint substrate cost."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True

@@ -6,18 +6,38 @@
 # do that before merging changes to src/util/rng.*, src/sample/*, or
 # anything feeding sampler allocations (statistics collection, Lemma 1).
 #
-# Usage: tools/run_tests.sh [--slow] [build-dir]
+# --faults adds a fail-point leg: the whole suite re-runs with every
+# production injection site armed at policy `off` (substrate active, hit
+# counting engaged in the hot paths, nothing injected) — proving the
+# instrumented paths behave identically with the substrate live — and the
+# dedicated fault-injection suites re-run on top, once per production site
+# armed in the environment, exercising env-spec loading alongside their own
+# SetForTesting injections.
+#
+# Usage: tools/run_tests.sh [--slow] [--faults] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SLOW=0
+FAULTS=0
 BUILD_DIR=build
 for arg in "$@"; do
   case "$arg" in
     --slow) SLOW=1 ;;
+    --faults) FAULTS=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+
+# Every CVOPT_FAILPOINT site compiled into the library.
+FAULT_SITES=(
+  mapped.open
+  mapped.chunk_decode
+  exec.mapped.chunk
+  exec.groupby.alloc
+  exec.group_index.alloc
+  csv.read
+)
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
@@ -30,8 +50,27 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
   fi
 )
 
+if [[ "$FAULTS" == "1" ]]; then
+  (
+    cd "$BUILD_DIR"
+    all_off=$(printf '%s:off,' "${FAULT_SITES[@]}")
+    echo "--- fault leg: all sites armed :off (counting, no injection) ---"
+    CVOPT_FAILPOINTS="${all_off%,}" \
+      ctest --output-on-failure -j"$(nproc)" -LE slow
+    for site in "${FAULT_SITES[@]}"; do
+      echo "--- fault leg: injection suites with $site armed in env ---"
+      CVOPT_FAILPOINTS="$site:off" \
+        ctest --output-on-failure -j"$(nproc)" \
+          -R 'failpoint_test|governance_exec_test|query_context_test|csv_loader_test'
+    done
+  )
+fi
+
 if [[ "$SLOW" == "1" ]]; then
   echo "tier-1 green (slow suite included)"
 else
   echo "tier-1 green (slow suite skipped; rerun with --slow)"
+fi
+if [[ "$FAULTS" == "1" ]]; then
+  echo "fault-point sweep green (${#FAULT_SITES[@]} sites)"
 fi
