@@ -1,0 +1,102 @@
+// Server round trip: start an AqpServer over a generated table, serve a
+// concurrent batch of exact and sampled queries through real client
+// connections, scrape the metrics, and shut down cleanly. Doubles as the CI
+// smoke test for the serving front end (exit status is the verdict).
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/datagen/openaq_gen.h"
+#include "src/server/aqp_server.h"
+#include "src/server/client.h"
+
+using namespace cvopt;  // NOLINT(build/namespaces)
+
+#define SMOKE_CHECK(cond, what)                        \
+  do {                                                 \
+    if (!(cond)) {                                     \
+      std::fprintf(stderr, "FAIL: %s\n", what);        \
+      return 1;                                        \
+    }                                                  \
+  } while (0)
+
+int main() {
+  // 1. A table to serve: 200k rows of the synthetic OpenAQ measurements.
+  OpenAqOptions gen;
+  gen.num_rows = 200'000;
+  const Table table = GenerateOpenAq(gen);
+  std::printf("table: %zu rows\n", table.num_rows());
+
+  // 2. Start the server on a private socket.
+  ServerOptions options;
+  options.socket_path = "/tmp/cvopt_server_roundtrip_" +
+                        std::to_string(::getpid()) + ".sock";
+  options.num_workers = 2;
+  AqpServer server(options);
+  SMOKE_CHECK(server.RegisterTable("openaq", &table).ok(), "register table");
+  SMOKE_CHECK(server.Start().ok(), "server start");
+
+  // 3. Concurrent clients: each sends one batch mixing an exact answer, a
+  // catalog-served answer, and a predicate variant reusing the same sample.
+  const char* kSql[] = {
+      "SELECT country, AVG(value), SUM(value) FROM openaq GROUP BY country",
+      "SELECT country, AVG(value), SUM(value) FROM openaq "
+      "WHERE parameter = 'pm25' GROUP BY country",
+  };
+  constexpr int kClients = 4;
+  std::vector<int> failures(kClients, 1);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      AqpClient client;
+      if (!client.Connect(options.socket_path).ok()) return;
+      std::vector<QueryRequestItem> batch(3);
+      batch[0].sql = kSql[0];
+      batch[0].exact = true;
+      batch[1].sql = kSql[0];
+      batch[1].sample_rate = 0.05;
+      batch[2].sql = kSql[1];
+      batch[2].sample_rate = 0.05;
+      AqpClient::Options qopts;
+      qopts.tenant = "smoke-" + std::to_string(c);
+      qopts.timeout_ms = 60'000;
+      auto resp = client.Query(batch, qopts);
+      if (!resp.ok()) return;
+      for (const QueryResponseItem& item : resp->results) {
+        if (!item.status.ok() || item.result.num_groups() == 0) return;
+      }
+      failures[c] = 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    SMOKE_CHECK(failures[c] == 0, "client batch");
+  }
+
+  // 4. One sample must have served all eight approximate queries.
+  SMOKE_CHECK(server.catalog().size() == 1, "catalog shares one sample");
+  SMOKE_CHECK(server.catalog().hits() > 0, "catalog hit rate");
+  std::printf("catalog: %zu sample(s), %llu hits, %llu build(s)\n",
+              server.catalog().size(),
+              static_cast<unsigned long long>(server.catalog().hits()),
+              static_cast<unsigned long long>(server.catalog().builds()));
+
+  // 5. Scrape metrics over the wire and shut down through the protocol.
+  AqpClient control;
+  SMOKE_CHECK(control.Connect(options.socket_path).ok(), "control connect");
+  auto metrics = control.Metrics();
+  SMOKE_CHECK(metrics.ok(), "metrics scrape");
+  SMOKE_CHECK(metrics->find("aqp_queries_served_total") != std::string::npos,
+              "metrics content");
+  std::thread owner([&] { server.Wait(); });
+  SMOKE_CHECK(control.RequestShutdown().ok(), "shutdown request");
+  owner.join();
+  SMOKE_CHECK(!server.running(), "server stopped");
+  std::printf("served %llu queries; clean shutdown\n",
+              static_cast<unsigned long long>(
+                  server.metrics().queries_served.value()));
+  return 0;
+}

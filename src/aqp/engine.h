@@ -2,6 +2,12 @@
 // samples over one base table and answers queries exactly (ground truth) or
 // approximately (from a sample), mirroring the paper's two-phase design:
 // an offline sample-precomputation phase and an online query phase.
+//
+// This facade is single-tenant and library-embedded. The serving
+// counterpart is src/server/: AqpServer answers the same queries over a
+// socket protocol, with the named-sample map replaced by the SampleCatalog
+// (samples keyed by workload class and shared across sessions) and each
+// request governed by a child QueryContext.
 #ifndef CVOPT_AQP_ENGINE_H_
 #define CVOPT_AQP_ENGINE_H_
 

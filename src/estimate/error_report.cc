@@ -86,6 +86,13 @@ Result<ErrorReport> CompareResults(const QueryResult& exact,
 
 ErrorReport MergeReports(const std::vector<ErrorReport>& reports) {
   ErrorReport merged;
+  // Struct-exhaustiveness guard: destructuring names every ErrorReport
+  // field, so adding a field without deciding its merge policy below fails
+  // to compile here instead of being silently dropped from pooled reports.
+  {
+    [[maybe_unused]] const auto& [errors_, missing_, zero_, exhaustive_,
+                                  total_, degraded_] = merged;
+  }
   // Stratum counts are per-SAMPLE facts, not per-answer facts: several
   // queries evaluated against one sample all report identical counts, and
   // summing them would multiply the sample's strata by the query count.
@@ -98,6 +105,10 @@ ErrorReport MergeReports(const std::vector<ErrorReport>& reports) {
     merged.errors.insert(merged.errors.end(), r.errors.begin(), r.errors.end());
     merged.missing_groups += r.missing_groups;
     merged.skipped_zero_truth += r.skipped_zero_truth;
+    // Degraded strata sum like missing_groups: every query over a
+    // deadline-skipped stratum is missing its answer, so the pooled report
+    // charges the skip once per affected report, not once per sample.
+    merged.degraded_strata += r.degraded_strata;
     if (r.total_strata == 0 && r.exhaustive_strata == 0) continue;
     if (r.total_strata != prev_total || r.exhaustive_strata != prev_exhaustive) {
       merged.exhaustive_strata += r.exhaustive_strata;

@@ -9,6 +9,7 @@
 
 #include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
+#include "src/util/env.h"
 
 namespace cvopt {
 
@@ -27,9 +28,8 @@ thread_local bool tls_in_pool_worker = false;
 
 size_t EnvOrHardwareThreads() {
   static const size_t resolved = [] {
-    if (const char* env = std::getenv("CVOPT_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<size_t>(v);
+    if (const auto v = ParseEnvInt("CVOPT_THREADS"); v && *v > 0) {
+      return static_cast<size_t>(*v);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? size_t{1} : static_cast<size_t>(hw);

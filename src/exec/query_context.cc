@@ -64,6 +64,14 @@ Result<MemoryReservation> QueryContext::TryReserve(uint64_t bytes,
   return MemoryReservation(this, bytes);
 }
 
+void QueryContext::InitForRequest(std::chrono::nanoseconds timeout,
+                                  uint64_t memory_limit_bytes,
+                                  MemoryBudget* parent, bool allow_partial) {
+  if (timeout.count() > 0) set_timeout(timeout);
+  set_memory_limit(memory_limit_bytes, parent);
+  set_allow_partial(allow_partial);
+}
+
 const QueryContext* CurrentQueryContext() { return tls_query_context; }
 
 ScopedQueryContext::ScopedQueryContext(const QueryContext* ctx)

@@ -157,6 +157,17 @@ class QueryContext {
   void set_memory_limit(uint64_t bytes, MemoryBudget* parent = nullptr) {
     budget_.Reset(bytes, parent);
   }
+
+  /// Configures this context as one request's child of a serving-side
+  /// governance hierarchy in one call: deadline = now + `timeout` (zero or
+  /// negative leaves the deadline unset), a per-request working-memory cap
+  /// carved from `parent` (typically a per-tenant budget itself parented to
+  /// the server-wide budget; memory_limit_bytes = 0 keeps the request
+  /// uncapped while still charging the ancestors), and the partial-answer
+  /// policy. Call before installing the context; `parent` must outlive it.
+  void InitForRequest(std::chrono::nanoseconds timeout,
+                      uint64_t memory_limit_bytes, MemoryBudget* parent,
+                      bool allow_partial = false);
   const MemoryBudget& budget() const { return budget_; }
   MemoryBudget* mutable_budget() { return &budget_; }
 

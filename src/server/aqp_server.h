@@ -1,0 +1,172 @@
+// AqpServer: the concurrent serving front end over the AQP engine. Accepts
+// batched query requests on an AF_UNIX stream socket (src/server/protocol.h)
+// and runs them through an async pipeline
+//
+//   accept -> per-connection reader -> bounded request queue -> worker
+//   (plan: parse SQL + catalog lookup) -> execute (morsel pool) -> respond
+//
+// so a slow analytical query occupies one pipeline worker, never the
+// connection readers, the metrics scrape, or the admission decision.
+//
+// Governance. Every batch runs under a child QueryContext
+// (QueryContext::InitForRequest): deadline = request timeout, working
+// memory capped per request and charged through the per-tenant budget. The
+// engine's typed aborts (kDeadlineExceeded / kCancelled /
+// kResourceExhausted) come back as per-query response statuses — the server
+// keeps serving.
+//
+// Admission control. Two caps, both rejecting with kResourceExhausted
+// before any work is queued: the bounded request queue (max_queue pending
+// batches), and the server-wide in-flight memory budget — each admitted
+// batch pessimistically charges its declared per-request memory cap until
+// its response is written, so the sum of admitted caps never exceeds
+// memory_limit_bytes.
+//
+// Serving fast path. Approximate queries resolve through the shared
+// SampleCatalog: a hit answers from the published sample in microseconds
+// (ExecuteApprox over a few thousand rows); a miss builds under the
+// requesting batch's budget and publishes for every later session.
+#ifndef CVOPT_SERVER_AQP_SERVER_H_
+#define CVOPT_SERVER_AQP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/exec/query_context.h"
+#include "src/server/metrics.h"
+#include "src/server/protocol.h"
+#include "src/server/sample_catalog.h"
+#include "src/table/table.h"
+
+namespace cvopt {
+
+struct ServerOptions {
+  /// AF_UNIX socket path to listen on (required; unlinked on Stop).
+  std::string socket_path;
+  /// Pipeline executors. Each runs one batch at a time; intra-query
+  /// parallelism comes from the shared morsel pool underneath.
+  int num_workers = 2;
+  /// Pending-batch cap of the request queue (admission control).
+  size_t max_queue = 64;
+  /// Concurrent client connections; further connects are closed.
+  size_t max_connections = 64;
+  /// Server-wide in-flight memory cap: the sum of admitted batches'
+  /// per-request caps never exceeds this.
+  uint64_t memory_limit_bytes = 512ull << 20;
+  /// Per-tenant working-memory cap (budgets created on first use).
+  uint64_t tenant_memory_limit_bytes = 256ull << 20;
+  /// Default per-request cap when the request declares none.
+  uint64_t request_memory_limit_bytes = 64ull << 20;
+  /// Default batch deadline when the request declares none; 0 = none.
+  uint32_t default_timeout_ms = 0;
+  /// Catalog sample rate when a query declares none.
+  double default_sample_rate = 0.05;
+  /// Seed of the catalog's deterministic per-key build streams.
+  uint64_t catalog_seed = 42;
+};
+
+class AqpServer {
+ public:
+  explicit AqpServer(ServerOptions options);
+  ~AqpServer();
+  AqpServer(const AqpServer&) = delete;
+  AqpServer& operator=(const AqpServer&) = delete;
+
+  /// Registers a table under the name SQL queries use in FROM. Call before
+  /// Start; the table must outlive the server.
+  Status RegisterTable(const std::string& name, const Table* table);
+
+  /// Binds, listens, and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// Blocks until a client kShutdown request (or Stop from another thread),
+  /// then tears down. Convenience for main()-style owners.
+  void Wait();
+
+  /// Stops accepting, drains queued batches (their responses are written),
+  /// closes connections, joins every thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const ServerOptions& options() const { return options_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  SampleCatalog& catalog() { return catalog_; }
+  const MemoryBudget& admission_budget() const { return admission_budget_; }
+
+  /// Counters + histograms + server gauges in Prometheus text format (what
+  /// the kMetrics protocol message returns).
+  std::string RenderMetrics() const;
+
+  /// Test hook: freezes the pipeline workers so the bounded queue fills
+  /// deterministically (admission-rejection tests). Never use in serving.
+  void PauseWorkersForTesting(bool paused);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;  // readers (rejections, metrics) + workers share
+    ~Connection();
+  };
+
+  struct PendingBatch {
+    std::shared_ptr<Connection> conn;
+    RequestEnvelope request;
+    uint64_t admitted_bytes = 0;  // charged on admission_budget_
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void ProcessBatch(PendingBatch batch);
+  QueryResponseItem ServeQuery(const QueryRequestItem& item,
+                               const QueryContext& ctx);
+  /// Admission decision for one decoded batch: enqueue, or write the typed
+  /// rejection immediately from the reader thread.
+  void AdmitOrReject(std::shared_ptr<Connection> conn, RequestEnvelope req);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const ResponseEnvelope& resp);
+  MemoryBudget* TenantBudget(const std::string& tenant);
+
+  const ServerOptions options_;
+  std::map<std::string, const Table*> tables_;
+
+  ServerMetrics metrics_;
+  SampleCatalog catalog_;
+  /// Admission ledger: per-request caps of in-flight batches.
+  MemoryBudget admission_budget_;
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<MemoryBudget>> tenant_budgets_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingBatch> queue_;
+  bool workers_paused_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SERVER_AQP_SERVER_H_

@@ -1,0 +1,87 @@
+#include "src/server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cvopt {
+
+AqpClient::~AqpClient() { Close(); }
+
+Status AqpClient::Connect(const std::string& socket_path) {
+  if (connected()) return Status::AlreadyExists("client already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long for AF_UNIX");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("connect(" + socket_path +
+                            "): " + std::strerror(err));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void AqpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ResponseEnvelope> AqpClient::RoundTrip(const RequestEnvelope& req) {
+  if (!connected()) return Status::Internal("client not connected");
+  std::string payload;
+  EncodeRequest(req, &payload);
+  CVOPT_RETURN_NOT_OK(WriteFrame(fd_, payload));
+  CVOPT_ASSIGN_OR_RETURN(const std::string frame, ReadFrame(fd_));
+  CVOPT_ASSIGN_OR_RETURN(ResponseEnvelope resp, DecodeResponse(frame));
+  if (resp.request_id != req.request_id) {
+    return Status::Internal("response id mismatch: a frame was lost");
+  }
+  return resp;
+}
+
+Result<ResponseEnvelope> AqpClient::Query(
+    const std::vector<QueryRequestItem>& queries, const Options& options) {
+  RequestEnvelope req;
+  req.kind = MessageKind::kQueryBatch;
+  req.request_id = next_request_id_++;
+  req.tenant = options.tenant;
+  req.timeout_ms = options.timeout_ms;
+  req.memory_limit_bytes = options.memory_limit_bytes;
+  req.queries = queries;
+  CVOPT_ASSIGN_OR_RETURN(ResponseEnvelope resp, RoundTrip(req));
+  if (resp.results.size() != queries.size()) {
+    return Status::Internal("response carries wrong number of results");
+  }
+  return resp;
+}
+
+Result<std::string> AqpClient::Metrics() {
+  RequestEnvelope req;
+  req.kind = MessageKind::kMetrics;
+  req.request_id = next_request_id_++;
+  CVOPT_ASSIGN_OR_RETURN(ResponseEnvelope resp, RoundTrip(req));
+  return resp.metrics_text;
+}
+
+Status AqpClient::RequestShutdown() {
+  RequestEnvelope req;
+  req.kind = MessageKind::kShutdown;
+  req.request_id = next_request_id_++;
+  return RoundTrip(req).status();
+}
+
+}  // namespace cvopt

@@ -1,0 +1,119 @@
+// Wire protocol of the AqpServer: length-prefixed frames over a stream
+// socket (AF_UNIX in this repo's deployments; any SOCK_STREAM fd works).
+//
+// Framing. Every message is one frame: a 4-byte little-endian payload
+// length followed by the payload. Frames above kMaxFrameBytes are a
+// protocol violation and the connection is dropped. Within a payload all
+// integers are little-endian fixed width, strings are u32 length + bytes,
+// and doubles travel as their raw IEEE-754 bit patterns — responses are
+// BIT-identical to the server-side QueryResult, which is what the
+// serial-vs-served differential suite pins.
+//
+// Messages. A request envelope carries a client-chosen request id (echoed
+// in the response), the tenant, per-request governance knobs (timeout,
+// memory cap), and a BATCH of queries — the unit of admission control; one
+// frame in, one frame out. Metrics and shutdown are tiny control messages
+// on the same connection, answered inline by the server (no admission, so
+// scrapes keep working while the query queue is saturated).
+#ifndef CVOPT_SERVER_PROTOCOL_H_
+#define CVOPT_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/query_result.h"
+#include "src/util/status.h"
+
+namespace cvopt {
+
+/// Upper bound on a frame payload; larger announced lengths are treated as
+/// a protocol violation (garbage or a hostile peer), not an allocation.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MessageKind : uint8_t {
+  kQueryBatch = 1,
+  kMetrics = 2,
+  kShutdown = 3,
+};
+
+/// How the server answered one query (observability + tests).
+enum class ServedFrom : uint8_t {
+  kExact = 0,        // exact engine over the base table
+  kCatalogHit = 1,   // shared sample already in the catalog
+  kCatalogBuild = 2, // sample built under this request's budget, published
+};
+
+/// One query of a batched request.
+struct QueryRequestItem {
+  std::string sql;
+  /// True: answer exactly over the base table. False: serve from the
+  /// shared sample catalog (build on miss).
+  bool exact = false;
+  /// Catalog sample rate in (0, 1]; 0 picks the server default. Part of
+  /// the catalog key: distinct rates are distinct samples.
+  double sample_rate = 0.0;
+};
+
+struct RequestEnvelope {
+  MessageKind kind = MessageKind::kQueryBatch;
+  uint64_t request_id = 0;
+  std::string tenant;
+  /// 0 = server default. Deadline for the WHOLE batch.
+  uint32_t timeout_ms = 0;
+  /// Working-memory cap for the request; 0 = server default. Admission
+  /// charges this amount against the server-wide budget while in flight.
+  uint64_t memory_limit_bytes = 0;
+  std::vector<QueryRequestItem> queries;
+};
+
+/// A QueryResult flattened for the wire; value bit patterns preserved.
+struct WireResult {
+  std::vector<std::string> agg_labels;
+  std::vector<std::string> group_labels;
+  std::vector<std::vector<int64_t>> key_codes;  // per group, ragged
+  std::vector<uint64_t> value_bits;  // row-major, stride = agg_labels.size()
+
+  size_t num_groups() const { return group_labels.size(); }
+  size_t num_aggregates() const { return agg_labels.size(); }
+  double value(size_t group, size_t agg) const;
+};
+
+/// Flattens a server-side QueryResult for encoding.
+WireResult FlattenResult(const QueryResult& result);
+
+struct QueryResponseItem {
+  Status status;  // typed: kDeadlineExceeded / kResourceExhausted / ...
+  ServedFrom served_from = ServedFrom::kExact;
+  WireResult result;  // meaningful only when status.ok()
+};
+
+struct ResponseEnvelope {
+  MessageKind kind = MessageKind::kQueryBatch;
+  uint64_t request_id = 0;
+  std::vector<QueryResponseItem> results;  // kQueryBatch, one per query
+  std::string metrics_text;                // kMetrics
+};
+
+// --- payload codecs --------------------------------------------------------
+
+void EncodeRequest(const RequestEnvelope& req, std::string* out);
+Result<RequestEnvelope> DecodeRequest(const std::string& payload);
+
+void EncodeResponse(const ResponseEnvelope& resp, std::string* out);
+Result<ResponseEnvelope> DecodeResponse(const std::string& payload);
+
+// --- frame I/O -------------------------------------------------------------
+
+/// Writes one length-prefixed frame; handles short writes, suppresses
+/// SIGPIPE. kInternal on a closed/failed peer.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one frame. kNotFound("connection closed") on clean EOF at a frame
+/// boundary; kInvalidArgument on an over-length announcement; kInternal on
+/// a mid-frame EOF or read error.
+Result<std::string> ReadFrame(int fd);
+
+}  // namespace cvopt
+
+#endif  // CVOPT_SERVER_PROTOCOL_H_

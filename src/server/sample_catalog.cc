@@ -1,0 +1,147 @@
+#include "src/server/sample_catalog.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/sample/cvopt_sampler.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace cvopt {
+
+namespace {
+
+uint64_t HashBytes(uint64_t seed, const std::string& s) {
+  uint64_t h = seed;
+  for (unsigned char c : s) h = HashCombine(h, c);
+  return HashCombine(h, s.size());
+}
+
+}  // namespace
+
+size_t CatalogKeyHash::operator()(const CatalogKey& k) const {
+  uint64_t h = HashMix64(k.table_id);
+  for (const std::string& col : k.group_by) h = HashBytes(h, col);
+  h = HashCombine(h, k.workload_fingerprint);
+  return static_cast<size_t>(h);
+}
+
+CatalogKey SampleCatalog::MakeKey(const Table& table, const QuerySpec& query,
+                                  double rate) {
+  CatalogKey key;
+  key.table_id = table.id();
+  key.group_by = query.group_by;
+  // Fingerprint the workload class: aggregate shapes (function + column +
+  // COUNT_IF filter, via the rendered label, weights excluded), the sampler
+  // method, and the rate. Everything request-specific (WHERE, weights,
+  // names) stays out so those queries share the sample.
+  uint64_t fp = HashBytes(0x5eed5a3b1e5u, "CVOPT");
+  uint64_t rate_bits;
+  static_assert(sizeof(rate_bits) == sizeof(rate), "double width");
+  std::memcpy(&rate_bits, &rate, sizeof(rate_bits));
+  fp = HashCombine(fp, rate_bits);
+  for (const AggSpec& agg : query.aggregates) {
+    fp = HashBytes(fp, agg.Label());
+  }
+  key.workload_fingerprint = fp;
+  return key;
+}
+
+QuerySpec SampleCatalog::CanonicalSpec(const QuerySpec& query) {
+  QuerySpec canon;
+  canon.group_by = query.group_by;
+  canon.aggregates = query.aggregates;
+  for (AggSpec& agg : canon.aggregates) agg.weight = 1.0;
+  canon.where = nullptr;
+  canon.weight = 1.0;
+  return canon;
+}
+
+uint64_t SampleCatalog::BuildSeed(uint64_t catalog_seed,
+                                  const CatalogKey& key) {
+  uint64_t h = HashCombine(HashMix64(catalog_seed), key.table_id);
+  for (const std::string& col : key.group_by) h = HashBytes(h, col);
+  return HashCombine(h, key.workload_fingerprint);
+}
+
+Result<std::shared_ptr<const StratifiedSample>> SampleCatalog::GetOrBuild(
+    const Table& table, const QuerySpec& query, double rate, bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (!(rate > 0.0) || rate > 1.0) {
+    return Status::InvalidArgument("sample rate must be in (0, 1]");
+  }
+  const CatalogKey key = MakeKey(table, query, rate);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      Entry& entry = entries_[key];
+      if (entry.sample != nullptr) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (was_hit != nullptr) *was_hit = true;
+        return entry.sample;
+      }
+      if (!entry.building) {
+        entry.building = true;  // this thread builds
+        break;
+      }
+      cv_.wait(lock);  // single-flight: wait for the builder's publish
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Build outside the lock, under the caller's ambient QueryContext: the
+  // request's deadline and memory budget govern the stats collection,
+  // allocation solve, and draw.
+  const uint64_t budget = static_cast<uint64_t>(
+      std::llround(rate * static_cast<double>(table.num_rows())));
+  Rng rng(BuildSeed(seed_, key));
+  CvoptSampler sampler;
+  Result<StratifiedSample> built =
+      sampler.Build(table, {CanonicalSpec(query)}, budget, &rng);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!built.ok()) {
+    build_failures_.fetch_add(1, std::memory_order_relaxed);
+    // Forget the entry so the next requester retries under its own budget;
+    // waiters re-loop, find it unowned, and become the builder.
+    entries_.erase(key);
+    cv_.notify_all();
+    return built.status();
+  }
+  Entry& entry = entries_[key];
+  entry.building = false;
+  entry.sample =
+      std::make_shared<const StratifiedSample>(std::move(built).value());
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_all();
+  return entry.sample;
+}
+
+size_t SampleCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, entry] : entries_) n += entry.sample != nullptr;
+  return n;
+}
+
+uint64_t SampleCatalog::resident_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rows = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.sample != nullptr) rows += entry.sample->size();
+  }
+  return rows;
+}
+
+void SampleCatalog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.building) {
+      ++it;  // let the in-flight build publish; only drop published ones
+    } else {
+      it = entries_.erase(it);
+    }
+  }
+}
+
+}  // namespace cvopt

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/util/env.h"
+
 namespace cvopt {
 
 // ----------------------------------------------------------- chunk geometry
@@ -18,11 +20,8 @@ size_t ClampChunkRows(long long v) {
 }
 
 size_t EnvChunkRows() {
-  const char* e = std::getenv("CVOPT_CHUNK_ROWS");
-  if (e != nullptr && *e != '\0') {
-    char* end = nullptr;
-    const long long v = std::strtoll(e, &end, 10);
-    if (end != e && *end == '\0' && v > 0) return ClampChunkRows(v);
+  if (const auto v = ParseEnvInt("CVOPT_CHUNK_ROWS"); v && *v > 0) {
+    return ClampChunkRows(*v);
   }
   return 4096;
 }

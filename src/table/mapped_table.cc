@@ -13,6 +13,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/util/env.h"
 #include "src/util/failpoint.h"
 #include "src/util/string_util.h"
 
@@ -208,9 +209,8 @@ size_t ChunkCacheBudgetBytes() {
   const size_t override = g_cache_budget_override.load();
   if (override != 0) return override;
   static const size_t resolved = [] {
-    if (const char* env = std::getenv("CVOPT_CHUNK_CACHE_BYTES")) {
-      const long long v = std::strtoll(env, nullptr, 10);
-      if (v > 0) return static_cast<size_t>(v);
+    if (const auto v = ParseEnvInt("CVOPT_CHUNK_CACHE_BYTES"); v && *v > 0) {
+      return static_cast<size_t>(*v);
     }
     return size_t{64} << 20;  // 64 MiB
   }();

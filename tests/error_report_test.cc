@@ -142,5 +142,34 @@ TEST(ErrorReportTest, MergeDeduplicatesPerSampleStratumCounts) {
   EXPECT_EQ(mixed.total_strata, 3u);
 }
 
+TEST(ErrorReportTest, MergeSumsDegradedStrata) {
+  // Regression: MergeReports used to drop degraded_strata entirely, so
+  // pooled multi-query reports reported 0 deadline-skipped strata no matter
+  // how many draws degraded. It sums like missing_groups — once per report,
+  // every query over a skipped stratum lost its answers — including across
+  // runs of identical counts, which the per-sample exhaustive/total
+  // collapse would have deduplicated.
+  auto rep = [](size_t degraded, size_t exhaustive, size_t total) {
+    ErrorReport r;
+    r.errors = {0.1};
+    r.degraded_strata = degraded;
+    r.exhaustive_strata = exhaustive;
+    r.total_strata = total;
+    return r;
+  };
+  // Three queries against one degraded sample: identical stratum counts
+  // collapse to one sample's worth, degraded answers sum per query.
+  ErrorReport one = MergeReports({rep(2, 1, 5), rep(2, 1, 5), rep(2, 1, 5)});
+  EXPECT_EQ(one.degraded_strata, 6u);
+  EXPECT_EQ(one.exhaustive_strata, 1u);
+  EXPECT_EQ(one.total_strata, 5u);
+  // Mixed degraded and complete draws.
+  ErrorReport two = MergeReports({rep(3, 0, 4), rep(0, 2, 6)});
+  EXPECT_EQ(two.degraded_strata, 3u);
+  EXPECT_EQ(two.exhaustive_strata, 2u);
+  EXPECT_EQ(two.total_strata, 10u);
+  EXPECT_EQ(MergeReports({}).degraded_strata, 0u);
+}
+
 }  // namespace
 }  // namespace cvopt

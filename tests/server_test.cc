@@ -1,0 +1,426 @@
+// AqpServer serving tests. The load-bearing one is the differential: N
+// concurrent clients hammering the served path must receive responses
+// BIT-identical to direct engine calls — the wire format carries raw double
+// bit patterns and the catalog's builds are deterministic functions of
+// (catalog seed, key), so equality is exact, not tolerance-based. The rest
+// pin the catalog-reuse contract (one shared sample answers distinct
+// queries), both admission-control rejections, and that typed per-query
+// failures (fail-point injected) never take the server down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/estimate/approx_executor.h"
+#include "src/exec/group_by_executor.h"
+#include "src/sample/cvopt_sampler.h"
+#include "src/server/aqp_server.h"
+#include "src/server/client.h"
+#include "src/server/sample_catalog.h"
+#include "src/sql/parser.h"
+#include "src/util/failpoint.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace cvopt {
+namespace {
+
+std::string TestSocketPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "cvopt_server_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Replicates the exact sample the server's catalog builds for (sql, rate):
+// same canonical spec, same budget, same deterministic seed stream.
+Result<StratifiedSample> ReplicateCatalogBuild(const Table& table,
+                                               const std::string& sql,
+                                               double rate,
+                                               uint64_t catalog_seed) {
+  CVOPT_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseSql(sql));
+  const CatalogKey key = SampleCatalog::MakeKey(table, parsed.query, rate);
+  const uint64_t budget = static_cast<uint64_t>(
+      std::llround(rate * static_cast<double>(table.num_rows())));
+  Rng rng(SampleCatalog::BuildSeed(catalog_seed, key));
+  CvoptSampler sampler;
+  return sampler.Build(table, {SampleCatalog::CanonicalSpec(parsed.query)},
+                       budget, &rng);
+}
+
+void ExpectWireBitIdentical(const WireResult& got, const WireResult& want) {
+  ASSERT_EQ(got.agg_labels, want.agg_labels);
+  ASSERT_EQ(got.group_labels, want.group_labels);
+  ASSERT_EQ(got.key_codes, want.key_codes);
+  ASSERT_EQ(got.value_bits, want.value_bits);  // raw IEEE-754 bits
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : table_(MakeSkewedTable(/*groups=*/6, /*base=*/40)) {}
+
+  // Starts a server over table_ registered as "skewed".
+  void StartServer(ServerOptions options) {
+    server_ = std::make_unique<AqpServer>(std::move(options));
+    ASSERT_OK(server_->RegisterTable("skewed", &table_));
+    ASSERT_OK(server_->Start());
+  }
+
+  Table table_;
+  std::unique_ptr<AqpServer> server_;
+};
+
+TEST_F(ServerTest, StartStopIdempotent) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("startstop");
+  StartServer(opts);
+  EXPECT_TRUE(server_->running());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  server_->Stop();  // idempotent
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, RoundTripExactAndApprox) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("roundtrip");
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  std::vector<QueryRequestItem> batch(2);
+  batch[0].sql = "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g";
+  batch[0].exact = true;
+  batch[1].sql = "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g";
+  batch[1].sample_rate = 0.25;
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query(batch));
+  ASSERT_EQ(resp.results.size(), 2u);
+  ASSERT_OK(resp.results[0].status);
+  EXPECT_EQ(resp.results[0].served_from, ServedFrom::kExact);
+  EXPECT_EQ(resp.results[0].result.num_groups(), 6u);
+  EXPECT_EQ(resp.results[0].result.num_aggregates(), 2u);
+  ASSERT_OK(resp.results[1].status);
+  EXPECT_EQ(resp.results[1].served_from, ServedFrom::kCatalogBuild);
+  EXPECT_GT(resp.results[1].result.num_groups(), 0u);
+  server_->Stop();
+}
+
+// The tentpole differential: concurrent clients, mixed exact/approx batches
+// with per-request WHERE predicates, every response bit-identical to a
+// direct serial engine call replicating the catalog's deterministic build.
+TEST_F(ServerTest, ConcurrentClientsBitIdenticalToDirectEngine) {
+  ScopedExecThreads threads(4);  // server and direct calls share the pool
+  constexpr double kRate = 0.25;
+  constexpr uint64_t kSeed = 1234;
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("differential");
+  opts.catalog_seed = kSeed;
+  opts.num_workers = 3;
+  StartServer(opts);
+
+  // Three workload-class-sharing approx queries (distinct WHERE, same
+  // canonical spec) + one exact.
+  const std::vector<std::string> kApproxSql = {
+      "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g",
+      "SELECT g, AVG(v), SUM(v) FROM skewed WHERE g < 4 GROUP BY g",
+      "SELECT g, AVG(v), SUM(v) FROM skewed WHERE v > 20 GROUP BY g",
+  };
+  const std::string kExactSql =
+      "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g";
+
+  constexpr int kClients = 4;
+  constexpr int kBatchesPerClient = 3;
+  std::vector<std::vector<ResponseEnvelope>> responses(kClients);
+  std::atomic<int> transport_failures{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        AqpClient client;
+        if (!client.Connect(opts.socket_path).ok()) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        for (int b = 0; b < kBatchesPerClient; ++b) {
+          std::vector<QueryRequestItem> batch;
+          for (const std::string& sql : kApproxSql) {
+            QueryRequestItem item;
+            item.sql = sql;
+            item.sample_rate = kRate;
+            batch.push_back(item);
+          }
+          QueryRequestItem exact;
+          exact.sql = kExactSql;
+          exact.exact = true;
+          batch.push_back(exact);
+          AqpClient::Options qopts;
+          qopts.tenant = "tenant-" + std::to_string(c);
+          auto resp = client.Query(batch, qopts);
+          if (!resp.ok()) {
+            transport_failures.fetch_add(1);
+            return;
+          }
+          responses[c].push_back(std::move(resp).value());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  ASSERT_EQ(transport_failures.load(), 0);
+
+  // Ground truth, computed serially after the fact.
+  ASSERT_OK_AND_ASSIGN(StratifiedSample sample,
+                       ReplicateCatalogBuild(table_, kApproxSql[0], kRate,
+                                             kSeed));
+  std::vector<WireResult> want_approx;
+  for (const std::string& sql : kApproxSql) {
+    ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseSql(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult direct,
+                         ExecuteApprox(sample, parsed.query));
+    want_approx.push_back(FlattenResult(direct));
+  }
+  ASSERT_OK_AND_ASSIGN(ParsedQuery exact_parsed, ParseSql(kExactSql));
+  ASSERT_OK_AND_ASSIGN(QueryResult exact_direct,
+                       ExecuteExact(table_, exact_parsed.query));
+  const WireResult want_exact = FlattenResult(exact_direct);
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), static_cast<size_t>(kBatchesPerClient));
+    for (const ResponseEnvelope& resp : responses[c]) {
+      ASSERT_EQ(resp.results.size(), kApproxSql.size() + 1);
+      for (size_t q = 0; q < kApproxSql.size(); ++q) {
+        ASSERT_OK(resp.results[q].status);
+        ExpectWireBitIdentical(resp.results[q].result, want_approx[q]);
+      }
+      ASSERT_OK(resp.results.back().status);
+      EXPECT_EQ(resp.results.back().served_from, ServedFrom::kExact);
+      ExpectWireBitIdentical(resp.results.back().result, want_exact);
+    }
+  }
+
+  // All 36 approx queries share ONE workload class: exactly one sample was
+  // built, everything else hit it.
+  EXPECT_EQ(server_->catalog().size(), 1u);
+  EXPECT_EQ(server_->catalog().builds(), 1u);
+  EXPECT_GT(server_->catalog().hits(), 0u);
+  EXPECT_EQ(server_->catalog().hits() + server_->catalog().misses(),
+            static_cast<uint64_t>(kClients * kBatchesPerClient *
+                                  kApproxSql.size()));
+  server_->Stop();
+}
+
+// Paper Table 5 reuse: queries with different predicates and sensible
+// aggregate subsets canonicalize into one workload class — the catalog
+// serves all of them from a single shared sample.
+TEST_F(ServerTest, CatalogSharesOneSampleAcrossDistinctQueries) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("reuse");
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  const std::vector<std::string> kSql = {
+      "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g",
+      "SELECT g, AVG(v), SUM(v) FROM skewed WHERE g = 2 GROUP BY g",
+      "SELECT g, AVG(v), SUM(v) FROM skewed WHERE v > 30 GROUP BY g",
+  };
+  std::vector<QueryRequestItem> batch;
+  for (const std::string& sql : kSql) {
+    QueryRequestItem item;
+    item.sql = sql;
+    item.sample_rate = 0.2;
+    batch.push_back(item);
+  }
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query(batch));
+  ASSERT_EQ(resp.results.size(), kSql.size());
+  EXPECT_EQ(resp.results[0].served_from, ServedFrom::kCatalogBuild);
+  for (size_t q = 0; q < kSql.size(); ++q) {
+    ASSERT_OK(resp.results[q].status);
+    if (q > 0) EXPECT_EQ(resp.results[q].served_from, ServedFrom::kCatalogHit);
+  }
+  EXPECT_EQ(server_->catalog().size(), 1u);       // one shared sample...
+  EXPECT_EQ(server_->catalog().hits(), kSql.size() - 1);  // ...reused
+  // A different rate is a different workload class: new sample.
+  QueryRequestItem other;
+  other.sql = kSql[0];
+  other.sample_rate = 0.1;
+  ASSERT_OK_AND_ASSIGN(resp, client.Query({other}));
+  ASSERT_OK(resp.results[0].status);
+  EXPECT_EQ(resp.results[0].served_from, ServedFrom::kCatalogBuild);
+  EXPECT_EQ(server_->catalog().size(), 2u);
+  server_->Stop();
+}
+
+// Declaring a per-request memory cap above the server-wide in-flight budget
+// is rejected with a typed kResourceExhausted before any work is queued.
+TEST_F(ServerTest, MemoryAdmissionRejectsOversizedRequest) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("memadmit");
+  opts.memory_limit_bytes = 32ull << 20;
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  QueryRequestItem item;
+  item.sql = "SELECT g, AVG(v) FROM skewed GROUP BY g";
+  item.exact = true;
+  AqpClient::Options qopts;
+  qopts.memory_limit_bytes = 64ull << 20;  // over the server-wide cap
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query({item}, qopts));
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_EQ(resp.results[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server_->metrics().requests_rejected.value(), 1u);
+  // The rejection released its charge; a sane request still works.
+  EXPECT_EQ(server_->admission_budget().used(), 0u);
+  qopts.memory_limit_bytes = 8ull << 20;
+  ASSERT_OK_AND_ASSIGN(resp, client.Query({item}, qopts));
+  ASSERT_OK(resp.results[0].status);
+  server_->Stop();
+}
+
+// With the pipeline frozen, the bounded queue fills and the next batch gets
+// a typed queue-full rejection from the reader thread; unfreezing drains
+// the queued batch normally.
+TEST_F(ServerTest, QueueDepthAdmissionRejectsWhenFull) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("queueadmit");
+  opts.max_queue = 1;
+  opts.num_workers = 1;
+  StartServer(opts);
+  server_->PauseWorkersForTesting(true);
+
+  QueryRequestItem item;
+  item.sql = "SELECT g, AVG(v) FROM skewed GROUP BY g";
+  item.exact = true;
+
+  // First batch occupies the queue; its client blocks on the response.
+  ResponseEnvelope queued_resp;
+  std::atomic<bool> queued_ok{false};
+  std::thread queued([&] {
+    AqpClient c;
+    if (!c.Connect(opts.socket_path).ok()) return;
+    auto r = c.Query({item});
+    if (r.ok()) {
+      queued_resp = std::move(r).value();
+      queued_ok.store(true);
+    }
+  });
+  // Admission is decided on the reader thread before the response, so once
+  // the queue reports depth 1 the next batch deterministically overflows.
+  while (server_->RenderMetrics().find("aqp_queue_depth 1") ==
+         std::string::npos) {
+    std::this_thread::yield();
+  }
+
+  AqpClient overflow;
+  ASSERT_OK(overflow.Connect(opts.socket_path));
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope rejected, overflow.Query({item}));
+  ASSERT_EQ(rejected.results.size(), 1u);
+  EXPECT_EQ(rejected.results[0].status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.results[0].status.message().find("queue"),
+            std::string::npos);
+
+  server_->PauseWorkersForTesting(false);
+  queued.join();
+  ASSERT_TRUE(queued_ok.load());
+  ASSERT_EQ(queued_resp.results.size(), 1u);
+  EXPECT_OK(queued_resp.results[0].status);
+  server_->Stop();
+}
+
+// A fail point firing mid-request comes back as that query's typed status;
+// the server (and even the same connection) keeps serving.
+TEST_F(ServerTest, FailpointAbortLeavesServerServing) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("failpoint");
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  QueryRequestItem item;
+  item.sql = "SELECT g, AVG(v), SUM(v) FROM skewed GROUP BY g";
+  item.exact = true;
+
+  ASSERT_OK(failpoint::SetForTesting("exec.groupby.alloc:deadline"));
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query({item}));
+  failpoint::ClearForTesting();
+  ASSERT_EQ(resp.results.size(), 1u);
+  EXPECT_EQ(resp.results[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server_->metrics().queries_aborted.value(), 1u);
+
+  // Same client, same query, fail point disarmed: served fine.
+  ASSERT_TRUE(server_->running());
+  ASSERT_OK_AND_ASSIGN(resp, client.Query({item}));
+  ASSERT_OK(resp.results[0].status);
+  EXPECT_EQ(resp.results[0].result.num_groups(), 6u);
+
+  // An injected hard error is likewise contained as kInternal.
+  ASSERT_OK(failpoint::SetForTesting("exec.groupby.alloc:error"));
+  ASSERT_OK_AND_ASSIGN(resp, client.Query({item}));
+  failpoint::ClearForTesting();
+  EXPECT_EQ(resp.results[0].status.code(), StatusCode::kInternal);
+  EXPECT_EQ(server_->metrics().queries_failed.value(), 1u);
+  ASSERT_OK_AND_ASSIGN(resp, client.Query({item}));
+  ASSERT_OK(resp.results[0].status);
+  server_->Stop();
+}
+
+// Bad SQL and unknown tables are per-query failures, not connection or
+// server failures.
+TEST_F(ServerTest, MalformedQueriesAreContained) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("badsql");
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  std::vector<QueryRequestItem> batch(3);
+  batch[0].sql = "SELECT FROM nothing";  // parse error
+  batch[1].sql = "SELECT g, AVG(v) FROM missing GROUP BY g";  // bad table
+  batch[1].exact = true;
+  batch[2].sql = "SELECT g, AVG(v) FROM skewed GROUP BY g";  // fine
+  batch[2].exact = true;
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query(batch));
+  ASSERT_EQ(resp.results.size(), 3u);
+  EXPECT_EQ(resp.results[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(resp.results[1].status.code(), StatusCode::kNotFound);
+  EXPECT_OK(resp.results[2].status);
+  server_->Stop();
+}
+
+TEST_F(ServerTest, MetricsScrapeAndShutdownRequest) {
+  ServerOptions opts;
+  opts.socket_path = TestSocketPath("metrics");
+  StartServer(opts);
+
+  AqpClient client;
+  ASSERT_OK(client.Connect(opts.socket_path));
+  QueryRequestItem item;
+  item.sql = "SELECT g, AVG(v) FROM skewed GROUP BY g";
+  item.sample_rate = 0.2;
+  ASSERT_OK_AND_ASSIGN(ResponseEnvelope resp, client.Query({item}));
+  ASSERT_OK(resp.results[0].status);
+
+  ASSERT_OK_AND_ASSIGN(std::string metrics, client.Metrics());
+  EXPECT_NE(metrics.find("aqp_requests_received_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("aqp_queries_served_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("aqp_sample_builds_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("aqp_catalog_samples 1"), std::string::npos);
+  EXPECT_NE(metrics.find("aqp_query_latency_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("aqp_registered_tables 1"), std::string::npos);
+
+  // kShutdown wakes a Wait()ing owner; teardown still answers in-flight
+  // work first (this response already arrived by protocol ordering).
+  std::thread waiter([&] { server_->Wait(); });
+  ASSERT_OK(client.RequestShutdown());
+  waiter.join();
+  EXPECT_FALSE(server_->running());
+}
+
+}  // namespace
+}  // namespace cvopt

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/util/csv.h"
+#include "src/util/env.h"
 #include "src/util/hash.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -240,6 +241,39 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds());  // ms >= s numerically
   t.Reset();
   EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(ParseEnvIntTest, ValidValuesParse) {
+  setenv("CVOPT_TEST_KNOB", "42", 1);
+  EXPECT_EQ(ParseEnvInt("CVOPT_TEST_KNOB"), std::optional<int64_t>(42));
+  setenv("CVOPT_TEST_KNOB", "-7", 1);
+  EXPECT_EQ(ParseEnvInt("CVOPT_TEST_KNOB"), std::optional<int64_t>(-7));
+  setenv("CVOPT_TEST_KNOB", "0", 1);
+  EXPECT_EQ(ParseEnvInt("CVOPT_TEST_KNOB"), std::optional<int64_t>(0));
+  // Leading whitespace and an explicit sign are strtoll-standard.
+  setenv("CVOPT_TEST_KNOB", "  +13", 1);
+  EXPECT_EQ(ParseEnvInt("CVOPT_TEST_KNOB"), std::optional<int64_t>(13));
+  unsetenv("CVOPT_TEST_KNOB");
+}
+
+TEST(ParseEnvIntTest, UnsetAndEmptyAreNullopt) {
+  unsetenv("CVOPT_TEST_KNOB");
+  EXPECT_FALSE(ParseEnvInt("CVOPT_TEST_KNOB").has_value());
+  setenv("CVOPT_TEST_KNOB", "", 1);
+  EXPECT_FALSE(ParseEnvInt("CVOPT_TEST_KNOB").has_value());
+  unsetenv("CVOPT_TEST_KNOB");
+}
+
+TEST(ParseEnvIntTest, MalformedValuesRejected) {
+  // Regression: CVOPT_THREADS=4x used to strtol to 4 and CVOPT_THREADS=abc
+  // silently fell back — both now reject (and warn once on stderr).
+  const char* bad[] = {"4x",   "abc", "1.5",  "12 ",  "0x10",
+                       "--3",  "+",   "-",    "1e3",  "99999999999999999999"};
+  for (const char* v : bad) {
+    setenv("CVOPT_TEST_KNOB", v, 1);
+    EXPECT_FALSE(ParseEnvInt("CVOPT_TEST_KNOB").has_value()) << v;
+  }
+  unsetenv("CVOPT_TEST_KNOB");
 }
 
 }  // namespace

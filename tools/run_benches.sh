@@ -47,7 +47,7 @@ fi
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_micro_groupby bench_micro_sampling bench_micro_storage \
-           bench_micro_governance >/dev/null
+           bench_micro_governance bench_micro_server >/dev/null
 
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -63,6 +63,8 @@ for ((rep = 0; rep < REPEATS; rep++)); do
   "$BUILD_DIR"/bench_micro_governance \
     --benchmark_format=json --benchmark_min_time=1 \
     >"$TMP_DIR/governance_$rep.json"
+  "$BUILD_DIR"/bench_micro_server \
+    --benchmark_format=json >"$TMP_DIR/server_$rep.json"
 done
 
 python3 - "$TMP_DIR" "$REPEATS" "$OUT" <<'PY'
@@ -91,6 +93,7 @@ for rep in range(repeats):
     run.update(items_per_second(os.path.join(tmp_dir, f"sampling_{rep}.json")))
     run.update(items_per_second(os.path.join(tmp_dir, f"storage_{rep}.json")))
     run.update(items_per_second(os.path.join(tmp_dir, f"governance_{rep}.json")))
+    run.update(items_per_second(os.path.join(tmp_dir, f"server_{rep}.json")))
     runs.append(run)
 measured = {
     name: round(statistics.median(run[name] for run in runs if name in run))
@@ -128,7 +131,14 @@ doc["description"] = (
     "BM_ExactGroupByGoverned vs BM_ExactGroupByUngoverned is the same "
     "group-by under a permissive QueryContext (deadline + budget checks at "
     "morsel boundaries) vs no governance; BM_GovernanceCheck and "
-    "BM_FailpointInactive bound the per-checkpoint substrate cost."
+    "BM_FailpointInactive bound the per-checkpoint substrate cost. "
+    "BM_Server* are full client round trips (queries/s, not rows/s) through "
+    "a live AqpServer over an AF_UNIX socket: BM_ServerCatalogHit answers "
+    "from the warm shared sample, BM_ServerSampleBuild pays the catalog "
+    "miss (stratified-sample build) every iteration, BM_ServerExact runs "
+    "the exact engine over the 500k-row base table, and "
+    "BM_ServerCatalogHitParallel/<threads> is aggregate throughput with "
+    "one connection per benchmark thread."
 )
 commit = subprocess.run(
     ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
