@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/exec/agg_planner.h"
 #include "src/exec/group_index.h"
 #include "src/exec/parallel.h"
 #include "src/exec/query_context.h"
@@ -52,7 +53,12 @@ Result<QueryResult> ExecuteApprox(const StratifiedSample& sample,
   const std::vector<double>& weights = sample.weights();
 
   // Dense group ids over the sampled rows; position i maps to the group of
-  // base row rows[i].
+  // base row rows[i]. The sampler's observed stratum count (a streaming
+  // router's final occupancy, or the stratification's group count) rides
+  // along as the aggregation planner's cardinality prior — queries grouping
+  // coarser than the stratification overestimate, which only ever steers
+  // the hash-vs-sort choice, never the answer.
+  ScopedAggOccupancyHint occupancy(sample.observed_strata());
   CVOPT_ASSIGN_OR_RETURN(GroupIndex gidx,
                          GroupIndex::BuildForRows(table, query.group_by, rows));
 

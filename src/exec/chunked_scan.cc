@@ -1,10 +1,12 @@
 #include "src/exec/chunked_scan.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/exec/group_by_executor.h"
+#include "src/exec/parallel.h"
 #include "src/exec/query_context.h"
 #include "src/expr/compiled_predicate.h"
 #include "src/stats/group_key.h"
@@ -89,42 +91,53 @@ std::string RenderLabel(const MappedTable& mt, const std::vector<size_t>& gcols,
   return Join(parts, "|");
 }
 
-}  // namespace
+// Query compilation shared by the serial and parallel scans: resolved
+// group-by columns, aggregate bindings, and the prototype-compiled WHERE.
+// The prototype Table lives behind a pointer so the compiled plan's
+// borrowed column indexes stay valid however the struct moves.
+struct MappedScanPlan {
+  size_t t = 0;  // aggregate count
+  std::vector<size_t> gcols;
+  std::vector<MappedAggBinding> bindings;
+  bool any_var = false;
+  bool any_countif = false;
+  std::unique_ptr<Table> proto;
+  std::unique_ptr<CompiledPredicate> proto_where;
+};
 
-Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
+Result<MappedScanPlan> PrepareMappedScan(const MappedTable& mt,
                                          const QuerySpec& query) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
   }
   const Schema& schema = mt.schema();
-  const size_t t = query.aggregates.size();
+  MappedScanPlan plan;
+  plan.t = query.aggregates.size();
 
   // Resolve group-by columns (discrete types only, as GroupIndex requires).
-  std::vector<size_t> gcols;
-  gcols.reserve(query.group_by.size());
+  plan.gcols.reserve(query.group_by.size());
   for (const auto& name : query.group_by) {
     CVOPT_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(name));
     if (schema.field(idx).type == DataType::kDouble) {
       return Status::InvalidArgument("cannot group by double column " + name);
     }
-    gcols.push_back(idx);
+    plan.gcols.push_back(idx);
   }
 
   // Resolve aggregates.
-  std::vector<MappedAggBinding> bindings(t);
-  bool any_var = false;
-  for (size_t j = 0; j < t; ++j) {
+  plan.bindings.resize(plan.t);
+  for (size_t j = 0; j < plan.t; ++j) {
     const AggSpec& a = query.aggregates[j];
-    any_var |= a.func == AggFunc::kVariance;
+    plan.any_var |= a.func == AggFunc::kVariance;
     if (a.func == AggFunc::kCount) {
-      bindings[j].constant_one = true;
+      plan.bindings[j].constant_one = true;
       continue;
     }
     if (a.func == AggFunc::kCountIf) {
       if (a.filter == nullptr) {
         return Status::InvalidArgument("COUNT_IF requires a filter");
       }
-      bindings[j].filter = a.filter.get();
+      plan.bindings[j].filter = a.filter.get();
       continue;
     }
     CVOPT_ASSIGN_OR_RETURN(size_t idx, schema.FindColumn(a.column));
@@ -132,54 +145,125 @@ Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
       return Status::InvalidArgument("cannot aggregate string column " +
                                      a.column);
     }
-    bindings[j].col = idx;
+    plan.bindings[j].col = idx;
   }
-  const bool any_countif = std::any_of(
-      bindings.begin(), bindings.end(),
+  plan.any_countif = std::any_of(
+      plan.bindings.begin(), plan.bindings.end(),
       [](const MappedAggBinding& b) { return b.filter != nullptr; });
 
   // Compile the WHERE clause once against a zero-row prototype: this
   // validates it and yields the zone classifier used before any decode.
   // (Kept alive for the whole scan — the plan borrows its zone index.)
-  Table proto = MakePrototype(mt);
-  std::unique_ptr<CompiledPredicate> proto_where;
+  plan.proto = std::make_unique<Table>(MakePrototype(mt));
   if (query.where != nullptr) {
-    CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
-                           CompiledPredicate::Compile(proto, *query.where));
-    proto_where = std::make_unique<CompiledPredicate>(std::move(cp));
+    CVOPT_ASSIGN_OR_RETURN(
+        CompiledPredicate cp,
+        CompiledPredicate::Compile(*plan.proto, *query.where));
+    plan.proto_where = std::make_unique<CompiledPredicate>(std::move(cp));
   }
   // Validate COUNT_IF filters up front the same way.
-  for (const auto& b : bindings) {
+  for (const auto& b : plan.bindings) {
     if (b.filter != nullptr) {
       CVOPT_RETURN_NOT_OK(
-          CompiledPredicate::Compile(proto, *b.filter).status());
+          CompiledPredicate::Compile(*plan.proto, *b.filter).status());
     }
   }
+  return plan;
+}
 
-  // Dense first-occurrence group ids over UNMASKED rows — the same order
-  // GroupIndex::Build produces, so group emission matches ExecuteExact even
-  // when a group's first row sits in a predicate-skipped chunk.
-  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> gid_of;
+// Group state both scan shapes fill: keys in dense first-occurrence order
+// and the per-group serial accumulators.
+struct MappedAccumulators {
   std::vector<GroupKey> group_keys;
   std::vector<uint64_t> cnt;
-  std::vector<std::vector<double>> sums(t);
-  std::vector<std::vector<double>> sums2(any_var ? t : 0);
-  std::vector<std::vector<std::vector<double>>> medians(t);
+  std::vector<std::vector<double>> sums;   // [agg][group]
+  std::vector<std::vector<double>> sums2;  // [agg][group], variance only
+  std::vector<std::vector<std::vector<double>>> medians;  // [agg][group]
+};
+
+// Finalizes through the exact executor's own rules, then emits groups in
+// first-occurrence order, omitting fully-filtered groups (IngestDense
+// semantics).
+Result<QueryResult> EmitMappedResult(const MappedTable& mt,
+                                     const QuerySpec& query,
+                                     const MappedScanPlan& plan,
+                                     MappedAccumulators&& ma) {
+  const size_t t = plan.t;
+  const size_t G = ma.group_keys.size();
+  GroupedAccumulators acc;
+  acc.num_groups = G;
+  acc.cnt = std::move(ma.cnt);
+  acc.sums.assign(t * G, 0.0);
+  if (plan.any_var) acc.sums2.assign(t * G, 0.0);
+  acc.median_values.resize(t);
+  for (size_t j = 0; j < t; ++j) {
+    std::copy(ma.sums[j].begin(), ma.sums[j].end(), acc.sums.begin() + j * G);
+    if (plan.any_var) {
+      std::copy(ma.sums2[j].begin(), ma.sums2[j].end(),
+                acc.sums2.begin() + j * G);
+    }
+    if (query.aggregates[j].func == AggFunc::kMedian) {
+      acc.median_values[j] = std::move(ma.medians[j]);
+    }
+  }
+  std::vector<double> finals = FinalizeGrouped(query.aggregates, &acc);
+
+  std::vector<std::string> agg_labels;
+  agg_labels.reserve(t);
+  for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
+  QueryResult result(std::move(agg_labels), query.group_by);
+  for (size_t g = 0; g < G; ++g) {
+    if (acc.cnt[g] == 0) continue;
+    std::vector<double> values(t);
+    for (size_t j = 0; j < t; ++j) values[j] = finals[j * G + g];
+    CVOPT_RETURN_NOT_OK(
+        result.AddGroup(ma.group_keys[g],
+                        RenderLabel(mt, plan.gcols, ma.group_keys[g]),
+                        std::move(values)));
+  }
+  return result;
+}
+
+ChunkVerdict ClassifyChunk(const MappedTable& mt, const MappedScanPlan& plan,
+                           bool zones_on, size_t k) {
+  if (plan.proto_where == nullptr || !zones_on) return ChunkVerdict::kResidual;
+  const ChunkVerdict verdict = plan.proto_where->ClassifyZones(
+      [&](uint32_t col) -> const ZoneMap& {
+        return mt.zone_index().zone(col, k);
+      });
+  RecordZoneVerdict(verdict);
+  return verdict;
+}
+
+// Fused serial scan: one pass, each chunk discovering groups and
+// accumulating before the next is touched. Peak working memory is one
+// chunk's decoded columns plus the accumulators — the shape the
+// budget-degraded path relies on — and per-group addition order is the
+// ascending row order the determinism contract names.
+Result<QueryResult> ScanMappedSerial(const MappedTable& mt,
+                                     const QuerySpec& query,
+                                     const MappedScanPlan& plan) {
+  const size_t t = plan.t;
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> gid_of;
+  MappedAccumulators ma;
+  ma.sums.resize(t);
+  ma.sums2.resize(plan.any_var ? t : 0);
+  ma.medians.resize(t);
 
   GroupKey scratch;
-  scratch.codes.resize(gcols.size());
+  scratch.codes.resize(plan.gcols.size());
   auto assign_gid = [&](const GroupKey& key) -> uint32_t {
     auto it = gid_of.find(key);
     if (it != gid_of.end()) return it->second;
-    const uint32_t gid = static_cast<uint32_t>(group_keys.size());
+    const uint32_t gid = static_cast<uint32_t>(ma.group_keys.size());
     gid_of.emplace(key, gid);
-    group_keys.push_back(key);
-    cnt.push_back(0);
+    ma.group_keys.push_back(key);
+    ma.cnt.push_back(0);
     for (size_t j = 0; j < t; ++j) {
-      sums[j].push_back(0.0);
-      if (any_var) sums2[j].push_back(0.0);
+      ma.sums[j].push_back(0.0);
+      if (plan.any_var) ma.sums2[j].push_back(0.0);
       if (query.aggregates[j].func == AggFunc::kMedian) {
-        medians[j].emplace_back();
+        ma.medians[j].emplace_back();
       }
     }
     return gid;
@@ -192,25 +276,18 @@ Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
     CVOPT_RETURN_NOT_OK(CheckQueryAborted());
     CVOPT_FAILPOINT("exec.mapped.chunk");
     const size_t n = mt.ChunkRowCount(k);
-
-    ChunkVerdict verdict = ChunkVerdict::kResidual;
-    if (proto_where != nullptr && zones_on) {
-      verdict = proto_where->ClassifyZones(
-          [&](uint32_t col) -> const ZoneMap& {
-            return mt.zone_index().zone(col, k);
-          });
-      RecordZoneVerdict(verdict);
-    }
+    const ChunkVerdict verdict = ClassifyChunk(mt, plan, zones_on, k);
 
     if (verdict == ChunkVerdict::kSkip) {
       // No row survives the WHERE clause: only group discovery remains.
       // Decode just the group-by columns and register first occurrences.
-      std::vector<std::shared_ptr<const DecodedChunk>> gdata(gcols.size());
-      for (size_t i = 0; i < gcols.size(); ++i) {
-        CVOPT_ASSIGN_OR_RETURN(gdata[i], mt.GetChunk(gcols[i], k));
+      std::vector<std::shared_ptr<const DecodedChunk>> gdata(
+          plan.gcols.size());
+      for (size_t i = 0; i < plan.gcols.size(); ++i) {
+        CVOPT_ASSIGN_OR_RETURN(gdata[i], mt.GetChunk(plan.gcols[i], k));
       }
       for (size_t r = 0; r < n; ++r) {
-        for (size_t i = 0; i < gcols.size(); ++i) {
+        for (size_t i = 0; i < plan.gcols.size(); ++i) {
           scratch.codes[i] = gdata[i]->type == DataType::kString
                                  ? gdata[i]->codes[r]
                                  : gdata[i]->ints[r];
@@ -227,7 +304,7 @@ Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
     // Survivor mask: all-ones for a provably-true chunk or no WHERE,
     // kernel evaluation otherwise.
     std::vector<uint8_t> smask(n, 1);
-    if (proto_where != nullptr && verdict != ChunkVerdict::kTakeAll) {
+    if (plan.proto_where != nullptr && verdict != ChunkVerdict::kTakeAll) {
       CVOPT_ASSIGN_OR_RETURN(
           CompiledPredicate cp,
           CompiledPredicate::Compile(chunk_table, *query.where));
@@ -236,29 +313,28 @@ Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
 
     // COUNT_IF indicators for this chunk.
     std::vector<std::vector<uint8_t>> indicators(t);
-    if (any_countif) {
+    if (plan.any_countif) {
       for (size_t j = 0; j < t; ++j) {
-        if (bindings[j].filter == nullptr) continue;
+        if (plan.bindings[j].filter == nullptr) continue;
         indicators[j].resize(n);
         CVOPT_ASSIGN_OR_RETURN(
             CompiledPredicate cp,
-            CompiledPredicate::Compile(chunk_table, *bindings[j].filter));
+            CompiledPredicate::Compile(chunk_table, *plan.bindings[j].filter));
         cp.EvalMaskRange(0, n, indicators[j].data());
       }
     }
 
     // One serial ascending pass: gid assignment over every row,
-    // accumulation over survivors — per-group addition order is exactly
-    // the exact executor's serial ascending-row order.
+    // accumulation over survivors.
     for (size_t r = 0; r < n; ++r) {
-      for (size_t i = 0; i < gcols.size(); ++i) {
-        scratch.codes[i] = chunk_table.column(gcols[i]).GroupCode(r);
+      for (size_t i = 0; i < plan.gcols.size(); ++i) {
+        scratch.codes[i] = chunk_table.column(plan.gcols[i]).GroupCode(r);
       }
       const uint32_t gid = assign_gid(scratch);
       if (smask[r] == 0) continue;
-      cnt[gid]++;
+      ma.cnt[gid]++;
       for (size_t j = 0; j < t; ++j) {
-        const MappedAggBinding& b = bindings[j];
+        const MappedAggBinding& b = plan.bindings[j];
         if (b.constant_one) continue;
         double v;
         if (b.filter != nullptr) {
@@ -269,49 +345,227 @@ Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
                   ? col.doubles()[r]
                   : static_cast<double>(col.ints()[r]);
         }
-        sums[j][gid] += v;
-        if (any_var) sums2[j][gid] += v * v;
+        ma.sums[j][gid] += v;
+        if (plan.any_var) ma.sums2[j][gid] += v * v;
         if (query.aggregates[j].func == AggFunc::kMedian) {
-          medians[j][gid].push_back(v);
+          ma.medians[j][gid].push_back(v);
         }
       }
     }
   }
+  return EmitMappedResult(mt, query, plan, std::move(ma));
+}
 
-  // Finalize through the exact executor's own rules, then emit groups in
-  // first-occurrence order, omitting fully-filtered groups (IngestDense
-  // semantics).
-  const size_t G = group_keys.size();
-  GroupedAccumulators acc;
-  acc.num_groups = G;
-  acc.cnt = std::move(cnt);
-  acc.sums.assign(t * G, 0.0);
-  if (any_var) acc.sums2.assign(t * G, 0.0);
-  acc.median_values.resize(t);
+// Morsel-parallel scan, two phases (see the header's contract).
+//
+// Phase 1 (sequential, chunk order): group discovery + zone triage. Only
+// the group-by columns decode here (through the LRU chunk cache); dense
+// first-occurrence id assignment is inherently serial, while the expensive
+// full-width decode + accumulation parallelizes in phase 2.
+//
+// Phase 2 (waves of ~2x the fan-out over the chunks the zone maps could
+// not refute): (a) each chunk decodes its mini-Table and evaluates its
+// WHERE / COUNT_IF masks on its own worker (the chunk cache is
+// mutex-guarded, so concurrent GetChunk calls are safe and the LRU stays
+// honored), then (b) each worker owns a contiguous DISJOINT gid range and
+// scans the wave's chunks in order, rows ascending, accumulating only its
+// own groups straight into the global arrays. Per-group addition order is
+// therefore globally ascending row order — exactly the serial scan's — so
+// sums stay bit-identical for every thread count, wave size, and chunk
+// geometry: no partial-slab float reassociation, no merge pass.
+Result<QueryResult> ScanMappedParallel(const MappedTable& mt,
+                                       const QuerySpec& query,
+                                       const MappedScanPlan& plan,
+                                       MemoryReservation gid_res) {
+  const size_t t = plan.t;
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> gid_of;
+  MappedAccumulators ma;
+  GroupKey scratch;
+  scratch.codes.resize(plan.gcols.size());
+  auto assign_gid = [&](const GroupKey& key) -> uint32_t {
+    auto it = gid_of.find(key);
+    if (it != gid_of.end()) return it->second;
+    const uint32_t gid = static_cast<uint32_t>(ma.group_keys.size());
+    gid_of.emplace(key, gid);
+    ma.group_keys.push_back(key);
+    return gid;
+  };
+
+  // ---- Phase 1.
+  const bool zones_on = ZoneMapPruningEnabled();
+  const size_t num_chunks = mt.num_chunks();
+  const size_t chunk_rows = mt.chunk_rows();
+  std::vector<uint32_t> row_gids(mt.num_rows());
+  std::vector<ChunkVerdict> verdicts(num_chunks, ChunkVerdict::kResidual);
+  std::vector<size_t> survivors;  // chunks the zone maps could not refute
+  survivors.reserve(num_chunks);
+  for (size_t k = 0; k < num_chunks; ++k) {
+    // Governance boundary of the streaming scan: one check per storage
+    // chunk, never per row.
+    CVOPT_RETURN_NOT_OK(CheckQueryAborted());
+    CVOPT_FAILPOINT("exec.mapped.chunk");
+    const size_t n = mt.ChunkRowCount(k);
+    verdicts[k] = ClassifyChunk(mt, plan, zones_on, k);
+
+    std::vector<std::shared_ptr<const DecodedChunk>> gdata(plan.gcols.size());
+    for (size_t i = 0; i < plan.gcols.size(); ++i) {
+      CVOPT_ASSIGN_OR_RETURN(gdata[i], mt.GetChunk(plan.gcols[i], k));
+    }
+    uint32_t* out_gid = row_gids.data() + k * chunk_rows;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < plan.gcols.size(); ++i) {
+        scratch.codes[i] = gdata[i]->type == DataType::kString
+                               ? gdata[i]->codes[r]
+                               : gdata[i]->ints[r];
+      }
+      out_gid[r] = assign_gid(scratch);
+    }
+    if (verdicts[k] != ChunkVerdict::kSkip) survivors.push_back(k);
+  }
+
+  // Accumulators, allocated once — the group count is final after
+  // discovery, so no per-row growth and no rehashing in the hot pass.
+  const size_t G = ma.group_keys.size();
+  MemoryReservation acc_res = ReserveMemoryOrThrow(
+      G * (sizeof(uint64_t) + t * sizeof(double) * (plan.any_var ? 2 : 1)),
+      "mapped scan accumulators");
+  ma.cnt.assign(G, 0);
+  ma.sums.assign(t, std::vector<double>(G, 0.0));
+  ma.sums2.assign(plan.any_var ? t : 0, std::vector<double>(G, 0.0));
+  ma.medians.resize(t);
   for (size_t j = 0; j < t; ++j) {
-    std::copy(sums[j].begin(), sums[j].end(), acc.sums.begin() + j * G);
-    if (any_var) {
-      std::copy(sums2[j].begin(), sums2[j].end(), acc.sums2.begin() + j * G);
-    }
-    if (query.aggregates[j].func == AggFunc::kMedian) {
-      acc.median_values[j] = std::move(medians[j]);
-    }
+    if (query.aggregates[j].func == AggFunc::kMedian) ma.medians[j].resize(G);
   }
-  std::vector<double> finals = FinalizeGrouped(query.aggregates, &acc);
 
-  std::vector<std::string> agg_labels;
-  agg_labels.reserve(t);
-  for (const auto& a : query.aggregates) agg_labels.push_back(a.Label());
-  QueryResult result(std::move(agg_labels), query.group_by);
-  for (size_t g = 0; g < G; ++g) {
-    if (acc.cnt[g] == 0) continue;
-    std::vector<double> values(t);
-    for (size_t j = 0; j < t; ++j) values[j] = finals[j * G + g];
-    CVOPT_RETURN_NOT_OK(result.AddGroup(group_keys[g],
-                                        RenderLabel(mt, gcols, group_keys[g]),
-                                        std::move(values)));
+  // ---- Phase 2.
+  const size_t threads = ResolveThreads();
+  const size_t wave_cap = std::max<size_t>(1, 2 * threads);
+  size_t row_width = 1;  // survivor mask
+  for (size_t c = 0; c < mt.num_columns(); ++c) {
+    row_width += mt.schema().field(c).type == DataType::kString
+                     ? sizeof(int32_t)
+                     : sizeof(int64_t);
   }
-  return result;
+  if (plan.any_countif) row_width += t;
+  MemoryReservation wave_res = ReserveMemoryOrThrow(
+      std::min(wave_cap, survivors.size()) * chunk_rows * row_width,
+      "mapped scan decode wave");
+
+  struct WaveChunk {
+    size_t chunk = 0;
+    size_t rows = 0;
+    std::unique_ptr<Table> table;
+    std::vector<uint8_t> smask;
+    std::vector<std::vector<uint8_t>> indicators;
+    Status status;
+  };
+  for (size_t w0 = 0; w0 < survivors.size(); w0 += wave_cap) {
+    const size_t wn = std::min(wave_cap, survivors.size() - w0);
+    std::vector<WaveChunk> wave(wn);
+    // (a) Decode + predicate evaluation, one chunk per morsel. Failures
+    // park in per-chunk Status slots (workers cannot early-return across
+    // the pool) and surface in wave order below.
+    ParallelForChunks(wn, wn, [&](size_t i, size_t, size_t) {
+      WaveChunk& wc = wave[i];
+      wc.chunk = survivors[w0 + i];
+      wc.status = [&]() -> Status {
+        const size_t n = mt.ChunkRowCount(wc.chunk);
+        wc.rows = n;
+        // Decode the chunk into a mini-Table (all columns, so by-name
+        // predicate compilation sees the full schema).
+        CVOPT_ASSIGN_OR_RETURN(Table ct, MakeChunkTable(mt, wc.chunk));
+        wc.table = std::make_unique<Table>(std::move(ct));
+        // Survivor mask: all-ones for a provably-true chunk or no WHERE,
+        // kernel evaluation otherwise.
+        wc.smask.assign(n, 1);
+        if (plan.proto_where != nullptr &&
+            verdicts[wc.chunk] != ChunkVerdict::kTakeAll) {
+          CVOPT_ASSIGN_OR_RETURN(
+              CompiledPredicate cp,
+              CompiledPredicate::Compile(*wc.table, *query.where));
+          cp.EvalMaskRange(0, n, wc.smask.data());
+        }
+        // COUNT_IF indicators for this chunk.
+        wc.indicators.resize(t);
+        if (plan.any_countif) {
+          for (size_t j = 0; j < t; ++j) {
+            if (plan.bindings[j].filter == nullptr) continue;
+            wc.indicators[j].resize(n);
+            CVOPT_ASSIGN_OR_RETURN(
+                CompiledPredicate cp,
+                CompiledPredicate::Compile(*wc.table,
+                                           *plan.bindings[j].filter));
+            cp.EvalMaskRange(0, n, wc.indicators[j].data());
+          }
+        }
+        return Status::OK();
+      }();
+    });
+    for (const WaveChunk& wc : wave) CVOPT_RETURN_NOT_OK(wc.status);
+
+    // (b) Gid-range-partitioned accumulation into the global arrays.
+    if (G == 0) continue;
+    ParallelForChunks(
+        G, std::min<size_t>(std::max<size_t>(1, threads), G),
+        [&](size_t, size_t glo, size_t ghi) {
+          for (size_t i = 0; i < wn; ++i) {
+            const WaveChunk& wc = wave[i];
+            const uint32_t* gids = row_gids.data() + wc.chunk * chunk_rows;
+            for (size_t r = 0; r < wc.rows; ++r) {
+              const uint32_t gid = gids[r];
+              if (gid < glo || gid >= ghi || wc.smask[r] == 0) continue;
+              ma.cnt[gid]++;
+              for (size_t j = 0; j < t; ++j) {
+                const MappedAggBinding& b = plan.bindings[j];
+                if (b.constant_one) continue;
+                double v;
+                if (b.filter != nullptr) {
+                  v = wc.indicators[j][r] ? 1.0 : 0.0;
+                } else {
+                  const Column& col = wc.table->column(b.col);
+                  v = col.type() == DataType::kDouble
+                          ? col.doubles()[r]
+                          : static_cast<double>(col.ints()[r]);
+                }
+                ma.sums[j][gid] += v;
+                if (plan.any_var) ma.sums2[j][gid] += v * v;
+                if (query.aggregates[j].func == AggFunc::kMedian) {
+                  ma.medians[j][gid].push_back(v);
+                }
+              }
+            }
+          }
+        });
+  }
+  return EmitMappedResult(mt, query, plan, std::move(ma));
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteGroupByMapped(const MappedTable& mt,
+                                         const QuerySpec& query) {
+ // The whole scan is one governed section: the discovery loop checks per
+ // chunk, the parallel passes check at morsel boundaries through the shared
+ // pool (surfacing as QueryAbortedError), and the working-set reservations
+ // throw on refusal — all converted back to Status here.
+ return GovernedSection([&]() -> Result<QueryResult> {
+  CVOPT_ASSIGN_OR_RETURN(MappedScanPlan plan, PrepareMappedScan(mt, query));
+
+  // The row->gid map is the parallel scan's one O(table) working set. When
+  // the ambient budget cannot admit it, degrade to the fused serial scan —
+  // identical output, one chunk's decode at a time — instead of failing:
+  // the streaming path must keep answering under budgets that already
+  // refused materialization.
+  const QueryContext* ctx = CurrentQueryContext();
+  if (ctx != nullptr) {
+    Result<MemoryReservation> gid_res =
+        const_cast<QueryContext*>(ctx)->TryReserve(
+            mt.num_rows() * sizeof(uint32_t), "mapped scan row->group ids");
+    if (!gid_res.ok()) return ScanMappedSerial(mt, query, plan);
+    return ScanMappedParallel(mt, query, plan, std::move(gid_res).value());
+  }
+  return ScanMappedParallel(mt, query, plan, MemoryReservation());
+ });
 }
 
 Result<QueryResult> ExecuteGroupByAdaptive(const MappedTable& mt,

@@ -1,21 +1,27 @@
 // Out-of-core group-by execution over an mmap-backed chunked table file.
 //
-// ExecuteGroupByMapped streams a MappedTable chunk by chunk through a
-// group-by query without ever materializing the table: per chunk it first
-// consults the file's zone maps — a chunk the WHERE clause provably
-// rejects is skipped with only its group-by columns decoded (group
-// discovery must still see every row so group emission order matches the
-// in-memory executor), a provably-accepted chunk skips predicate
-// evaluation, and only residual chunks evaluate the compiled WHERE over
-// decoded data. Decoded chunks flow through the process-wide LRU chunk
-// cache (CVOPT_CHUNK_CACHE_BYTES), so peak memory is one chunk's worth of
-// columns plus the cache budget regardless of table size.
+// ExecuteGroupByMapped runs a group-by query over a MappedTable without
+// ever materializing it, in two phases. Phase 1 is a sequential
+// chunk-order pass that consults the file's zone maps — a chunk the WHERE
+// clause provably rejects is excluded from phase 2 with only its group-by
+// columns decoded (group discovery must still see every row so group
+// emission order matches the in-memory executor) — and assigns every row's
+// dense first-occurrence group id. Phase 2 is morsel-parallel over the
+// surviving chunks, in waves: each chunk decodes and evaluates its WHERE /
+// COUNT_IF masks on its own worker (provably-accepted chunks skip
+// predicate evaluation), then workers owning disjoint contiguous gid
+// ranges accumulate the wave straight into the global arrays. Decoded
+// chunks flow through the process-wide LRU chunk cache
+// (CVOPT_CHUNK_CACHE_BYTES), so peak memory is one decode wave's worth of
+// columns plus the cache budget and the row->gid map, regardless of table
+// size.
 //
-// Determinism contract: the scan visits rows in ascending order in one
-// pass, assigns dense group ids on first (unmasked) occurrence, and
-// accumulates with the same per-group serial sums as the exact executor —
-// the QueryResult is bitwise identical (groups, order, labels, values) to
-// ExecuteExact on the materialized table.
+// Determinism contract: group ids are assigned by the sequential discovery
+// pass in ascending row order, and each group's values are added in
+// ascending row order by exactly one worker (gid-range ownership, chunks
+// walked in order within and across waves) — the QueryResult is bitwise
+// identical (groups, order, labels, values) to ExecuteExact on the
+// materialized table, for every thread count and chunk geometry.
 #ifndef CVOPT_EXEC_CHUNKED_SCAN_H_
 #define CVOPT_EXEC_CHUNKED_SCAN_H_
 

@@ -40,7 +40,11 @@ AqpServer::Connection::~Connection() {
 AqpServer::AqpServer(ServerOptions options)
     : options_(std::move(options)),
       catalog_(options_.catalog_seed),
-      admission_budget_(options_.memory_limit_bytes) {}
+      admission_budget_(options_.memory_limit_bytes) {
+  // Surface catalog LRU evictions in the scrape registry; the hook runs
+  // under the catalog lock, so it is just the relaxed-atomic bump.
+  catalog_.SetEvictionListener([this] { metrics_.catalog_evictions.Inc(); });
+}
 
 AqpServer::~AqpServer() { Stop(); }
 

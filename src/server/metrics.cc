@@ -77,6 +77,9 @@ std::string ServerMetrics::RenderPrometheus() const {
           catalog_hits);
   counter("aqp_catalog_misses_total", "Queries that found no shared sample",
           catalog_misses);
+  counter("aqp_catalog_evictions_total",
+          "Published samples dropped by the LRU row budget",
+          catalog_evictions);
   counter("aqp_sample_builds_total", "Samples built and published",
           sample_builds);
   counter("aqp_sample_build_failures_total", "Sample builds that failed",

@@ -68,6 +68,8 @@ struct ServerMetrics {
   Counter queries_failed;        // everything else (parse, unknown table)
   Counter catalog_hits;          // served from an already-published sample
   Counter catalog_misses;        // had to build (or wait out a failure)
+  Counter catalog_evictions;     // published samples dropped by the LRU
+                                 // row-budget (CVOPT_CATALOG_ROW_BUDGET)
   Counter sample_builds;         // samples built and published
   Counter sample_build_failures;
   Counter connections_accepted;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/sample/cvopt_sampler.h"
+#include "src/util/env.h"
 #include "src/util/hash.h"
 #include "src/util/rng.h"
 
@@ -77,6 +78,7 @@ Result<std::shared_ptr<const StratifiedSample>> SampleCatalog::GetOrBuild(
       Entry& entry = entries_[key];
       if (entry.sample != nullptr) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        lru_.splice(lru_.begin(), lru_, entry.lru_it);  // touch
         if (was_hit != nullptr) *was_hit = true;
         return entry.sample;
       }
@@ -108,13 +110,57 @@ Result<std::shared_ptr<const StratifiedSample>> SampleCatalog::GetOrBuild(
     cv_.notify_all();
     return built.status();
   }
-  Entry& entry = entries_[key];
+  auto map_it = entries_.find(key);  // placed by the claim above
+  Entry& entry = map_it->second;
   entry.building = false;
   entry.sample =
       std::make_shared<const StratifiedSample>(std::move(built).value());
+  lru_.push_front(&map_it->first);
+  entry.lru_it = lru_.begin();
+  entry.in_lru = true;
   builds_.fetch_add(1, std::memory_order_relaxed);
+  EvictOverBudgetLocked();
   cv_.notify_all();
   return entry.sample;
+}
+
+uint64_t SampleCatalog::row_budget() const {
+  const uint64_t o = row_budget_override_.load(std::memory_order_relaxed);
+  if (o != 0) return o;
+  static const uint64_t env = [] {
+    if (const auto v = ParseEnvInt("CVOPT_CATALOG_ROW_BUDGET"); v && *v > 0) {
+      return static_cast<uint64_t>(*v);
+    }
+    return uint64_t{0};  // unlimited
+  }();
+  return env;
+}
+
+void SampleCatalog::SetRowBudgetForTesting(uint64_t rows) {
+  row_budget_override_.store(rows, std::memory_order_relaxed);
+}
+
+void SampleCatalog::SetEvictionListener(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  eviction_listener_ = std::move(fn);
+}
+
+void SampleCatalog::EvictOverBudgetLocked() {
+  const uint64_t budget = row_budget();
+  if (budget == 0) return;
+  uint64_t rows = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.sample != nullptr) rows += entry.sample->size();
+  }
+  // Evict from the recency tail; lru_.size() > 1 pins the newest publish.
+  while (rows > budget && lru_.size() > 1) {
+    auto victim = entries_.find(*lru_.back());
+    rows -= victim->second.sample->size();
+    lru_.pop_back();
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_listener_) eviction_listener_();
+  }
 }
 
 size_t SampleCatalog::size() const {
@@ -139,6 +185,7 @@ void SampleCatalog::Clear() {
     if (it->second.building) {
       ++it;  // let the in-flight build publish; only drop published ones
     } else {
+      if (it->second.in_lru) lru_.erase(it->second.lru_it);
       it = entries_.erase(it);
     }
   }

@@ -23,12 +23,23 @@
 // Builds run OUTSIDE the lock under the requesting query's ambient
 // QueryContext, so a slow build never blocks hits on other keys and a
 // deadline-bound request cannot wedge the catalog.
+//
+// Eviction. Published samples are held on an LRU recency list (hits touch,
+// publishes enter at the front). When a publish pushes total resident
+// sampled rows past the budget (CVOPT_CATALOG_ROW_BUDGET rows, 0/unset =
+// unlimited), least-recently-used published samples are dropped until the
+// catalog fits — except the newest publish, which always survives its own
+// admission so every build serves at least its triggering query. Building
+// entries are never evicted (they are not on the list yet). An evicted
+// key simply rebuilds on next use, bit-identically (see Determinism).
 #ifndef CVOPT_SERVER_SAMPLE_CATALOG_H_
 #define CVOPT_SERVER_SAMPLE_CATALOG_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -98,6 +109,22 @@ class SampleCatalog {
   /// Total sampled rows held across published samples.
   uint64_t resident_rows() const;
 
+  /// Published samples dropped by the LRU row-budget eviction.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Resident-row budget currently in force: the testing override if set,
+  /// else CVOPT_CATALOG_ROW_BUDGET, else 0 (unlimited).
+  uint64_t row_budget() const;
+  /// Testing/operator override (0 restores the env/default).
+  void SetRowBudgetForTesting(uint64_t rows);
+
+  /// Registers a hook called once per evicted sample, under the catalog
+  /// lock (so it must be cheap and reentrancy-free — an atomic counter
+  /// bump). The server points this at its metrics registry.
+  void SetEvictionListener(std::function<void()> fn);
+
   /// Drops every published sample (in-flight builds publish normally).
   void Clear();
 
@@ -105,16 +132,29 @@ class SampleCatalog {
   struct Entry {
     std::shared_ptr<const StratifiedSample> sample;
     bool building = false;
+    // Position on the recency list; valid only while in_lru (published).
+    std::list<const CatalogKey*>::iterator lru_it;
+    bool in_lru = false;
   };
+
+  // Drops LRU published samples until resident rows fit the budget,
+  // always keeping the most recent publish. Caller holds mu_.
+  void EvictOverBudgetLocked();
 
   const uint64_t seed_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<CatalogKey, Entry, CatalogKeyHash> entries_;
+  // Recency order over published entries; front = most recent. Pointees
+  // are the map's own keys (stable: unordered_map nodes never move).
+  std::list<const CatalogKey*> lru_;
+  std::function<void()> eviction_listener_;
+  std::atomic<uint64_t> row_budget_override_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> builds_{0};
   std::atomic<uint64_t> build_failures_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace cvopt

@@ -13,6 +13,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "src/expr/compiled_predicate.h"
+#include "src/expr/predicate.h"
 #include "src/util/env.h"
 #include "src/util/failpoint.h"
 #include "src/util/string_util.h"
@@ -494,6 +496,130 @@ Result<Table> MappedTable::Materialize() const {
     columns.push_back(std::move(col));
   }
   return Table(Schema(std::move(fields)), std::move(columns));
+}
+
+namespace {
+
+// Appends row `r` of decoded chunk data to the output column, re-interning
+// strings through the file dictionary so output dictionaries stay dense.
+void AppendDecodedRow(const DecodedChunk& data,
+                      const std::vector<std::string>& dict, size_t r,
+                      Column* out) {
+  switch (data.type) {
+    case DataType::kInt64:
+      out->AppendInt(data.ints[r]);
+      break;
+    case DataType::kDouble:
+      out->AppendDouble(data.doubles[r]);
+      break;
+    case DataType::kString:
+      out->AppendString(dict[static_cast<size_t>(data.codes[r])]);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<Table> MappedTable::Materialize(const Predicate& where) const {
+  // Compile once against a zero-row prototype: validates the predicate and
+  // yields the zone classifier consulted before any decode.
+  std::vector<Column> proto_cols;
+  proto_cols.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    Column col(schema_.field(c).type);
+    if (col.type() == DataType::kString) col.AdoptDictionary(dicts_[c]);
+    proto_cols.push_back(std::move(col));
+  }
+  const Table proto(schema_, std::move(proto_cols));
+  CVOPT_ASSIGN_OR_RETURN(CompiledPredicate proto_where,
+                         CompiledPredicate::Compile(proto, where));
+
+  const bool zones_on = ZoneMapPruningEnabled();
+  std::vector<Column> out_cols;
+  out_cols.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out_cols.emplace_back(schema_.field(c).type);
+  }
+
+  std::vector<std::shared_ptr<const DecodedChunk>> data(num_columns());
+  for (size_t k = 0; k < num_chunks(); ++k) {
+    ChunkVerdict verdict = ChunkVerdict::kResidual;
+    if (zones_on) {
+      verdict = proto_where.ClassifyZones([&](uint32_t col) -> const ZoneMap& {
+        return zones_.zone(col, k);
+      });
+      RecordZoneVerdict(verdict);
+    }
+    if (verdict == ChunkVerdict::kSkip) continue;  // never decoded
+
+    const size_t n = ChunkRowCount(k);
+    for (size_t c = 0; c < num_columns(); ++c) {
+      CVOPT_ASSIGN_OR_RETURN(data[c], GetChunk(c, k));
+    }
+    std::vector<uint8_t> smask;
+    if (verdict != ChunkVerdict::kTakeAll) {
+      // Residual chunk: evaluate the kernel over a chunk-height mini-Table.
+      std::vector<Column> chunk_cols;
+      chunk_cols.reserve(num_columns());
+      for (size_t c = 0; c < num_columns(); ++c) {
+        Column col(data[c]->type);
+        switch (col.type()) {
+          case DataType::kInt64:
+            col.AdoptInts(data[c]->ints);
+            break;
+          case DataType::kDouble:
+            col.AdoptDoubles(data[c]->doubles);
+            break;
+          case DataType::kString:
+            col.AdoptDictionary(dicts_[c]);
+            col.AdoptCodes(data[c]->codes);
+            break;
+        }
+        chunk_cols.push_back(std::move(col));
+      }
+      const Table chunk_table(schema_, std::move(chunk_cols));
+      CVOPT_ASSIGN_OR_RETURN(CompiledPredicate cp,
+                             CompiledPredicate::Compile(chunk_table, where));
+      smask.assign(n, 0);
+      cp.EvalMaskRange(0, n, smask.data());
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (!smask.empty() && smask[r] == 0) continue;
+      for (size_t c = 0; c < num_columns(); ++c) {
+        AppendDecodedRow(*data[c], dicts_[c], r, &out_cols[c]);
+      }
+    }
+  }
+  return Table(schema_, std::move(out_cols));
+}
+
+Result<Table> MappedTable::TakeRows(const std::vector<uint32_t>& rows) const {
+  for (uint32_t r : rows) {
+    if (r >= num_rows_) {
+      return Status::InvalidArgument("TakeRows index out of range");
+    }
+  }
+  std::vector<Column> out_cols;
+  out_cols.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    Column out(schema_.field(c).type);
+    out.Reserve(rows.size());
+    // One column at a time, holding a single decoded chunk: row lists from
+    // samplers are near-sorted, so the chunk handle caches the common
+    // consecutive-hit case and the LRU cache absorbs the rest.
+    std::shared_ptr<const DecodedChunk> data;
+    size_t loaded = SIZE_MAX;
+    for (uint32_t r : rows) {
+      const size_t k = r / zones_.chunk_rows;
+      if (k != loaded) {
+        CVOPT_ASSIGN_OR_RETURN(data, GetChunk(c, k));
+        loaded = k;
+      }
+      AppendDecodedRow(*data, dicts_[c], r - k * zones_.chunk_rows, &out);
+    }
+    out_cols.push_back(std::move(out));
+  }
+  return Table(schema_, std::move(out_cols));
 }
 
 }  // namespace cvopt

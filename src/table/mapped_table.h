@@ -28,6 +28,8 @@
 
 namespace cvopt {
 
+class Predicate;
+
 /// One decoded storage chunk of one column; exactly one vector is populated,
 /// matching `type`.
 struct DecodedChunk {
@@ -97,6 +99,26 @@ class MappedTable {
   /// path). Bypasses the chunk cache: each chunk is decoded straight into
   /// the destination column.
   Result<Table> Materialize() const;
+
+  /// Predicate-pushdown materialization: returns the in-memory Table of
+  /// exactly the rows matching `where`, in ascending row order. Each
+  /// chunk's zone maps are classified first — a chunk the predicate
+  /// provably rejects is never decoded (no column of it touches the chunk
+  /// cache), a provably-accepted chunk skips predicate evaluation, and
+  /// only residual chunks pay for a full decode + kernel pass. This is the
+  /// population scan behind sampling a filtered mapped table: working
+  /// memory is one chunk's columns plus the survivors, not the file.
+  /// String columns are re-interned into dense output dictionaries.
+  Result<Table> Materialize(const Predicate& where) const;
+
+  /// Copies the given rows into a standalone in-memory Table, decoding
+  /// only the storage chunks the rows actually touch (through the chunk
+  /// cache — consecutive hits to one chunk decode it once). The row set
+  /// may be in any order and may repeat; output row r is `rows[r]`, the
+  /// same contract as Table::TakeRows. Strings are re-interned into dense
+  /// output dictionaries. This is how a stratified sample drawn against a
+  /// mapped base materializes its rows without materializing the base.
+  Result<Table> TakeRows(const std::vector<uint32_t>& rows) const;
 
  private:
   MappedTable() = default;

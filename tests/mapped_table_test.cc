@@ -10,6 +10,7 @@
 
 #include "src/exec/chunked_scan.h"
 #include "src/exec/group_by_executor.h"
+#include "src/expr/compiled_predicate.h"
 #include "src/expr/plan_cache.h"
 #include "src/table/mapped_table.h"
 #include "src/table/table_builder.h"
@@ -261,6 +262,118 @@ TEST(MappedTableTest, OutOfCoreGroupByWithZonePruningDisabled) {
     ExpectResultsIdentical(exact, mapped, q.name + " zones-off");
   }
   SetZoneMapPruningEnabled(true);
+  std::remove(path.c_str());
+}
+
+// The morsel-parallel out-of-core scan must be bit-identical to the serial
+// one at every thread count, even when a 1-byte cache budget forces every
+// chunk through a fresh decode in both phases.
+TEST(MappedTableTest, OutOfCoreGroupByParallelMatchesSerialTinyCache) {
+  ScopedChunkRows cs(512);
+  Table t = MakeDataset(20'000);
+  const std::string path = TempPath("par.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ScopedCacheBudget budget(1);
+  ASSERT_OK_AND_ASSIGN(MappedTable mt, MappedTable::Open(path));
+  for (const auto& q : MakeQueries()) {
+    QueryResult serial = [&] {
+      ScopedExecThreads st(1);
+      auto r = ExecuteGroupByMapped(mt, q);
+      CVOPT_CHECK(r.ok(), "serial mapped scan failed");
+      return std::move(r).value();
+    }();
+    for (int threads : {2, 3, 8}) {
+      ScopedExecThreads pt(threads);
+      ASSERT_OK_AND_ASSIGN(QueryResult parallel, ExecuteGroupByMapped(mt, q));
+      ExpectResultsIdentical(
+          serial, parallel,
+          q.name + " threads=" + std::to_string(threads));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Predicate-pushdown materialization: chunks the zone maps refute are
+// never decoded (the clustered `t` column refutes 29 of 32 chunks for this
+// range), and the surviving rows equal filter-then-take on the full table.
+TEST(MappedTableTest, PushdownMaterializeSkipsRefutedChunks) {
+  ScopedChunkRows cs(256);
+  Table t = MakeDataset(8'192);  // t = 0..8191 clustered; 32 chunks x 4 cols
+  const std::string path = TempPath("push.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(MappedTable mt, MappedTable::Open(path));
+  const PredicatePtr where =
+      Predicate::Between("t", Value(int64_t{1'000}), Value(int64_t{1'499}));
+
+  ResetChunkCacheStats();
+  ASSERT_OK_AND_ASSIGN(Table filtered, mt.Materialize(*where));
+  // Rows 1000..1499 live in chunks 3..5; only those decode — and every
+  // decode is a cache miss (fresh table), so misses count decoded chunks.
+  const ChunkCacheStats stats = GetChunkCacheStats();
+  EXPECT_EQ(stats.misses, 3u * 4u);
+  EXPECT_EQ(filtered.num_rows(), 500u);
+
+  // Equality against the unpruned path: materialize fully, filter, take.
+  ASSERT_OK_AND_ASSIGN(Table full, mt.Materialize());
+  ASSERT_OK_AND_ASSIGN(CompiledPredicate cp,
+                       CompiledPredicate::Compile(full, *where));
+  ExpectTablesEqual(filtered, full.TakeRows(cp.Select()));
+  std::remove(path.c_str());
+}
+
+TEST(MappedTableTest, PushdownMaterializeHandlesResidualAndTakeAll) {
+  ScopedChunkRows cs(256);
+  Table t = MakeDataset(4'096);
+  const std::string path = TempPath("push2.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(MappedTable mt, MappedTable::Open(path));
+  ASSERT_OK_AND_ASSIGN(Table full, mt.Materialize());
+  // Unclustered string predicate: zone maps refute nothing, every chunk is
+  // residual, the kernel does the filtering.
+  const PredicatePtr by_city =
+      Predicate::Compare("city", CompareOp::kEq, Value("oslo"));
+  ASSERT_OK_AND_ASSIGN(Table oslo, mt.Materialize(*by_city));
+  {
+    ASSERT_OK_AND_ASSIGN(CompiledPredicate cp,
+                         CompiledPredicate::Compile(full, *by_city));
+    ExpectTablesEqual(oslo, full.TakeRows(cp.Select()));
+  }
+  // Always-true range: every chunk is provably accepted (no kernel pass)
+  // and the result is the whole table.
+  const PredicatePtr all =
+      Predicate::Compare("t", CompareOp::kGe, Value(int64_t{0}));
+  ASSERT_OK_AND_ASSIGN(Table everything, mt.Materialize(*all));
+  ExpectTablesEqual(everything, full);
+  // Invalid predicates surface as a Status, not a crash.
+  const PredicatePtr bad =
+      Predicate::Compare("nope", CompareOp::kEq, Value(int64_t{1}));
+  EXPECT_FALSE(mt.Materialize(*bad).ok());
+  std::remove(path.c_str());
+}
+
+// TakeRows against the mapped file decodes only the chunks the row list
+// touches — how a stratified sample of a mapped base materializes without
+// paying for the base.
+TEST(MappedTableTest, TakeRowsDecodesOnlyTouchedChunks) {
+  ScopedChunkRows cs(256);
+  Table t = MakeDataset(8'192);
+  const std::string path = TempPath("take.cvtb");
+  ASSERT_OK(WriteTableFile(t, path));
+  ASSERT_OK_AND_ASSIGN(MappedTable mt, MappedTable::Open(path));
+  // Interleaved rows from chunks 20 and 0, out of order and repeating.
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < 10; ++i) {
+    rows.push_back(5'120 + i);  // chunk 20
+    rows.push_back(9 - i);      // chunk 0
+  }
+  rows.push_back(rows[0]);
+  ResetChunkCacheStats();
+  ASSERT_OK_AND_ASSIGN(Table sub, mt.TakeRows(rows));
+  // Two chunks touched across 4 columns; re-touches are cache hits.
+  const ChunkCacheStats stats = GetChunkCacheStats();
+  EXPECT_EQ(stats.misses, 2u * 4u);
+  ExpectTablesEqual(sub, t.TakeRows(rows));
+  EXPECT_FALSE(mt.TakeRows({8'192}).ok());  // out of range
   std::remove(path.c_str());
 }
 

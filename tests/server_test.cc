@@ -422,5 +422,90 @@ TEST_F(ServerTest, MetricsScrapeAndShutdownRequest) {
   EXPECT_FALSE(server_->running());
 }
 
+// Catalog LRU eviction. Builds are deterministic in (seed, key), so a
+// throwaway catalog measures each key's sample size first and the scenario
+// catalog then gets budgets placed exactly between the interesting totals.
+TEST(SampleCatalogEvictionTest, EvictsLruAndKeepsTouchedEntries) {
+  const Table table = MakeSkewedTable(/*groups=*/6, /*base=*/40);
+  ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                       ParseSql("SELECT g, AVG(v) FROM t GROUP BY g"));
+  const QuerySpec& q = parsed.query;
+  const double r1 = 0.20, r2 = 0.25, r3 = 0.30, r4 = 0.10;
+
+  uint64_t n1 = 0, n2 = 0, n3 = 0, n4 = 0;
+  {
+    SampleCatalog probe(7);
+    ASSERT_OK(probe.GetOrBuild(table, q, r1).status());
+    n1 = probe.resident_rows();
+    ASSERT_OK(probe.GetOrBuild(table, q, r2).status());
+    n2 = probe.resident_rows() - n1;
+    ASSERT_OK(probe.GetOrBuild(table, q, r3).status());
+    n3 = probe.resident_rows() - n1 - n2;
+    ASSERT_OK(probe.GetOrBuild(table, q, r4).status());
+    n4 = probe.resident_rows() - n1 - n2 - n3;
+    ASSERT_GT(n1, 0u);
+    ASSERT_LT(n4, n3);  // the second scenario relies on one eviction only
+  }
+
+  SampleCatalog catalog(7);
+  uint64_t listener_calls = 0;
+  catalog.SetEvictionListener([&] { ++listener_calls; });
+
+  // Publishing r3 pushes the total one row past the budget: the LRU entry
+  // (r1) goes, and one eviction suffices.
+  catalog.SetRowBudgetForTesting(n1 + n2 + n3 - 1);
+  ASSERT_OK(catalog.GetOrBuild(table, q, r1).status());
+  ASSERT_OK(catalog.GetOrBuild(table, q, r2).status());
+  EXPECT_EQ(catalog.evictions(), 0u);
+  ASSERT_OK(catalog.GetOrBuild(table, q, r3).status());
+  EXPECT_EQ(catalog.evictions(), 1u);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.resident_rows(), n2 + n3);
+
+  // A hit touches: after touching r2, publishing r4 over budget must evict
+  // r3 (the recency tail), not the older-published r2.
+  bool hit = false;
+  ASSERT_OK(catalog.GetOrBuild(table, q, r2, &hit).status());
+  EXPECT_TRUE(hit);
+  catalog.SetRowBudgetForTesting(n2 + n3);
+  ASSERT_OK(catalog.GetOrBuild(table, q, r4).status());
+  EXPECT_EQ(catalog.evictions(), 2u);
+  EXPECT_EQ(catalog.resident_rows(), n2 + n4);
+  ASSERT_OK(catalog.GetOrBuild(table, q, r2, &hit).status());
+  EXPECT_TRUE(hit);
+  ASSERT_OK(catalog.GetOrBuild(table, q, r4, &hit).status());
+  EXPECT_TRUE(hit);
+  // The evicted key simply rebuilds on next use.
+  const uint64_t builds_before = catalog.builds();
+  ASSERT_OK(catalog.GetOrBuild(table, q, r3, &hit).status());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(catalog.builds(), builds_before + 1);
+  EXPECT_EQ(listener_calls, catalog.evictions());
+}
+
+TEST(SampleCatalogEvictionTest, NewestPublishAlwaysSurvivesItsAdmission) {
+  const Table table = MakeSkewedTable(/*groups=*/6, /*base=*/40);
+  ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                       ParseSql("SELECT g, SUM(v) FROM t GROUP BY g"));
+  SampleCatalog catalog(7);
+  catalog.SetRowBudgetForTesting(1);  // smaller than any sample
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const StratifiedSample> s,
+                       catalog.GetOrBuild(table, parsed.query, 0.25));
+  EXPECT_GT(s->size(), 1u);
+  EXPECT_EQ(catalog.size(), 1u);  // kept despite busting the budget
+  EXPECT_EQ(catalog.evictions(), 0u);
+  // The next publish displaces it (it is now the LRU tail).
+  ASSERT_OK(catalog.GetOrBuild(table, parsed.query, 0.5).status());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.evictions(), 1u);
+}
+
+TEST(SampleCatalogEvictionTest, EvictionCounterRendersInMetrics) {
+  ServerMetrics metrics;
+  metrics.catalog_evictions.Inc();
+  const std::string out = metrics.RenderPrometheus();
+  EXPECT_NE(out.find("aqp_catalog_evictions_total 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cvopt

@@ -11,13 +11,20 @@
 # N times and records the per-bench MEDIAN across runs (the JSON notes the
 # repeat count). Use --repeats 5 or more before trusting any delta.
 #
-# Usage: tools/run_benches.sh [--repeats N] [build-dir]
+# --filter <regex> forwards a --benchmark_filter to every suite and prints
+# the console tables instead of rewriting the JSON — a filtered run measures
+# a subset, so recording it would silently overwrite suite-wide medians with
+# partial data. Use it to iterate on one bench cheaply, then do a full
+# --repeats run before trusting the recorded numbers.
+#
+# Usage: tools/run_benches.sh [--repeats N] [--filter REGEX] [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-bench
 OUT=BENCH_groupby.json
 REPEATS=1
+FILTER=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -27,6 +34,14 @@ while [[ $# -gt 0 ]]; do
       ;;
     --repeats=*)
       REPEATS="${1#--repeats=}"
+      shift
+      ;;
+    --filter)
+      FILTER="$2"
+      shift 2
+      ;;
+    --filter=*)
+      FILTER="${1#--filter=}"
       shift
       ;;
     --*)
@@ -48,6 +63,16 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_micro_groupby bench_micro_sampling bench_micro_storage \
            bench_micro_governance bench_micro_server >/dev/null
+
+if [[ -n "$FILTER" ]]; then
+  for bench in bench_micro_groupby bench_micro_sampling bench_micro_storage \
+               bench_micro_governance bench_micro_server; do
+    echo "--- $bench (filter: $FILTER) ---"
+    "$BUILD_DIR/$bench" --benchmark_filter="$FILTER" --benchmark_min_time=1
+  done
+  echo "filtered run: $OUT left untouched"
+  exit 0
+fi
 
 TMP_DIR=$(mktemp -d)
 trap 'rm -rf "$TMP_DIR"' EXIT
@@ -127,7 +152,18 @@ doc["description"] = (
     "path against the same 1%-selectivity clustered scan with pruning "
     "disabled (skip_rate is reported as a bench counter); "
     "BM_OutOfCoreGroupBy streams the mmap-backed v2 file through the "
-    "chunked scan vs the resident BM_InMemoryGroupByBaseline. "
+    "chunked scan vs the resident BM_InMemoryGroupByBaseline, and "
+    "BM_OutOfCoreGroupByParallel/<threads> is the same scan through the "
+    "morsel-parallel two-phase path (serial gid discovery, then waves of "
+    "per-chunk decode + gid-range accumulation) across the thread ladder "
+    "— bit-identical to the serial answer at every fan-out. "
+    "BM_AdaptiveGroupByHugeG vs BM_AdaptiveGroupByHugeGForcedHash is the "
+    "hash-vs-sort aggregation planner's headline: a 3M-row two-int-key "
+    "table with ~2.7M distinct groups (24 packed key bits), auto planner "
+    "(radix-sort discovery) against the planner pinned to hash on the same "
+    "data; BM_AdaptiveGroupBySmallG guards the small-G regime, where auto "
+    "must keep pricing at hash-path speed (planner decisions and "
+    "estimated-vs-actual cardinality are reported as bench counters). "
     "BM_ExactGroupByGoverned vs BM_ExactGroupByUngoverned is the same "
     "group-by under a permissive QueryContext (deadline + budget checks at "
     "morsel boundaries) vs no governance; BM_GovernanceCheck and "
